@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run table4,fig1
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hsprofiler/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "comma-separated experiment IDs to run")
+	all := flag.Bool("all", false, "run every experiment")
+	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	flag.Parse()
+
+	registry := experiments.All()
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	switch {
+	case *all:
+		selected = registry
+	case *run != "":
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	lab := experiments.NewLab()
+	defer lab.Close()
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.Run(lab)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s — %s  (%s)\n\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

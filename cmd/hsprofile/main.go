@@ -1,0 +1,129 @@
+// Command hsprofile runs the high-school profiling attack against a running
+// osnd instance — the third party's side of the study.
+//
+// Usage:
+//
+//	hsprofile -url http://localhost:8080 -school "Oakfield High School" \
+//	          -year 2012 -accounts 2 -mode enhanced -t 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/extend"
+	"hsprofiler/internal/osnhttp"
+	"hsprofiler/internal/store"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "osnd base URL")
+	school := flag.String("school", "", "target high school name (required)")
+	year := flag.Int("year", 2012, "current senior-class graduation year")
+	accounts := flag.Int("accounts", 2, "fake accounts to register")
+	mode := flag.String("mode", "enhanced", "methodology: basic, enhanced")
+	threshold := flag.Int("t", 400, "selection threshold t")
+	epsilon := flag.Float64("epsilon", 1, "enhanced over-fetch factor")
+	filtering := flag.Bool("filter", true, "apply the Section 4.4 filters")
+	pace := flag.Duration("pace", 0, "politeness delay between requests (e.g. 200ms)")
+	dossiers := flag.Bool("dossiers", false, "run the Section 6 profile extension and report dossier stats")
+	archive := flag.String("archive", "", "write the crawl archive (profiles + friend lists) as JSON to this file")
+	flag.Parse()
+
+	if *school == "" {
+		fmt.Fprintln(os.Stderr, "hsprofile: -school is required")
+		os.Exit(2)
+	}
+	var pacer osnhttp.Pacer = osnhttp.NoPace{}
+	if *pace > 0 {
+		pacer = osnhttp.SleepPace{Interval: *pace}
+	}
+	client := osnhttp.NewClient(*url, nil, pacer)
+	if err := client.RegisterAccounts(*accounts); err != nil {
+		fatal(err)
+	}
+	// All fetches flow through a crawl store (the study kept its parses in
+	// an SQL database); -archive exports it.
+	crawlStore := store.New()
+	sess := crawler.NewSession(store.NewCachedClient(client, crawlStore))
+
+	m := core.Basic
+	if *mode == "enhanced" {
+		m = core.Enhanced
+	}
+	start := time.Now()
+	res, err := core.Run(sess, core.Params{
+		SchoolName:    *school,
+		CurrentYear:   *year,
+		Mode:          m,
+		Epsilon:       *epsilon,
+		MaxThreshold:  *threshold,
+		FetchProfiles: *filtering,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sel := res.Select(*threshold, *filtering)
+
+	fmt.Printf("target: %s (%s)\n", res.School.Name, res.School.City)
+	fmt.Printf("seeds: %d   core: %d   extended core: %d   candidates: %d\n",
+		len(res.Seeds), res.SeedCoreSize, res.ExtendedCoreSize, res.CandidateCount())
+	fmt.Printf("effort: %d seed + %d profile + %d friend-list = %d requests in %s\n",
+		res.Effort.SeedRequests, res.Effort.ProfileRequests,
+		res.Effort.FriendListRequests, res.Effort.Total(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("inferred students (|H| = %d):\n", len(sel))
+
+	byYear := map[int]int{}
+	for _, s := range sel {
+		byYear[s.GradYear]++
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	for _, y := range years {
+		fmt.Printf("  class of %d: %d students\n", y, byYear[y])
+	}
+
+	if *dossiers {
+		d, err := extend.Build(sess, sel)
+		if err != nil {
+			fatal(err)
+		}
+		minors := d.MinorProfiles(sel, res.School)
+		st := d.AdultMinorTable(sel, *year)
+		fmt.Printf("\nSection 6 extension:\n")
+		fmt.Printf("  registered-minor dossiers: %d (avg %.1f recovered friends each)\n",
+			len(minors), d.AvgRecoveredFriends(sel))
+		fmt.Printf("  minors registered as adults: %d (%.0f%% public friend lists, %.0f%% messageable)\n",
+			st.Count, st.FriendListPublic*100, st.MessageLink*100)
+	}
+
+	if *archive != "" {
+		f, err := os.Create(*archive)
+		if err != nil {
+			fatal(err)
+		}
+		if err := crawlStore.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st := crawlStore.Stats()
+		fmt.Printf("\narchive: %d profiles, %d friend lists (%d hidden) -> %s\n",
+			st.Profiles, st.FriendLists, st.HiddenLists, *archive)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hsprofile: %v\n", err)
+	os.Exit(1)
+}

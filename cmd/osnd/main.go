@@ -1,0 +1,126 @@
+// Command osnd serves a world as the simulated OSN over HTTP.
+//
+// Usage:
+//
+//	osnd -world hs1.json -addr :8080
+//	osnd -scenario hs1 -addr :8080 -policy googleplus
+//	osnd -scenario hs1 -no-reverse-lookup   # the §8 countermeasure
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/osnhttp"
+	"hsprofiler/internal/worldgen"
+)
+
+func main() {
+	worldFile := flag.String("world", "", "world JSON file (from cmd/worldgen)")
+	scenario := flag.String("scenario", "", "generate a scenario instead of loading: hs1, hs2, hs3, tiny")
+	seed := flag.Uint64("seed", 2013, "seed when generating")
+	addr := flag.String("addr", ":8080", "listen address")
+	policy := flag.String("policy", "facebook", "platform policy: facebook, googleplus")
+	noReverse := flag.Bool("no-reverse-lookup", false, "enable the Section 8 countermeasure")
+	searchCap := flag.Int("search-cap", 400, "max search results per account")
+	budget := flag.Int("request-budget", 0, "per-account request ceiling before suspension (0 = unlimited)")
+	throttleLimit := flag.Int("throttle-limit", 0, "per-account requests allowed per throttle window (0 = no throttling)")
+	throttleWindow := flag.Duration("throttle-window", time.Minute, "sliding window for -throttle-limit")
+	flag.Parse()
+
+	var w *worldgen.World
+	var err error
+	switch {
+	case *worldFile != "":
+		f, ferr := os.Open(*worldFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		w, err = worldgen.ReadJSON(f)
+		f.Close()
+	case *scenario != "":
+		var cfg worldgen.Config
+		switch *scenario {
+		case "hs1":
+			cfg = worldgen.HS1Config()
+		case "hs2":
+			cfg = worldgen.HS2Config()
+		case "hs3":
+			cfg = worldgen.HS3Config()
+		case "tiny":
+			cfg = worldgen.TinyConfig()
+		default:
+			fatal(fmt.Errorf("unknown scenario %q", *scenario))
+		}
+		w, err = worldgen.Generate(cfg, *seed)
+	default:
+		err = fmt.Errorf("one of -world or -scenario is required")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var pol *osn.Policy
+	switch *policy {
+	case "facebook":
+		pol = osn.Facebook()
+	case "googleplus":
+		pol = osn.GooglePlus()
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	if *noReverse {
+		pol.HiddenListsInReverseLookup = false
+	}
+
+	platform := osn.NewPlatform(w, pol, osn.Config{
+		SearchPerAccount: *searchCap,
+		RequestBudget:    *budget,
+		ThrottleLimit:    *throttleLimit,
+		ThrottleWindow:   *throttleWindow,
+	})
+	for _, s := range platform.Schools() {
+		fmt.Printf("serving school %q (%s)\n", s.Name, s.City)
+	}
+	fmt.Printf("osnd: %s policy on %s\n", pol.Name, *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           osnhttp.NewServer(platform),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Printf("osnd: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "osnd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command worldgen generates a synthetic world and writes it as JSON.
+//
+// Usage:
+//
+//	worldgen -scenario hs1 -seed 2013 -o hs1.json
+//	worldgen -scenario city -schools 4 -o city.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsprofiler/internal/worldgen"
+)
+
+func main() {
+	scenario := flag.String("scenario", "hs1", "world scenario: hs1, hs2, hs3, tiny, city")
+	seed := flag.Uint64("seed", 2013, "generation seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	schools := flag.Int("schools", 3, "number of schools (city scenario only)")
+	stats := flag.Bool("stats", false, "print calibration statistics to stderr")
+	flag.Parse()
+
+	var cfg worldgen.Config
+	switch *scenario {
+	case "hs1":
+		cfg = worldgen.HS1Config()
+	case "hs2":
+		cfg = worldgen.HS2Config()
+	case "hs3":
+		cfg = worldgen.HS3Config()
+	case "tiny":
+		cfg = worldgen.TinyConfig()
+	case "city":
+		cfg = worldgen.CityConfig(*schools)
+	default:
+		fmt.Fprintf(os.Stderr, "worldgen: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	w, err := worldgen.Generate(cfg, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		for i, s := range w.Schools {
+			st := w.SchoolStats(i)
+			fmt.Fprintf(os.Stderr, "%s (%s): students=%d onOSN=%d regAdults=%d minimal=%d alumni=%d former=%d avgDegree=%.0f\n",
+				s.Name, s.City, st.Students, st.StudentsOnOSN, st.RegisteredAdults,
+				st.MinimalProfiles, st.Alumni, st.FormerStudents, st.AvgStudentDegree)
+		}
+	}
+
+	var dst *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := w.WriteJSON(dst); err != nil {
+		fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Countermeasure evaluates the defence the paper proposes in §8: disable
+// reverse lookup, so users with hidden friend lists never appear inside
+// other users' visible lists. It runs the full attack against the same
+// school under both policies and prints the coverage collapse.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/countermeasure"
+	"hsprofiler/internal/eval"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/worldgen"
+)
+
+func main() {
+	world, err := worldgen.Generate(worldgen.HS1Config(), 2013)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := &countermeasure.Runner{
+		World:     world,
+		OSNConfig: osn.Config{SearchPerAccount: 250},
+		Accounts:  2,
+		AttackParams: core.Params{
+			SchoolName:   world.Schools[0].Name,
+			CurrentYear:  2012,
+			Mode:         core.Enhanced,
+			MaxThreshold: 500,
+		},
+	}
+	basePlat, protPlat, base, prot, err := runner.RunBoth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTruth := eval.NewGroundTruth(basePlat, 0)
+	protTruth := eval.NewGroundTruth(protPlat, 0)
+
+	fmt.Printf("school: %s (%d students on the OSN)\n\n", world.Schools[0].Name, baseTruth.M())
+	fmt.Printf("%8s  %22s  %22s\n", "top t", "with reverse lookup", "reverse lookup disabled")
+	for _, t := range []int{200, 300, 400, 500} {
+		ob := baseTruth.Evaluate(base.Select(t, true))
+		op := protTruth.Evaluate(prot.Select(t, true))
+		fmt.Printf("%8d  %14.0f%% found  %14.0f%% found\n",
+			t, 100*ob.FoundFrac(), 100*op.FoundFrac())
+	}
+	fmt.Printf("\ncandidate sets: %d vs %d — hidden-list users (all registered minors)\n",
+		base.CandidateCount(), prot.CandidateCount())
+	fmt.Println("simply never enter the candidate pool once reverse lookup is disabled.")
+}

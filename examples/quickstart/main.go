@@ -1,0 +1,58 @@
+// Quickstart: generate a small synthetic world, stand up the simulated OSN,
+// run the paper's high-school profiling attack against it, and score the
+// result against ground truth — the whole pipeline in ~40 lines of API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/eval"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/worldgen"
+)
+
+func main() {
+	// A small town: one 80-student high school, alumni, parents, teachers
+	// and an outside population, with the paper's age-lying behaviour.
+	world, err := worldgen.Generate(worldgen.TinyConfig(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The platform enforces Facebook's 2012 minor-protection policy
+	// (Table 1): age gate at 13, minimal public profiles for registered
+	// minors, no minors in school search.
+	platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{})
+
+	// The third party registers two fake adult accounts and attacks.
+	client, err := crawler.NewDirect(platform, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(crawler.NewSession(client), core.Params{
+		SchoolName:   world.Schools[0].Name,
+		CurrentYear:  2012,
+		Mode:         core.Enhanced,
+		MaxThreshold: 90,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inferred := res.Select(60, true)
+
+	// Score against the confidential roster (which the attack never saw).
+	truth := eval.NewGroundTruth(platform, 0)
+	outcome := truth.Evaluate(inferred)
+
+	fmt.Printf("target school:   %s (%s)\n", res.School.Name, res.School.City)
+	fmt.Printf("seeds:           %d search results\n", len(res.Seeds))
+	fmt.Printf("core users:      %d lying minors with public friend lists\n", res.SeedCoreSize)
+	fmt.Printf("candidates:      %d\n", res.CandidateCount())
+	fmt.Printf("requests issued: %d\n", res.Effort.Total())
+	fmt.Printf("students found:  %d of %d (%.0f%%), %0.f%% in the correct year, %d false positives\n",
+		outcome.Found, outcome.M, 100*outcome.FoundFrac(),
+		100*outcome.CorrectYearFrac(), outcome.FalsePositives)
+}

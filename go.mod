@@ -1,0 +1,3 @@
+module hsprofiler
+
+go 1.22

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/osn"
+)
+
+// Run executes the profiling methodology against the session's platform.
+// The six steps of §4.1 map onto the code as:
+//
+//  1. seed collection           → Session.CollectSeeds
+//  2. core extraction           → profile fetch + IndicatesCurrentStudent
+//  3. candidate harvesting      → Session.FetchFriends over the core
+//  4. reverse lookup G_i(u)     → hit counting while harvesting
+//  5. scoring x(u)              → classify
+//  6. rank / threshold / class  → sort + Result.Select
+//
+// Enhanced mode (§4.3) then downloads the top (1+ε)·MaxThreshold profiles,
+// promotes self-declared students into the core, and repeats 3-6 with the
+// augmented core. Filtering (§4.4) is evaluated lazily: the run records
+// each downloaded profile's filter verdict and Select applies it.
+func Run(sess *crawler.Session, p Params) (*Result, error) {
+	p = p.withDefaults()
+	if err := validateParams(p); err != nil {
+		return nil, err
+	}
+	school, err := sess.LookupSchool(p.SchoolName)
+	if err != nil {
+		return nil, fmt.Errorf("core: looking up target school: %w", err)
+	}
+	r := &Result{
+		Params:         p,
+		School:         school,
+		CorePrime:      make(map[osn.PublicID]int),
+		corePrimeNames: make(map[osn.PublicID]string),
+	}
+
+	// Step 1: seeds.
+	accounts := p.SeedAccounts
+	if accounts == nil {
+		accounts = sess.AllAccounts()
+	}
+	r.Seeds, err = sess.CollectSeeds(school.ID, accounts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: C′ and C from seed profiles.
+	var core []CoreUser
+	for _, seed := range r.Seeds {
+		pp, err := sess.FetchProfile(seed.ID)
+		if err != nil {
+			return nil, fmt.Errorf("core: seed profile %s: %w", seed.ID, err)
+		}
+		if !IndicatesCurrentStudent(pp, school.Name, p.CurrentYear) {
+			continue
+		}
+		r.CorePrime[pp.ID] = pp.GradYear
+		r.corePrimeNames[pp.ID] = pp.Name
+		if pp.FriendListVisible {
+			core = append(core, CoreUser{
+				ID:        pp.ID,
+				GradYear:  pp.GradYear,
+				Cohort:    pp.GradYear - p.CurrentYear,
+				FromSeeds: true,
+			})
+		}
+	}
+	r.SeedCoreSize = len(core)
+	if len(core) == 0 {
+		return nil, fmt.Errorf("core: no core users found for %q: the school search yielded no current students with visible friend lists", p.SchoolName)
+	}
+
+	// Steps 3-6.
+	if err := r.harvestAndScore(sess, core); err != nil {
+		return nil, err
+	}
+
+	window := int(float64(p.MaxThreshold) * (1 + p.Epsilon))
+	if p.Mode == Enhanced {
+		// §4.3: download the top-(1+ε)t profiles, promote self-declared
+		// current students to the core, recompute from step 3 with the
+		// augmented core, and re-apply the window to the new ranking.
+		promoted, err := r.fetchWindowProfiles(sess, window, true)
+		if err != nil {
+			return nil, err
+		}
+		if len(promoted) > 0 {
+			core = append(core, promoted...)
+			if err := r.harvestAndScore(sess, core); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := r.fetchWindowProfiles(sess, window, false); err != nil {
+			return nil, err
+		}
+	} else if p.FetchProfiles {
+		if _, err := r.fetchWindowProfiles(sess, window, false); err != nil {
+			return nil, err
+		}
+	}
+
+	r.ExtendedCoreSize = len(r.CorePrime)
+	r.Effort = sess.Effort
+	return r, nil
+}
+
+// harvestAndScore runs steps 3-6 for the given core set: fetches any
+// missing friend lists, builds the candidate set, reverse-looks-up cohort
+// hits, scores and ranks. It overwrites r.CohortSizes and r.Ranked but
+// preserves downloaded profiles from a previous pass.
+func (r *Result) harvestAndScore(sess *crawler.Session, core []CoreUser) error {
+	prevProfiles := make(map[osn.PublicID]*osn.PublicProfile)
+	prevFilter := make(map[osn.PublicID]string)
+	for i := range r.Ranked {
+		c := &r.Ranked[i]
+		if c.Profile != nil {
+			prevProfiles[c.ID] = c.Profile
+			prevFilter[c.ID] = c.FilterReason
+		}
+	}
+
+	var cohortSizes [4]int
+	type agg struct {
+		name string
+		hits [4]int
+	}
+	cands := make(map[osn.PublicID]*agg)
+	for i := range core {
+		cu := &core[i]
+		if cu.Cohort < 0 || cu.Cohort > 3 {
+			return fmt.Errorf("core: core user %s has cohort %d", cu.ID, cu.Cohort)
+		}
+		if cu.Friends == nil {
+			friends, err := sess.FetchFriends(cu.ID)
+			if errors.Is(err, osn.ErrHidden) {
+				// Race between profile flag and list visibility cannot
+				// happen on the simulator, but a live platform could flip
+				// settings mid-crawl; drop the core user.
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("core: friend list of %s: %w", cu.ID, err)
+			}
+			cu.Friends = friends
+		}
+		cohortSizes[cu.Cohort]++
+		for _, f := range cu.Friends {
+			if _, isCore := r.CorePrime[f.ID]; isCore {
+				continue // already known students, not candidates
+			}
+			a := cands[f.ID]
+			if a == nil {
+				a = &agg{name: f.Name}
+				cands[f.ID] = a
+			}
+			a.hits[cu.Cohort]++
+		}
+	}
+	r.CohortSizes = cohortSizes
+
+	ranked := make([]Candidate, 0, len(cands))
+	for id, a := range cands {
+		score, pred := classify(a.hits, cohortSizes, r.Params.CurrentYear, r.Params.Rule)
+		c := Candidate{
+			ID: id, Name: a.name, Hits: a.hits, Score: score, PredGradYear: pred,
+		}
+		if pp, ok := prevProfiles[id]; ok {
+			c.Profile = pp
+			c.FilterReason = prevFilter[id]
+			c.Filtered = c.FilterReason != ""
+		}
+		ranked = append(ranked, c)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	r.Ranked = ranked
+	return nil
+}
+
+// fetchWindowProfiles downloads profiles for the top `window` ranked
+// candidates that lack one, recording filter verdicts. When promote is
+// true, self-declared current students are removed from the ranking,
+// recorded in CorePrime, and returned as new core users (with friend lists
+// left for harvestAndScore to fetch).
+func (r *Result) fetchWindowProfiles(sess *crawler.Session, window int, promote bool) ([]CoreUser, error) {
+	var promotedUsers []CoreUser
+	kept := r.Ranked[:0]
+	seen := 0
+	for i := range r.Ranked {
+		c := r.Ranked[i]
+		if seen < window {
+			seen++
+			if c.Profile == nil {
+				pp, err := sess.FetchProfile(c.ID)
+				if err != nil {
+					return nil, fmt.Errorf("core: candidate profile %s: %w", c.ID, err)
+				}
+				c.Profile = pp
+				c.FilterReason = filterReason(pp, r.School, r.Params.CurrentYear)
+				c.Filtered = c.FilterReason != ""
+			}
+			if promote && IndicatesCurrentStudent(c.Profile, r.School.Name, r.Params.CurrentYear) {
+				r.CorePrime[c.ID] = c.Profile.GradYear
+				r.corePrimeNames[c.ID] = c.Profile.Name
+				if c.Profile.FriendListVisible {
+					promotedUsers = append(promotedUsers, CoreUser{
+						ID:       c.ID,
+						GradYear: c.Profile.GradYear,
+						Cohort:   c.Profile.GradYear - r.Params.CurrentYear,
+					})
+				}
+				continue // leaves the candidate ranking for the core
+			}
+		}
+		kept = append(kept, c)
+	}
+	r.Ranked = kept
+	return promotedUsers, nil
+}

@@ -1,0 +1,240 @@
+// Package crawler provides the third party's data-collection machinery:
+// a platform-access interface implemented both in-process and over HTTP,
+// fake-account rotation, suspension handling, and the request-effort
+// accounting behind the paper's Table 3.
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hsprofiler/internal/osn"
+)
+
+// Client is the stranger-visible platform surface available to a third
+// party: school lookup, Find-Friends search, public profile pages, and
+// paginated friend lists — nothing else. osnhttp.Client implements it over
+// HTTP; Direct implements it in-process.
+type Client interface {
+	// Accounts reports the number of fake accounts available.
+	Accounts() int
+	// LookupSchool resolves a school by its public name.
+	LookupSchool(name string) (osn.SchoolRef, error)
+	// Search returns one page of school-search results as seen by account
+	// acct.
+	Search(acct, schoolID, page int) ([]osn.SearchResult, bool, error)
+	// Profile fetches a public profile.
+	Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error)
+	// FriendPage fetches one page of a friend list (osn.ErrHidden if the
+	// list is not stranger-visible).
+	FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error)
+}
+
+// Effort tallies requests by category, mirroring the three components of
+// the paper's measurement-effort model A·R + |S| + |C|·f/p.
+type Effort struct {
+	// SeedRequests counts search-page fetches (the A·R term).
+	SeedRequests int
+	// ProfileRequests counts profile-page fetches (the |S| term, plus the
+	// extra (1+ε)t pages of the enhanced methodology).
+	ProfileRequests int
+	// FriendListRequests counts friend-list page fetches (the |C|·f/p term).
+	FriendListRequests int
+}
+
+// Total is the total number of requests issued.
+func (e Effort) Total() int {
+	return e.SeedRequests + e.ProfileRequests + e.FriendListRequests
+}
+
+// Add accumulates another tally.
+func (e Effort) Add(o Effort) Effort {
+	return Effort{
+		SeedRequests:       e.SeedRequests + o.SeedRequests,
+		ProfileRequests:    e.ProfileRequests + o.ProfileRequests,
+		FriendListRequests: e.FriendListRequests + o.FriendListRequests,
+	}
+}
+
+// Session layers effort accounting and account rotation over a Client. It
+// is the object the attack methodology drives. Not safe for concurrent use.
+type Session struct {
+	client Client
+	// Effort is the running request tally.
+	Effort Effort
+	// Backoff is called before retrying a throttled request, with the
+	// 0-based attempt number. The default sleeps exponentially from 5 ms.
+	// Replace it in tests for instant retries.
+	Backoff func(attempt int)
+	// MaxRetries bounds throttle retries per request (default 12).
+	MaxRetries int
+
+	rot       int
+	suspended map[int]bool
+}
+
+// NewSession wraps a client.
+func NewSession(c Client) *Session {
+	return &Session{
+		client:     c,
+		Backoff:    DefaultBackoff,
+		MaxRetries: 12,
+		suspended:  make(map[int]bool),
+	}
+}
+
+// DefaultBackoff sleeps 5ms·2^attempt, capped at 500ms — the polite-crawler
+// reaction to the platform's adaptive throttle.
+func DefaultBackoff(attempt int) {
+	d := 5 * time.Millisecond << uint(attempt)
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// retryThrottled runs fn, backing off and retrying while it reports
+// osn.ErrThrottled, up to MaxRetries attempts.
+func (s *Session) retryThrottled(fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if !errors.Is(err, osn.ErrThrottled) {
+			return err
+		}
+		if attempt >= s.MaxRetries {
+			return err
+		}
+		s.Backoff(attempt)
+	}
+}
+
+// Client returns the underlying client.
+func (s *Session) Client() Client { return s.client }
+
+// nextAccount returns a non-suspended account index, rotating round-robin.
+func (s *Session) nextAccount() (int, error) {
+	n := s.client.Accounts()
+	for i := 0; i < n; i++ {
+		a := (s.rot + i) % n
+		if !s.suspended[a] {
+			s.rot = (a + 1) % n
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("crawler: all %d accounts suspended", n)
+}
+
+// LookupSchool resolves the target school.
+func (s *Session) LookupSchool(name string) (osn.SchoolRef, error) {
+	return s.client.LookupSchool(name)
+}
+
+// CollectSeeds runs the school search on each of the given accounts,
+// scrolling every account's results to exhaustion, and returns the deduped
+// union — the paper's seed set S. Each page fetch counts one seed request.
+func (s *Session) CollectSeeds(schoolID int, accounts []int) ([]osn.SearchResult, error) {
+	seen := make(map[osn.PublicID]bool)
+	var out []osn.SearchResult
+	for _, acct := range accounts {
+		if s.suspended[acct] {
+			continue
+		}
+		for page := 0; ; page++ {
+			s.Effort.SeedRequests++
+			var results []osn.SearchResult
+			var more bool
+			err := s.retryThrottled(func() error {
+				var err error
+				results, more, err = s.client.Search(acct, schoolID, page)
+				return err
+			})
+			if errors.Is(err, osn.ErrSuspended) {
+				s.suspended[acct] = true
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("crawler: seed search (account %d page %d): %w", acct, page, err)
+			}
+			for _, r := range results {
+				if !seen[r.ID] {
+					seen[r.ID] = true
+					out = append(out, r)
+				}
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// AllAccounts returns [0..n) for the client's account pool.
+func (s *Session) AllAccounts() []int {
+	n := s.client.Accounts()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// FetchProfile downloads one public profile, rotating accounts and
+// retrying once per remaining account on suspension.
+func (s *Session) FetchProfile(id osn.PublicID) (*osn.PublicProfile, error) {
+	for {
+		acct, err := s.nextAccount()
+		if err != nil {
+			return nil, err
+		}
+		s.Effort.ProfileRequests++
+		var pp *osn.PublicProfile
+		err = s.retryThrottled(func() error {
+			var err error
+			pp, err = s.client.Profile(acct, id)
+			return err
+		})
+		if errors.Is(err, osn.ErrSuspended) {
+			s.suspended[acct] = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return pp, nil
+	}
+}
+
+// FetchFriends downloads a user's complete friend list across all pages.
+// It returns osn.ErrHidden unwrapped if the list is not stranger-visible so
+// callers can branch on it.
+func (s *Session) FetchFriends(id osn.PublicID) ([]osn.FriendRef, error) {
+	var out []osn.FriendRef
+	for page := 0; ; page++ {
+		acct, err := s.nextAccount()
+		if err != nil {
+			return nil, err
+		}
+		s.Effort.FriendListRequests++
+		var friends []osn.FriendRef
+		var more bool
+		err = s.retryThrottled(func() error {
+			var err error
+			friends, more, err = s.client.FriendPage(acct, id, page)
+			return err
+		})
+		if errors.Is(err, osn.ErrSuspended) {
+			s.suspended[acct] = true
+			page-- // retry the same page on another account
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, friends...)
+		if !more {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package crawler
+
+import (
+	"fmt"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+)
+
+// Direct adapts an in-process *osn.Platform to the Client interface. It
+// issues the same logical requests as the HTTP client, one platform call
+// per would-be HTTP GET, so effort accounting is identical; tests and
+// benchmarks use it to run the full attack without a network stack.
+type Direct struct {
+	platform *osn.Platform
+	tokens   []string
+}
+
+// NewDirect registers n fake adult accounts on the platform and returns the
+// adapter.
+func NewDirect(p *osn.Platform, accounts int) (*Direct, error) {
+	d := &Direct{platform: p}
+	for i := 0; i < accounts; i++ {
+		tok, err := p.RegisterAccount(fmt.Sprintf("crawler%d", i), sim.Date{Year: 1985, Month: 1, Day: 1})
+		if err != nil {
+			return nil, err
+		}
+		d.tokens = append(d.tokens, tok)
+	}
+	return d, nil
+}
+
+// Accounts implements Client.
+func (d *Direct) Accounts() int { return len(d.tokens) }
+
+func (d *Direct) token(acct int) (string, error) {
+	if acct < 0 || acct >= len(d.tokens) {
+		return "", fmt.Errorf("crawler: account %d not registered (have %d)", acct, len(d.tokens))
+	}
+	return d.tokens[acct], nil
+}
+
+// LookupSchool implements Client.
+func (d *Direct) LookupSchool(name string) (osn.SchoolRef, error) {
+	return d.platform.LookupSchool(name)
+}
+
+// Search implements Client.
+func (d *Direct) Search(acct, schoolID, page int) ([]osn.SearchResult, bool, error) {
+	tok, err := d.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	return d.platform.SchoolSearch(tok, schoolID, page)
+}
+
+// Profile implements Client.
+func (d *Direct) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error) {
+	tok, err := d.token(acct)
+	if err != nil {
+		return nil, err
+	}
+	return d.platform.Profile(tok, id)
+}
+
+// FriendPage implements Client.
+func (d *Direct) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
+	tok, err := d.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	return d.platform.FriendPage(tok, id, page)
+}

@@ -1,0 +1,187 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hsprofiler/internal/osn"
+)
+
+// Fetcher downloads profiles and friend lists concurrently over a Client.
+// The study's crawler was sequential with sleeps (politeness against the
+// live platform); against the simulator the interesting regime is a
+// parallel crawl with account rotation, which Fetcher provides. It is safe
+// for concurrent use and keeps its own effort tally.
+type Fetcher struct {
+	client  Client
+	workers int
+
+	mu        sync.Mutex
+	effort    Effort
+	suspended map[int]bool
+	next      int
+}
+
+// NewFetcher wraps a client with a worker pool of the given size (minimum 1).
+func NewFetcher(c Client, workers int) *Fetcher {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Fetcher{client: c, workers: workers, suspended: make(map[int]bool)}
+}
+
+// Effort returns the accumulated request tally.
+func (f *Fetcher) Effort() Effort {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.effort
+}
+
+// account picks a non-suspended account round-robin.
+func (f *Fetcher) account() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.client.Accounts()
+	for i := 0; i < n; i++ {
+		a := (f.next + i) % n
+		if !f.suspended[a] {
+			f.next = (a + 1) % n
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("crawler: all %d accounts suspended", n)
+}
+
+func (f *Fetcher) markSuspended(acct int) {
+	f.mu.Lock()
+	f.suspended[acct] = true
+	f.mu.Unlock()
+}
+
+func (f *Fetcher) countProfile() {
+	f.mu.Lock()
+	f.effort.ProfileRequests++
+	f.mu.Unlock()
+}
+
+func (f *Fetcher) countFriendPage() {
+	f.mu.Lock()
+	f.effort.FriendListRequests++
+	f.mu.Unlock()
+}
+
+// forEach runs fn(i) for every index over the worker pool, stopping on the
+// first error.
+func (f *Fetcher) forEach(n int, fn func(i int) error) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make(chan int)
+	errs := make(chan error, f.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < f.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Profiles fetches the public profiles of ids concurrently. The result
+// slice is index-aligned with ids, so output is deterministic regardless of
+// completion order.
+func (f *Fetcher) Profiles(ids []osn.PublicID) ([]*osn.PublicProfile, error) {
+	out := make([]*osn.PublicProfile, len(ids))
+	err := f.forEach(len(ids), func(i int) error {
+		for {
+			acct, err := f.account()
+			if err != nil {
+				return err
+			}
+			f.countProfile()
+			pp, err := f.client.Profile(acct, ids[i])
+			if errors.Is(err, osn.ErrSuspended) {
+				f.markSuspended(acct)
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("crawler: profile %s: %w", ids[i], err)
+			}
+			out[i] = pp
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FriendLists fetches the complete friend lists of ids concurrently.
+// Hidden lists yield a nil entry (not an error), mirroring how the attack
+// treats them. The result is index-aligned with ids.
+func (f *Fetcher) FriendLists(ids []osn.PublicID) ([][]osn.FriendRef, error) {
+	out := make([][]osn.FriendRef, len(ids))
+	err := f.forEach(len(ids), func(i int) error {
+		var friends []osn.FriendRef
+		for page := 0; ; page++ {
+			acct, err := f.account()
+			if err != nil {
+				return err
+			}
+			f.countFriendPage()
+			batch, more, err := f.client.FriendPage(acct, ids[i], page)
+			if errors.Is(err, osn.ErrSuspended) {
+				f.markSuspended(acct)
+				page--
+				continue
+			}
+			if errors.Is(err, osn.ErrHidden) {
+				return nil // nil entry
+			}
+			if err != nil {
+				return fmt.Errorf("crawler: friends of %s: %w", ids[i], err)
+			}
+			friends = append(friends, batch...)
+			if !more {
+				out[i] = friends
+				if friends == nil {
+					// Distinguish "visible but empty" from "hidden".
+					out[i] = []osn.FriendRef{}
+				}
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package crawler
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/osnhttp"
+	"hsprofiler/internal/worldgen"
+)
+
+func fetcherRig(t testing.TB, workers int, cfg osn.Config) (*osn.Platform, *Fetcher) {
+	t.Helper()
+	p := testWorldPlatform(t, cfg)
+	d, err := NewDirect(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, NewFetcher(d, workers)
+}
+
+func accountIDs(t testing.TB, p *osn.Platform, limit int) []osn.PublicID {
+	t.Helper()
+	var ids []osn.PublicID
+	for _, person := range p.World().People {
+		if !person.HasAccount {
+			continue
+		}
+		id, _ := p.PublicIDOf(person.ID)
+		ids = append(ids, id)
+		if len(ids) == limit {
+			break
+		}
+	}
+	return ids
+}
+
+func TestFetcherProfilesAligned(t *testing.T) {
+	p, f := fetcherRig(t, 8, osn.Config{})
+	ids := accountIDs(t, p, 60)
+	profiles, err := f.Profiles(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != len(ids) {
+		t.Fatalf("got %d profiles for %d ids", len(profiles), len(ids))
+	}
+	for i, pp := range profiles {
+		if pp == nil || pp.ID != ids[i] {
+			t.Fatalf("slot %d misaligned: %v", i, pp)
+		}
+	}
+	if got := f.Effort().ProfileRequests; got != len(ids) {
+		t.Fatalf("effort %d, want %d", got, len(ids))
+	}
+}
+
+func TestFetcherMatchesSequential(t *testing.T) {
+	p, f := fetcherRig(t, 6, osn.Config{})
+	d, err := NewDirect(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(d)
+	ids := accountIDs(t, p, 40)
+	par, err := f.Profiles(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		seq, err := sess.FetchProfile(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *par[i] != *seq {
+			// Birthday is a pointer; compare fields that matter.
+			if par[i].Name != seq.Name || par[i].HighSchool != seq.HighSchool {
+				t.Fatalf("parallel and sequential views differ for %s", id)
+			}
+		}
+	}
+}
+
+func TestFetcherFriendListsHiddenNil(t *testing.T) {
+	p, f := fetcherRig(t, 4, osn.Config{FriendPageSize: 9})
+	w := p.World()
+	var ids []osn.PublicID
+	var wantHidden []bool
+	for _, person := range w.People {
+		if !person.HasAccount {
+			continue
+		}
+		id, _ := p.PublicIDOf(person.ID)
+		ids = append(ids, id)
+		hidden := person.RegisteredMinorAt(w.Now) || !person.Privacy.FriendListPublic
+		wantHidden = append(wantHidden, hidden)
+		if len(ids) == 80 {
+			break
+		}
+	}
+	lists, err := f.FriendLists(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if wantHidden[i] && lists[i] != nil {
+			t.Fatalf("hidden list %s not nil", ids[i])
+		}
+		if !wantHidden[i] {
+			if lists[i] == nil {
+				t.Fatalf("visible list %s is nil", ids[i])
+			}
+			u, _ := p.UserIDOf(ids[i])
+			if len(lists[i]) != w.Graph.Degree(u) {
+				t.Fatalf("list %s has %d entries, degree %d", ids[i], len(lists[i]), w.Graph.Degree(u))
+			}
+		}
+	}
+}
+
+func TestFetcherErrorPropagates(t *testing.T) {
+	_, f := fetcherRig(t, 4, osn.Config{})
+	_, err := f.Profiles([]osn.PublicID{"does-not-exist"})
+	if err == nil || !strings.Contains(err.Error(), "does-not-exist") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestFetcherAllAccountsSuspended(t *testing.T) {
+	p := testWorldPlatform(t, osn.Config{RequestBudget: 4})
+	d, err := NewDirect(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFetcher(d, 4)
+	ids := accountIDs(t, p, 60)
+	if _, err := f.Profiles(ids); err == nil {
+		t.Fatal("expected failure once every account is suspended")
+	}
+}
+
+func TestFetcherOverHTTPConcurrency(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	srv := httptest.NewServer(osnhttp.NewServer(p))
+	defer srv.Close()
+	c := osnhttp.NewClient(srv.URL, srv.Client(), nil)
+	if err := c.RegisterAccounts(3); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFetcher(c, 10)
+	var ids []osn.PublicID
+	for _, person := range w.People {
+		if person.HasAccount {
+			id, _ := p.PublicIDOf(person.ID)
+			ids = append(ids, id)
+		}
+		if len(ids) == 150 {
+			break
+		}
+	}
+	profiles, err := f.Profiles(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if profiles[i] == nil || profiles[i].ID != ids[i] {
+			t.Fatalf("slot %d wrong over HTTP", i)
+		}
+	}
+}
+
+func TestFetcherMinWorkers(t *testing.T) {
+	p, _ := fetcherRig(t, 0, osn.Config{})
+	d, err := NewDirect(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFetcher(d, 0)
+	if f.workers != 1 {
+		t.Fatalf("workers %d", f.workers)
+	}
+}

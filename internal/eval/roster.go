@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"strings"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/osn"
+)
+
+// RosterEntry is one line of the confidential student list the paper
+// obtained through an offline channel: a legal name and a graduating class.
+type RosterEntry struct {
+	Name     string
+	GradYear int
+}
+
+// Roster extracts the school's offline student list from the world. Note
+// that it carries *legal* names: display-name aliases on the OSN do not
+// appear here, which is exactly why the paper could not match ~10% of the
+// student body.
+func Roster(p *osn.Platform, schoolID int) []RosterEntry {
+	var out []RosterEntry
+	for _, person := range p.World().Roster(schoolID) {
+		out = append(out, RosterEntry{
+			Name:     person.FirstName + " " + person.LastName,
+			GradYear: person.GradYear,
+		})
+	}
+	return out
+}
+
+// NameMatchStats summarizes matching an inferred set against a roster by
+// display name — the paper's actual validation procedure, with all its
+// ambiguity.
+type NameMatchStats struct {
+	// Inferred is the size of the matched-against set.
+	Inferred int
+	// Unique counts inferred entries matching exactly one roster name.
+	Unique int
+	// UniqueCorrectYear counts those whose inferred graduation year also
+	// matches the roster's.
+	UniqueCorrectYear int
+	// Ambiguous counts inferred entries matching two or more roster
+	// entries (same full name, e.g. two Smith cousins).
+	Ambiguous int
+	// Unmatched counts inferred entries matching no roster name: false
+	// positives, or students behind aliases.
+	Unmatched int
+	// RosterCovered counts distinct roster lines matched by at least one
+	// inferred entry.
+	RosterCovered int
+	// RosterSize is the roster length.
+	RosterSize int
+}
+
+// MatchNames performs the paper's roster-matching evaluation: join inferred
+// display names against the student list, case-insensitively. Unlike the
+// oracle in GroundTruth (which joins on identity), this is what a
+// researcher with only the offline list could actually compute.
+func MatchNames(roster []RosterEntry, inferred []core.Inferred) NameMatchStats {
+	byName := make(map[string][]RosterEntry, len(roster))
+	for _, r := range roster {
+		key := strings.ToLower(r.Name)
+		byName[key] = append(byName[key], r)
+	}
+	st := NameMatchStats{Inferred: len(inferred), RosterSize: len(roster)}
+	covered := make(map[string]bool)
+	for _, inf := range inferred {
+		key := strings.ToLower(inf.Name)
+		matches := byName[key]
+		switch {
+		case len(matches) == 0:
+			st.Unmatched++
+		case len(matches) == 1:
+			st.Unique++
+			if matches[0].GradYear == inf.GradYear {
+				st.UniqueCorrectYear++
+			}
+			covered[key] = true
+		default:
+			st.Ambiguous++
+			covered[key] = true
+		}
+	}
+	for key := range covered {
+		st.RosterCovered += len(byName[key])
+	}
+	if st.RosterCovered > st.RosterSize {
+		st.RosterCovered = st.RosterSize
+	}
+	return st
+}
+
+// AliasLoss estimates how much of the roster is unreachable to name
+// matching because the student's account displays an alias (or the student
+// has no account at all) — the paper's "about 10%".
+func AliasLoss(p *osn.Platform, schoolID int) (aliased, offPlatform, total int) {
+	for _, person := range p.World().Roster(schoolID) {
+		total++
+		switch {
+		case !person.HasAccount:
+			offPlatform++
+		case person.AliasName != "":
+			aliased++
+		}
+	}
+	return aliased, offPlatform, total
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/eval"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/report"
+	"hsprofiler/internal/worldgen"
+)
+
+// SeedStats summarizes the attack's performance distribution across
+// independently generated worlds — the reproduction's robustness statement
+// (the paper had one world per school; the simulator can have many).
+type SeedStats struct {
+	Seeds             []uint64
+	Found, FalsePos   []float64
+	MeanFound, StdDev float64
+}
+
+// AuxSeedRobustness re-generates the scenario's world under each seed, runs
+// the enhanced methodology with filtering, and reports coverage at the
+// threshold. Worlds are built fresh (no lab cache) so every draw is
+// independent.
+func AuxSeedRobustness(sc Scenario, seeds []uint64, t int) (SeedStats, *report.Table, error) {
+	st := SeedStats{Seeds: seeds}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Aux: robustness of the attack across %d %s worlds (t=%d)", len(seeds), sc.Label, t),
+		Headers: []string{"seed", "students found", "false positives", "correct year"},
+	}
+	for _, seed := range seeds {
+		world, err := worldgen.Generate(sc.Config, seed)
+		if err != nil {
+			return st, nil, err
+		}
+		platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{SearchPerAccount: sc.SearchPerAccount})
+		direct, err := crawler.NewDirect(platform, sc.SeedAccounts)
+		if err != nil {
+			return st, nil, err
+		}
+		params := RunEnhanced.params(sc)
+		params.SchoolName = world.Schools[0].Name
+		res, err := core.Run(crawler.NewSession(direct), params)
+		if err != nil {
+			return st, nil, err
+		}
+		truth := eval.NewGroundTruth(platform, 0)
+		o := truth.Evaluate(res.Select(t, true))
+		st.Found = append(st.Found, o.FoundFrac())
+		st.FalsePos = append(st.FalsePos, o.FPRate())
+		tbl.AddRow(fmt.Sprintf("%d", seed), report.Pct(o.FoundFrac()),
+			report.Pct(o.FPRate()), report.Pct(o.CorrectYearFrac()))
+	}
+	var sum, sumSq float64
+	for _, f := range st.Found {
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(st.Found))
+	st.MeanFound = sum / n
+	st.StdDev = math.Sqrt(math.Max(0, sumSq/n-st.MeanFound*st.MeanFound))
+	tbl.AddRow("mean ± sd", fmt.Sprintf("%s ± %.1f pts", report.Pct(st.MeanFound), st.StdDev*100), "", "")
+	return st, tbl, nil
+}
+
+// CohortCoverage is one school year's recall.
+type CohortCoverage struct {
+	GradYear    int
+	Students    int
+	Found       int
+	CorrectYear int
+}
+
+// AuxCohortCoverage breaks the attack's coverage down by school year. The
+// senior class is the easiest (most registered adults and cores); the
+// freshman class the hardest — the gradient the paper's core-distribution
+// observation predicts.
+func AuxCohortCoverage(l *Lab, sc Scenario, t int) ([]CohortCoverage, *report.Table, error) {
+	res, err := l.Run(sc, RunEnhanced)
+	if err != nil {
+		return nil, nil, err
+	}
+	platform, err := l.Platform(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	truth, err := l.Truth(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	world := platform.World()
+	byYear := map[int]*CohortCoverage{}
+	for _, y := range world.Schools[0].GradYears {
+		byYear[y] = &CohortCoverage{GradYear: y}
+	}
+	for _, p := range world.RosterOnOSN(0) {
+		if c := byYear[p.GradYear]; c != nil {
+			c.Students++
+		}
+	}
+	for _, s := range res.Select(t, true) {
+		gy, ok := truth.IsStudent(s.ID)
+		if !ok {
+			continue
+		}
+		c := byYear[gy]
+		if c == nil {
+			continue
+		}
+		c.Found++
+		if s.GradYear == gy {
+			c.CorrectYear++
+		}
+	}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Aux: coverage by school year (%s, t=%d)", sc.Label, t),
+		Headers: []string{"class of", "students on OSN", "found", "recall", "correct year"},
+	}
+	var out []CohortCoverage
+	for _, y := range world.Schools[0].GradYears {
+		c := byYear[y]
+		out = append(out, *c)
+		recall := 0.0
+		if c.Students > 0 {
+			recall = float64(c.Found) / float64(c.Students)
+		}
+		tbl.AddRow(fmt.Sprintf("%d", y), c.Students, c.Found, report.Pct(recall),
+			fmt.Sprintf("%d", c.CorrectYear))
+	}
+	return out, tbl, nil
+}
+
+// aux2Experiments registers the robustness and cohort-breakdown entries.
+func aux2Experiments() []Experiment {
+	hs1 := HS1()
+	return []Experiment{
+		{
+			ID:    "auxseeds",
+			Title: "Extension: attack robustness across independently generated HS1 worlds",
+			Run: func(*Lab) (string, error) {
+				_, tbl, err := AuxSeedRobustness(hs1, []uint64{2013, 2014, 2015, 2016, 2017}, 400)
+				return render(tbl, err)
+			},
+		},
+		{
+			ID:    "auxcohorts",
+			Title: "Extension: coverage by school year (core-distribution gradient)",
+			Run: func(l *Lab) (string, error) {
+				_, tbl, err := AuxCohortCoverage(l, hs1, 400)
+				return render(tbl, err)
+			},
+		},
+	}
+}

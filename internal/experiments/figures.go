@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hsprofiler/internal/coppaless"
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/eval"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/report"
+)
+
+// SweepPoint is one threshold's coverage/false-positive pair.
+type SweepPoint struct {
+	Threshold   int
+	PctFound    float64
+	PctFalsePos float64
+}
+
+// Figure1 reproduces Figure 1: percentage of students found and percentage
+// of false positives vs the threshold t, enhanced methodology with
+// filtering, against full ground truth.
+func Figure1(l *Lab, sc Scenario) ([]SweepPoint, *report.Chart, error) {
+	truth, err := l.Truth(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := l.Run(sc, RunEnhanced)
+	if err != nil {
+		return nil, nil, err
+	}
+	var points []SweepPoint
+	for _, t := range sc.SweepThresholds {
+		o := truth.Evaluate(res.Select(t, true))
+		points = append(points, SweepPoint{
+			Threshold:   t,
+			PctFound:    o.FoundFrac() * 100,
+			PctFalsePos: o.FPRate() * 100,
+		})
+	}
+	return points, sweepChart(points, fmt.Sprintf("Figure 1: Enhanced methodology with filtering, %s", sc.Label)), nil
+}
+
+func sweepChart(points []SweepPoint, title string) *report.Chart {
+	found := report.Series{Name: "% of students found"}
+	fps := report.Series{Name: "% of false positives"}
+	for _, p := range points {
+		found.X = append(found.X, float64(p.Threshold))
+		found.Y = append(found.Y, p.PctFound)
+		fps.X = append(fps.X, float64(p.Threshold))
+		fps.Y = append(fps.Y, p.PctFalsePos)
+	}
+	return &report.Chart{
+		Title:  title,
+		XLabel: "Top t value",
+		YLabel: "percent",
+		Series: []report.Series{found, fps},
+	}
+}
+
+// Figure2School is one school's limited-ground-truth sweep.
+type Figure2School struct {
+	Label     string
+	TestUsers int
+	Points    []SweepPoint
+}
+
+// Figure2 reproduces Figure 2: estimated coverage and false positives for
+// the limited-ground-truth schools, using held-out seed accounts as §5.5
+// prescribes. Each threshold gets its own run because the enhanced
+// methodology's crawl budget — the (1+ε)t profile window and therefore the
+// extended-core size — is a function of the t the attacker committed to.
+func Figure2(l *Lab, scenarios []Scenario) ([]Figure2School, *report.Chart, error) {
+	var schools []Figure2School
+	var series []report.Series
+	for _, sc := range scenarios {
+		var testUsers []osn.PublicID
+		fs := Figure2School{Label: sc.Label}
+		found := report.Series{Name: sc.Label + " % found"}
+		fps := report.Series{Name: sc.Label + " % false positives"}
+		for _, t := range sc.SweepThresholds {
+			res, err := l.RunThreshold(sc, RunEnhanced, t)
+			if err != nil {
+				return nil, nil, err
+			}
+			if testUsers == nil {
+				// Seed sets are account-determined and identical across
+				// runs; collect the held-out sample once.
+				sess, err := l.Session(sc)
+				if err != nil {
+					return nil, nil, err
+				}
+				testUsers, err = eval.CollectTestUsers(sess, res.School, sc.CurrentYear(), res.Seeds, evalAccountList(sc))
+				if err != nil {
+					return nil, nil, err
+				}
+				fs.TestUsers = len(testUsers)
+			}
+			est := eval.EstimateLimited(testUsers, res.Select(t, true), sc.HSSize, res.ExtendedCoreSize, t)
+			p := SweepPoint{
+				Threshold:   t,
+				PctFound:    est.PctFound * 100,
+				PctFalsePos: est.PctFalsePositives * 100,
+			}
+			fs.Points = append(fs.Points, p)
+			found.X = append(found.X, float64(t))
+			found.Y = append(found.Y, p.PctFound)
+			fps.X = append(fps.X, float64(t))
+			fps.Y = append(fps.Y, p.PctFalsePos)
+		}
+		schools = append(schools, fs)
+		series = append(series, found, fps)
+	}
+	chart := &report.Chart{
+		Title:  "Figure 2: Enhanced methodology with filtering (limited ground truth)",
+		XLabel: "Top t value",
+		YLabel: "percent",
+		Series: series,
+	}
+	return schools, chart, nil
+}
+
+// Figure3Point is one configuration of the with/without-COPPA comparison:
+// the share of minimal-profile (registered-minor-like) ground-truth
+// students discovered vs the number of false positives that costs.
+type Figure3Point struct {
+	// Setting is "t=300" (with COPPA) or "n=1" (without).
+	Setting        string
+	PctFound       float64
+	FalsePositives int
+}
+
+// Figure3 reproduces Figure 3: with-COPPA vs without-COPPA false positives
+// (log scale) against the percentage of minimal-profile students found.
+func Figure3(l *Lab, sc Scenario) (with, without []Figure3Point, chart *report.Chart, err error) {
+	// With-COPPA side: minimal-profile members of the enhanced top-t.
+	truth, err := l.Truth(sc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := l.Run(sc, RunEnhanced)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	minimalTotal := truth.MinimalCount()
+	withThresholds := sc.TableThresholds[1:] // the paper uses t = 300, 400, 500
+	for _, t := range withThresholds {
+		ids, err := coppaless.MinimalTopT(res, t)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		hits, fps := 0, 0
+		for _, id := range ids {
+			if truth.IsMinimalStudent(id) {
+				hits++
+			} else {
+				fps++
+			}
+		}
+		with = append(with, Figure3Point{
+			Setting:        fmt.Sprintf("t=%d", t),
+			PctFound:       100 * float64(hits) / float64(minimalTotal),
+			FalsePositives: fps,
+		})
+	}
+
+	// Without-COPPA side: truthful world, natural approach, n = 1..3.
+	world, err := l.World(sc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfWorld := coppaless.WithoutCOPPA(world)
+	cfPlatform := osn.NewPlatform(cfWorld, osn.Facebook(), osn.Config{SearchPerAccount: sc.SearchPerAccount})
+	direct, err := crawler.NewDirect(cfPlatform, sc.SeedAccounts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nat, err := coppaless.NaturalApproach(crawler.NewSession(direct), coppaless.Params{
+		SchoolName:  cfWorld.Schools[0].Name,
+		CurrentYear: sc.CurrentYear(),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Ground truth in the counterfactual: every registered-truthful minor
+	// student has a minimal profile.
+	cfTruth := eval.NewGroundTruth(cfPlatform, 0)
+	for n := 1; n <= 3; n++ {
+		hits, fps := 0, 0
+		for _, id := range nat.Guesses(n) {
+			if cfTruth.IsMinimalStudent(id) {
+				hits++
+			} else {
+				fps++
+			}
+		}
+		without = append(without, Figure3Point{
+			Setting:        fmt.Sprintf("n=%d", n),
+			PctFound:       100 * float64(hits) / float64(cfTruth.MinimalCount()),
+			FalsePositives: fps,
+		})
+	}
+
+	toSeries := func(name string, pts []Figure3Point) report.Series {
+		s := report.Series{Name: name}
+		for _, p := range pts {
+			s.X = append(s.X, p.PctFound)
+			// Clamp zero FPs for the log axis.
+			y := float64(p.FalsePositives)
+			if y < 1 {
+				y = 1
+			}
+			s.Y = append(s.Y, y)
+		}
+		return s
+	}
+	chart = &report.Chart{
+		Title:  fmt.Sprintf("Figure 3: False positives, with- vs without-COPPA (%s)", sc.Label),
+		XLabel: "percentage of minimal-profile students found",
+		YLabel: "false positives",
+		YLog:   true,
+		Series: []report.Series{
+			toSeries("with-COPPA", with),
+			toSeries("without-COPPA", without),
+		},
+	}
+	return with, without, chart, nil
+}
+
+// Figure4Point is one threshold of the countermeasure comparison.
+type Figure4Point struct {
+	Threshold                   int
+	WithReverse, WithoutReverse float64 // % of students found
+}
+
+// Figure4 reproduces Figure 4: the percentage of students found with and
+// without reverse lookup (the §8 countermeasure), enhanced methodology
+// with filtering.
+func Figure4(l *Lab, sc Scenario) ([]Figure4Point, *report.Chart, error) {
+	truth, err := l.Truth(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseline, err := l.Run(sc, RunEnhanced)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The protected platform serves the same world under the
+	// no-reverse-lookup policy.
+	world, err := l.World(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	pol := osn.Facebook()
+	pol.HiddenListsInReverseLookup = false
+	protPlat := osn.NewPlatform(world, pol, osn.Config{SearchPerAccount: sc.SearchPerAccount})
+	direct, err := crawler.NewDirect(protPlat, sc.SeedAccounts)
+	if err != nil {
+		return nil, nil, err
+	}
+	params := RunEnhanced.params(sc)
+	params.SchoolName = world.Schools[0].Name
+	protected, err := core.Run(crawler.NewSession(direct), params)
+	if err != nil {
+		return nil, nil, err
+	}
+	protTruth := eval.NewGroundTruth(protPlat, 0)
+
+	var points []Figure4Point
+	withS := report.Series{Name: "with reverse lookup"}
+	withoutS := report.Series{Name: "without reverse lookup"}
+	for _, t := range sc.SweepThresholds {
+		ob := truth.Evaluate(baseline.Select(t, true))
+		op := protTruth.Evaluate(protected.Select(t, true))
+		p := Figure4Point{
+			Threshold:      t,
+			WithReverse:    ob.FoundFrac() * 100,
+			WithoutReverse: op.FoundFrac() * 100,
+		}
+		points = append(points, p)
+		withS.X = append(withS.X, float64(t))
+		withS.Y = append(withS.Y, p.WithReverse)
+		withoutS.X = append(withoutS.X, float64(t))
+		withoutS.Y = append(withoutS.Y, p.WithoutReverse)
+	}
+	chart := &report.Chart{
+		Title:  fmt.Sprintf("Figure 4: %% of %s students found with and without reverse lookup", sc.Label),
+		XLabel: "Top t value",
+		YLabel: "% of students found",
+		Series: []report.Series{withS, withoutS},
+	}
+	return points, chart, nil
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/eval"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/osnhttp"
+	"hsprofiler/internal/worldgen"
+)
+
+// Lab caches the expensive artefacts experiments share: generated worlds,
+// HTTP-served platforms, and attack runs. All attack traffic flows through
+// a real HTTP server so the effort numbers in Table 3 are actual HTTP GET
+// counts. Safe for concurrent use.
+type Lab struct {
+	mu    sync.Mutex
+	cells map[string]*cell
+	runs  map[string]*core.Result
+}
+
+// cell is one scenario's instantiated environment.
+type cell struct {
+	scenario Scenario
+	world    *worldgen.World
+	platform *osn.Platform
+	server   *httptest.Server
+	client   *osnhttp.Client
+	truth    *eval.GroundTruth
+}
+
+// NewLab returns an empty lab.
+func NewLab() *Lab {
+	return &Lab{cells: make(map[string]*cell), runs: make(map[string]*core.Result)}
+}
+
+// Close shuts down the lab's HTTP servers.
+func (l *Lab) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.cells {
+		c.server.Close()
+	}
+	l.cells = map[string]*cell{}
+	l.runs = map[string]*core.Result{}
+}
+
+// env builds (or returns the cached) environment for a scenario.
+func (l *Lab) env(sc Scenario) (*cell, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := fmt.Sprintf("%s/%d", sc.Label, sc.Seed)
+	if c, ok := l.cells[key]; ok {
+		return c, nil
+	}
+	world, err := worldgen.Generate(sc.Config, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{
+		SearchPerAccount: sc.SearchPerAccount,
+	})
+	server := httptest.NewServer(osnhttp.NewServer(platform))
+	client := osnhttp.NewClient(server.URL, server.Client(), nil)
+	if err := client.RegisterAccounts(sc.SeedAccounts + sc.EvalAccounts); err != nil {
+		server.Close()
+		return nil, err
+	}
+	c := &cell{
+		scenario: sc,
+		world:    world,
+		platform: platform,
+		server:   server,
+		client:   client,
+		truth:    eval.NewGroundTruth(platform, 0),
+	}
+	l.cells[key] = c
+	return c, nil
+}
+
+// World returns the scenario's generated world.
+func (l *Lab) World(sc Scenario) (*worldgen.World, error) {
+	c, err := l.env(sc)
+	if err != nil {
+		return nil, err
+	}
+	return c.world, nil
+}
+
+// Platform returns the scenario's platform (for evaluation-side access).
+func (l *Lab) Platform(sc Scenario) (*osn.Platform, error) {
+	c, err := l.env(sc)
+	if err != nil {
+		return nil, err
+	}
+	return c.platform, nil
+}
+
+// Truth returns the scenario's ground-truth oracle.
+func (l *Lab) Truth(sc Scenario) (*eval.GroundTruth, error) {
+	c, err := l.env(sc)
+	if err != nil {
+		return nil, err
+	}
+	return c.truth, nil
+}
+
+// Session returns a fresh crawler session over the scenario's HTTP client.
+func (l *Lab) Session(sc Scenario) (*crawler.Session, error) {
+	c, err := l.env(sc)
+	if err != nil {
+		return nil, err
+	}
+	return crawler.NewSession(c.client), nil
+}
+
+// seedAccountList returns the indexes of the attack accounts.
+func seedAccountList(sc Scenario) []int {
+	out := make([]int, sc.SeedAccounts)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// evalAccountList returns the indexes of the held-out accounts.
+func evalAccountList(sc Scenario) []int {
+	out := make([]int, sc.EvalAccounts)
+	for i := range out {
+		out[i] = sc.SeedAccounts + i
+	}
+	return out
+}
+
+// RunVariant identifies a cached attack run.
+type RunVariant int
+
+const (
+	// RunBasic is the §4.1 methodology with no extra profile downloads
+	// (the Table 3 "basic" effort row).
+	RunBasic RunVariant = iota
+	// RunBasicProfiles is basic plus the top-window profile downloads that
+	// §4.4 filtering needs.
+	RunBasicProfiles
+	// RunEnhanced is the §4.3 methodology (always downloads the window).
+	RunEnhanced
+)
+
+func (v RunVariant) params(sc Scenario) core.Params {
+	p := core.Params{
+		CurrentYear:  sc.CurrentYear(),
+		MaxThreshold: sc.MaxThreshold,
+		SeedAccounts: seedAccountList(sc),
+	}
+	switch v {
+	case RunBasicProfiles:
+		p.FetchProfiles = true
+	case RunEnhanced:
+		p.Mode = core.Enhanced
+	}
+	return p
+}
+
+// Run executes (or returns the cached) attack run for a scenario/variant.
+// Each run uses a fresh session, so its Effort tally is isolated.
+func (l *Lab) Run(sc Scenario, v RunVariant) (*core.Result, error) {
+	return l.RunThreshold(sc, v, sc.MaxThreshold)
+}
+
+// RunThreshold runs the variant with a specific MaxThreshold, which sizes
+// the enhanced methodology's profile window (1+ε)·t. The paper picks t
+// before crawling, so threshold sweeps that must respect the crawl budget
+// (Figure 2's estimator) use one run per t rather than slicing a single
+// max-window run.
+func (l *Lab) RunThreshold(sc Scenario, v RunVariant, maxThreshold int) (*core.Result, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", sc.Label, sc.Seed, v, maxThreshold)
+	l.mu.Lock()
+	if r, ok := l.runs[key]; ok {
+		l.mu.Unlock()
+		return r, nil
+	}
+	l.mu.Unlock()
+
+	c, err := l.env(sc)
+	if err != nil {
+		return nil, err
+	}
+	p := v.params(sc)
+	p.MaxThreshold = maxThreshold
+	p.SchoolName = c.world.Schools[0].Name
+	res, err := core.Run(crawler.NewSession(c.client), p)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.runs[key] = res
+	l.mu.Unlock()
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hsprofiler/internal/coppaless"
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/eval"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/report"
+	"hsprofiler/internal/worldgen"
+)
+
+// PolicyCombo is one cell of the §8 countermeasure design space. The paper
+// evaluates only reverse-lookup disabling and notes that "designing and
+// evaluating all combinations of possible laws and measures is a major
+// research problem on its own"; this sweep walks a 2³ factorial slice of
+// that space.
+type PolicyCombo struct {
+	// DisableReverseLookup is the paper's §8 countermeasure.
+	DisableReverseLookup bool
+	// AgeVerification models a platform (or law) that verifies ages, so
+	// nobody is registered with an inflated age — the §7 truthful world.
+	AgeVerification bool
+	// PrivateListsByDefault models adults' friend lists being hidden from
+	// strangers unless deliberately opened (we flip every account's
+	// friend-list switch off, the strongest form).
+	PrivateListsByDefault bool
+}
+
+// Label renders the combo compactly.
+func (c PolicyCombo) Label() string {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	return fmt.Sprintf("reverse-lookup-off=%s age-verified=%s private-lists=%s",
+		mark(c.DisableReverseLookup), mark(c.AgeVerification), mark(c.PrivateListsByDefault))
+}
+
+// PolicyOutcome is one combo's attack result.
+type PolicyOutcome struct {
+	Combo     PolicyCombo
+	FoundFrac float64
+	FPRate    float64
+	// Failed marks combos where the methodology could not even start (no
+	// core users at all) — total coverage loss.
+	Failed bool
+}
+
+// applyCombo builds the world/policy pair for a combo.
+func applyCombo(base *worldgen.World, c PolicyCombo) (*worldgen.World, *osn.Policy) {
+	w := base
+	if c.AgeVerification {
+		w = coppaless.WithoutCOPPA(w)
+	}
+	if c.PrivateListsByDefault {
+		if w == base {
+			w = base.Clone()
+		}
+		for _, p := range w.People {
+			p.Privacy.FriendListPublic = false
+		}
+	}
+	pol := osn.Facebook()
+	if c.DisableReverseLookup {
+		pol.HiddenListsInReverseLookup = false
+	}
+	return w, pol
+}
+
+// AuxPolicySweep runs the attack under every combination of the three
+// countermeasures and reports coverage and false positives at threshold t.
+func AuxPolicySweep(l *Lab, sc Scenario, t int) ([]PolicyOutcome, *report.Table, error) {
+	base, err := l.World(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	var outcomes []PolicyOutcome
+	tbl := &report.Table{
+		Title: fmt.Sprintf("Aux: countermeasure design space (%s, t=%d)", sc.Label, t),
+		Headers: []string{
+			"reverse lookup off", "age verified", "private lists", "students found", "false positives",
+		},
+	}
+	for bits := 0; bits < 8; bits++ {
+		combo := PolicyCombo{
+			DisableReverseLookup:  bits&1 != 0,
+			AgeVerification:       bits&2 != 0,
+			PrivateListsByDefault: bits&4 != 0,
+		}
+		world, pol := applyCombo(base, combo)
+		platform := osn.NewPlatform(world, pol, osn.Config{SearchPerAccount: sc.SearchPerAccount})
+		direct, err := crawler.NewDirect(platform, sc.SeedAccounts)
+		if err != nil {
+			return nil, nil, err
+		}
+		params := RunEnhanced.params(sc)
+		params.SchoolName = world.Schools[0].Name
+		out := PolicyOutcome{Combo: combo}
+		res, err := core.Run(crawler.NewSession(direct), params)
+		if err != nil {
+			// "No core users" is a legitimate outcome here: the
+			// countermeasure combination defeated the methodology outright.
+			out.Failed = true
+		} else {
+			truth := eval.NewGroundTruth(platform, 0)
+			o := truth.Evaluate(res.Select(t, true))
+			out.FoundFrac = o.FoundFrac()
+			out.FPRate = o.FPRate()
+		}
+		outcomes = append(outcomes, out)
+		mark := func(b bool) string {
+			if b {
+				return "x"
+			}
+			return ""
+		}
+		found, fp := report.Pct(out.FoundFrac), report.Pct(out.FPRate)
+		if out.Failed {
+			found, fp = "attack defeated", "-"
+		}
+		tbl.AddRow(mark(combo.DisableReverseLookup), mark(combo.AgeVerification),
+			mark(combo.PrivateListsByDefault), found, fp)
+	}
+	return outcomes, tbl, nil
+}
+
+// auxPolicyExperiment registers the sweep.
+func auxPolicyExperiment() Experiment {
+	hs1 := HS1()
+	return Experiment{
+		ID:    "auxpolicies",
+		Title: "Extension: the Sec 8 countermeasure design space (2^3 factorial)",
+		Run: func(l *Lab) (string, error) {
+			_, tbl, err := AuxPolicySweep(l, hs1, 400)
+			return render(tbl, err)
+		},
+	}
+}

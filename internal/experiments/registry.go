@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Experiment is a runnable, named reproduction of one paper artefact.
+type Experiment struct {
+	// ID is the stable handle ("table4", "fig3").
+	ID string
+	// Title describes the artefact.
+	Title string
+	// Run renders the artefact over the lab.
+	Run func(l *Lab) (string, error)
+}
+
+// All returns the full experiment registry over the paper's scenarios,
+// including the extension experiments (aux*).
+func All() []Experiment {
+	full := PaperScenarios()
+	hs1 := HS1()
+	limited := []Scenario{HS2(), HS3()}
+	base := []Experiment{
+		{
+			ID:    "table1",
+			Title: "Table 1: Facebook default/worst-case visibility to strangers",
+			Run: func(*Lab) (string, error) {
+				return Table1().String(), nil
+			},
+		},
+		{
+			ID:    "table2",
+			Title: "Table 2: Seeds, core users and candidates for the three schools",
+			Run: func(l *Lab) (string, error) {
+				_, t, err := Table2(l, full)
+				return render(t, err)
+			},
+		},
+		{
+			ID:    "table3",
+			Title: "Table 3: Measurement effort in HTTP requests",
+			Run: func(l *Lab) (string, error) {
+				_, t, err := Table3(l, full)
+				return render(t, err)
+			},
+		},
+		{
+			ID:    "table4",
+			Title: "Table 4: Results for HS1 under all methodology variants",
+			Run: func(l *Lab) (string, error) {
+				_, t, err := Table4(l, hs1)
+				return render(t, err)
+			},
+		},
+		{
+			ID:    "fig1",
+			Title: "Figure 1: Overall performance of enhanced methodology for HS1",
+			Run: func(l *Lab) (string, error) {
+				points, chart, err := Figure1(l, hs1)
+				if err != nil {
+					return "", err
+				}
+				return chart.String() + "\n" + sweepTable(points), nil
+			},
+		},
+		{
+			ID:    "fig2",
+			Title: "Figure 2: Overall performance for HS2 and HS3 (limited ground truth)",
+			Run: func(l *Lab) (string, error) {
+				schools, chart, err := Figure2(l, limited)
+				if err != nil {
+					return "", err
+				}
+				var b strings.Builder
+				b.WriteString(chart.String())
+				for _, s := range schools {
+					fmt.Fprintf(&b, "\n%s (%d test users)\n%s", s.Label, s.TestUsers, sweepTable(s.Points))
+				}
+				return b.String(), nil
+			},
+		},
+		{
+			ID:    "table5",
+			Title: "Table 5: Extending the profiles of minors registered as adults",
+			Run: func(l *Lab) (string, error) {
+				_, t, err := Table5(l, full)
+				return render(t, err)
+			},
+		},
+		{
+			ID:    "fig3",
+			Title: "Figure 3: With-COPPA vs without-COPPA false positives (HS1)",
+			Run: func(l *Lab) (string, error) {
+				with, without, chart, err := Figure3(l, hs1)
+				if err != nil {
+					return "", err
+				}
+				var b strings.Builder
+				b.WriteString(chart.String())
+				b.WriteString("\nwith-COPPA points:\n")
+				for _, p := range with {
+					fmt.Fprintf(&b, "  %-6s %5.1f%% found, %6d false positives\n", p.Setting, p.PctFound, p.FalsePositives)
+				}
+				b.WriteString("without-COPPA points:\n")
+				for _, p := range without {
+					fmt.Fprintf(&b, "  %-6s %5.1f%% found, %6d false positives\n", p.Setting, p.PctFound, p.FalsePositives)
+				}
+				return b.String(), nil
+			},
+		},
+		{
+			ID:    "fig4",
+			Title: "Figure 4: Students found with and without reverse lookup (HS1)",
+			Run: func(l *Lab) (string, error) {
+				points, chart, err := Figure4(l, hs1)
+				if err != nil {
+					return "", err
+				}
+				var b strings.Builder
+				b.WriteString(chart.String())
+				b.WriteString("\n")
+				for _, p := range points {
+					fmt.Fprintf(&b, "  t=%-5d with %5.1f%%   without %5.1f%%\n", p.Threshold, p.WithReverse, p.WithoutReverse)
+				}
+				return b.String(), nil
+			},
+		},
+		{
+			ID:    "table6",
+			Title: "Table 6: Google+ default/worst-case visibility to strangers (appendix)",
+			Run: func(*Lab) (string, error) {
+				return Table6().String(), nil
+			},
+		},
+	}
+	base = append(base, auxExperiments()...)
+	base = append(base, aux2Experiments()...)
+	return append(base, auxPolicyExperiment())
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func render(t interface{ String() string }, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}
+
+func sweepTable(points []SweepPoint) string {
+	var b strings.Builder
+	for _, p := range points {
+		fmt.Fprintf(&b, "  t=%-5d found %5.1f%%   false positives %5.1f%%\n",
+			p.Threshold, p.PctFound, p.PctFalsePos)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function over a Lab (a cache of
+// generated worlds and attack runs) that returns both structured rows and
+// rendered text, so the same code backs cmd/experiments, the root
+// benchmarks and the integration tests.
+package experiments
+
+import (
+	"hsprofiler/internal/worldgen"
+)
+
+// Scenario binds a world configuration to the attack parameters the paper
+// used against it.
+type Scenario struct {
+	// Label names the scenario ("HS1").
+	Label string
+	// Seed fixes the world.
+	Seed uint64
+	// Config generates the world.
+	Config worldgen.Config
+	// SearchPerAccount caps per-account search extraction.
+	SearchPerAccount int
+	// SeedAccounts is how many fake accounts the attack uses (paper: 2 for
+	// HS1, 4 for HS2/HS3); EvalAccounts how many extra are held out for
+	// the §5.5 test users (4 for HS2/HS3).
+	SeedAccounts, EvalAccounts int
+	// MaxThreshold bounds later Select sweeps and sizes the profile
+	// window.
+	MaxThreshold int
+	// TableThresholds are the Table-4-style report points;
+	// SweepThresholds the figure sweeps.
+	TableThresholds, SweepThresholds []int
+	// HSSize is the attacker-known enrollment (from Wikipedia in the
+	// paper).
+	HSSize int
+	// FullGroundTruth selects the HS1 evaluation regime (complete roster)
+	// vs the HS2/HS3 limited regime.
+	FullGroundTruth bool
+}
+
+// CurrentYear is the senior class year of the scenario's world.
+func (s Scenario) CurrentYear() int { return s.Config.SeniorClassYear }
+
+// HS1 is the paper's small private urban school with full ground truth,
+// collected March 2012 with 2 crawler accounts.
+func HS1() Scenario {
+	return Scenario{
+		Label:            "HS1",
+		Seed:             2013,
+		Config:           worldgen.HS1Config(),
+		SearchPerAccount: 250,
+		SeedAccounts:     2,
+		EvalAccounts:     0,
+		MaxThreshold:     500,
+		TableThresholds:  []int{200, 300, 400, 500},
+		SweepThresholds:  []int{200, 250, 300, 350, 400, 450, 500},
+		HSSize:           362,
+		FullGroundTruth:  true,
+	}
+}
+
+// HS2 is the large suburban East-Coast school, limited ground truth,
+// 4 attack accounts + 4 held-out evaluation accounts.
+func HS2() Scenario {
+	return Scenario{
+		Label:            "HS2",
+		Seed:             2013,
+		Config:           worldgen.HS2Config(),
+		SearchPerAccount: 520,
+		SeedAccounts:     4,
+		EvalAccounts:     4,
+		MaxThreshold:     2000,
+		TableThresholds:  []int{500, 1000, 1500, 2000},
+		SweepThresholds:  []int{500, 750, 1000, 1250, 1500, 1750, 2000},
+		HSSize:           1500,
+		FullGroundTruth:  false,
+	}
+}
+
+// HS3 is the large Midwestern school, limited ground truth.
+func HS3() Scenario {
+	sc := HS2()
+	sc.Label = "HS3"
+	sc.Config = worldgen.HS3Config()
+	return sc
+}
+
+// Tiny is a fast scenario for tests: same pipeline, small world.
+func Tiny() Scenario {
+	return Scenario{
+		Label:            "TinyHS",
+		Seed:             11,
+		Config:           worldgen.TinyConfig(),
+		SearchPerAccount: 30,
+		SeedAccounts:     2,
+		EvalAccounts:     2,
+		MaxThreshold:     90,
+		TableThresholds:  []int{30, 45, 60, 75},
+		SweepThresholds:  []int{30, 45, 60, 75, 90},
+		HSSize:           80,
+		FullGroundTruth:  true,
+	}
+}
+
+// PaperScenarios are the three schools of the paper's evaluation.
+func PaperScenarios() []Scenario {
+	return []Scenario{HS1(), HS2(), HS3()}
+}

@@ -1,0 +1,211 @@
+// Package namegen deterministically generates the person, school and city
+// names that populate a synthetic world.
+//
+// The paper matched crawled Facebook names against confidential school
+// rosters, and noted that ~10% of a student body could not be matched (no
+// account, or an account under an alias). The generator therefore produces
+// real-looking full names, supports collisions (two students sharing a full
+// name, as happens in a 1,500-student school) and alias forms (nicknames /
+// decorated names) so the evaluation pipeline has to cope with the same
+// ambiguity the authors faced.
+package namegen
+
+import (
+	"fmt"
+	"strings"
+
+	"hsprofiler/internal/sim"
+)
+
+// Gender mirrors the binary gender field the 2012 Facebook profile exposed.
+type Gender int
+
+const (
+	Female Gender = iota
+	Male
+)
+
+// String returns the profile-page rendering of the gender field.
+func (g Gender) String() string {
+	if g == Male {
+		return "male"
+	}
+	return "female"
+}
+
+// Generator produces deterministic names from a sim PRNG stream.
+type Generator struct {
+	rng *sim.Rand
+}
+
+// New returns a Generator drawing from its own substream of rng.
+func New(rng *sim.Rand) *Generator {
+	return &Generator{rng: rng.Stream("namegen")}
+}
+
+// Person returns a full name for the given gender. Collisions across calls
+// are possible and intentional.
+func (g *Generator) Person(gender Gender) (first, last string) {
+	if gender == Male {
+		first = maleFirst[g.rng.Intn(len(maleFirst))]
+	} else {
+		first = femaleFirst[g.rng.Intn(len(femaleFirst))]
+	}
+	return first, g.lastName()
+}
+
+// lastName draws a surname with a roughly Zipf-shaped distribution: a
+// head of common American surnames and a synthetic long tail. Without the
+// tail, a 20k-person world has surname-collision rates an order of
+// magnitude above a real city's, which wrecks record-linkage realism.
+func (g *Generator) lastName() string {
+	if g.rng.Bool(0.45) {
+		return lastNames[g.rng.Intn(len(lastNames))]
+	}
+	return lastPrefix[g.rng.Intn(len(lastPrefix))] + lastSuffix[g.rng.Intn(len(lastSuffix))]
+}
+
+// Alias returns a decorated variant of a name, of the kind teens use to be
+// less findable ("KatieSmithxo", "itz-jake"): these defeat roster matching.
+func (g *Generator) Alias(first, last string) string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return first + last + "xo"
+	case 1:
+		return "itz" + strings.ToLower(first)
+	case 2:
+		return first + " " + string(last[0]) + "."
+	default:
+		return strings.ToLower(first) + fmt.Sprintf("%02d", g.rng.Intn(100))
+	}
+}
+
+// City returns a synthetic city name distinct per draw index so that schools
+// in different cities get different "current city" values.
+func (g *Generator) City() string {
+	a := cityFirst[g.rng.Intn(len(cityFirst))]
+	b := citySecond[g.rng.Intn(len(citySecond))]
+	return a + b
+}
+
+// Street returns a synthetic street address ("412 Oak St"). Voter
+// registration records and household ground truth use these.
+func (g *Generator) Street() string {
+	return fmt.Sprintf("%d %s %s",
+		1+g.rng.Intn(999),
+		cityFirst[g.rng.Intn(len(cityFirst))],
+		streetSuffix[g.rng.Intn(len(streetSuffix))])
+}
+
+var streetSuffix = []string{"St", "Ave", "Rd", "Ln", "Dr", "Ct", "Blvd"}
+
+// School returns a synthetic high-school name located in city.
+func (g *Generator) School(city string) string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return city + " High School"
+	case 1:
+		return schoolPatron[g.rng.Intn(len(schoolPatron))] + " High School"
+	default:
+		return city + " " + schoolKind[g.rng.Intn(len(schoolKind))] + " High School"
+	}
+}
+
+var maleFirst = []string{
+	"James", "John", "Robert", "Michael", "William", "David", "Richard",
+	"Joseph", "Thomas", "Charles", "Christopher", "Daniel", "Matthew",
+	"Anthony", "Mark", "Donald", "Steven", "Paul", "Andrew", "Joshua",
+	"Kenneth", "Kevin", "Brian", "George", "Timothy", "Ronald", "Edward",
+	"Jason", "Jeffrey", "Ryan", "Jacob", "Gary", "Nicholas", "Eric",
+	"Jonathan", "Stephen", "Larry", "Justin", "Scott", "Brandon", "Benjamin",
+	"Samuel", "Gregory", "Alexander", "Patrick", "Frank", "Raymond", "Jack",
+	"Dennis", "Jerry", "Tyler", "Aaron", "Jose", "Adam", "Nathan", "Henry",
+	"Zachary", "Douglas", "Peter", "Kyle", "Noah", "Ethan", "Jeremy",
+	"Christian", "Walter", "Keith", "Austin", "Roger", "Terry", "Sean",
+	"Gerald", "Carl", "Dylan", "Harold", "Jordan", "Jesse", "Bryan",
+	"Lawrence", "Arthur", "Gabriel", "Bruce", "Logan", "Alan", "Juan",
+	"Elijah", "Willie", "Albert", "Wayne", "Randy", "Mason", "Vincent",
+	"Liam", "Roy", "Bobby", "Caleb", "Bradley", "Russell", "Lucas",
+}
+
+var femaleFirst = []string{
+	"Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara", "Susan",
+	"Jessica", "Sarah", "Karen", "Lisa", "Nancy", "Betty", "Sandra",
+	"Margaret", "Ashley", "Kimberly", "Emily", "Donna", "Michelle", "Carol",
+	"Amanda", "Melissa", "Deborah", "Stephanie", "Rebecca", "Sharon",
+	"Laura", "Cynthia", "Dorothy", "Amy", "Kathleen", "Angela", "Shirley",
+	"Brenda", "Emma", "Anna", "Pamela", "Nicole", "Samantha", "Katherine",
+	"Christine", "Helen", "Debra", "Rachel", "Carolyn", "Janet", "Maria",
+	"Catherine", "Heather", "Diane", "Olivia", "Julie", "Joyce", "Victoria",
+	"Ruth", "Virginia", "Lauren", "Kelly", "Christina", "Joan", "Evelyn",
+	"Judith", "Andrea", "Hannah", "Megan", "Cheryl", "Jacqueline", "Martha",
+	"Madison", "Teresa", "Gloria", "Sara", "Janice", "Ann", "Kathryn",
+	"Abigail", "Sophia", "Frances", "Jean", "Alice", "Judy", "Isabella",
+	"Julia", "Grace", "Amber", "Denise", "Danielle", "Marilyn", "Beverly",
+	"Charlotte", "Natalie", "Theresa", "Diana", "Brittany", "Doris", "Kayla",
+	"Alexis", "Lori", "Ava",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+	"Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+	"Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+	"Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+	"Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+	"Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+	"Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+	"Ross", "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+	"Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+	"Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+	"Patterson", "Alexander", "Hamilton", "Graham", "Reynolds", "Griffin",
+	"Wallace", "Moreno", "West", "Cole", "Hayes", "Bryant", "Herrera",
+	"Gibson", "Ellis", "Tran", "Medina", "Aguilar", "Stevens", "Murray",
+	"Ford", "Castro", "Marshall", "Owens", "Harrison", "Fernandez",
+	"McDonald", "Woods", "Washington", "Kennedy", "Wells", "Vargas",
+	"Henry", "Chen", "Freeman", "Webb", "Tucker", "Guzman", "Burns",
+	"Crawford", "Olson", "Simpson", "Porter", "Hunter", "Gordon", "Mendez",
+	"Silva", "Shaw", "Snyder", "Mason", "Dixon", "Munoz", "Hunt", "Hicks",
+	"Holmes", "Palmer", "Wagner", "Black", "Robertson", "Boyd", "Rose",
+	"Stone", "Salazar", "Fox", "Warren", "Mills", "Meyer", "Rice",
+	"Schmidt", "Garza", "Daniels", "Ferguson", "Nichols", "Stephens",
+	"Soto", "Weaver", "Ryan", "Gardner", "Payne", "Grant", "Dunn",
+}
+
+var lastPrefix = []string{
+	"Ash", "Brad", "Brook", "Cald", "Carl", "Crom", "Dal", "Darl", "Eld",
+	"Ells", "Fair", "Farn", "Gold", "Gran", "Hale", "Hart", "Haw", "Kel",
+	"Lang", "Lind", "Mar", "Mel", "Nor", "Oak", "Pem", "Rad", "Ren",
+	"Shel", "Stan", "Thorn", "Wake", "Wal", "Wex", "Whit", "Win", "Yar",
+}
+
+var lastSuffix = []string{
+	"berg", "bourne", "bury", "by", "combe", "don", "ers", "field",
+	"ford", "ham", "hurst", "ley", "man", "mere", "more", "ridge", "sey",
+	"shaw", "son", "stead", "ster", "ton", "well", "wick", "wood", "worth",
+}
+
+var cityFirst = []string{
+	"Oak", "Maple", "Cedar", "River", "Lake", "Spring", "Fair", "Green",
+	"Clear", "West", "East", "North", "South", "Brook", "Stone", "Mill",
+	"High", "Pleasant", "Silver", "Golden", "Elm", "Pine", "Ash", "Birch",
+}
+
+var citySecond = []string{
+	"field", "ville", "wood", "ton", "burg", "port", "haven", "dale",
+	"crest", "view", "side", "bridge", "brook", "ford", "mont", "land",
+}
+
+var schoolPatron = []string{
+	"Roosevelt", "Lincoln", "Jefferson", "Washington", "Kennedy",
+	"Franklin", "Madison", "Monroe", "Jackson", "Wilson", "Adams",
+	"Hamilton", "Edison", "Whitman", "Carver",
+}
+
+var schoolKind = []string{"Central", "Memorial", "Regional", "Union", "Township"}

@@ -1,0 +1,135 @@
+package namegen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hsprofiler/internal/sim"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New(sim.New(42))
+	b := New(sim.New(42))
+	for i := 0; i < 500; i++ {
+		af, al := a.Person(Gender(i % 2))
+		bf, bl := b.Person(Gender(i % 2))
+		if af != bf || al != bl {
+			t.Fatalf("diverged at %d: %s %s vs %s %s", i, af, al, bf, bl)
+		}
+	}
+	if a.City() != b.City() || a.School("Oakfield") != b.School("Oakfield") {
+		t.Fatal("city/school generation diverged")
+	}
+}
+
+func TestPersonNonEmptyAndGendered(t *testing.T) {
+	g := New(sim.New(7))
+	maleSet := make(map[string]bool, len(maleFirst))
+	for _, n := range maleFirst {
+		maleSet[n] = true
+	}
+	femaleSet := make(map[string]bool, len(femaleFirst))
+	for _, n := range femaleFirst {
+		femaleSet[n] = true
+	}
+	for i := 0; i < 1000; i++ {
+		first, last := g.Person(Male)
+		if first == "" || last == "" {
+			t.Fatal("empty name")
+		}
+		if !maleSet[first] {
+			t.Fatalf("male draw produced non-male first name %q", first)
+		}
+		first, _ = g.Person(Female)
+		if !femaleSet[first] {
+			t.Fatalf("female draw produced non-female first name %q", first)
+		}
+	}
+}
+
+func TestCollisionsArePossible(t *testing.T) {
+	// In a population the size of a large high school, full-name collisions
+	// must be possible — the evaluation pipeline depends on handling them.
+	g := New(sim.New(11))
+	seen := make(map[string]bool)
+	collided := false
+	for i := 0; i < 5000; i++ {
+		f, l := g.Person(Gender(i % 2))
+		full := f + " " + l
+		if seen[full] {
+			collided = true
+			break
+		}
+		seen[full] = true
+	}
+	if !collided {
+		t.Error("no full-name collision in 5000 draws; pools unrealistically large")
+	}
+}
+
+func TestAliasDiffersFromFullName(t *testing.T) {
+	g := New(sim.New(13))
+	for i := 0; i < 200; i++ {
+		f, l := g.Person(Gender(i % 2))
+		alias := g.Alias(f, l)
+		if alias == "" {
+			t.Fatal("empty alias")
+		}
+		if alias == f+" "+l {
+			t.Fatalf("alias %q identical to canonical name", alias)
+		}
+	}
+}
+
+func TestSchoolNamesMentionKindOrCity(t *testing.T) {
+	g := New(sim.New(17))
+	for i := 0; i < 100; i++ {
+		city := g.City()
+		school := g.School(city)
+		if !strings.HasSuffix(school, "High School") {
+			t.Fatalf("school %q missing suffix", school)
+		}
+	}
+}
+
+func TestGenderString(t *testing.T) {
+	if Male.String() != "male" || Female.String() != "female" {
+		t.Error("gender rendering wrong")
+	}
+}
+
+func TestStreetFormat(t *testing.T) {
+	g := New(sim.New(3))
+	for i := 0; i < 100; i++ {
+		s := g.Street()
+		parts := strings.Fields(s)
+		if len(parts) != 3 {
+			t.Fatalf("street %q not 'N Name Suffix'", s)
+		}
+		n := 0
+		if _, err := fmt.Sscanf(parts[0], "%d", &n); err != nil || n < 1 || n > 999 {
+			t.Fatalf("street number %q", parts[0])
+		}
+	}
+}
+
+func TestLastNameLongTail(t *testing.T) {
+	g := New(sim.New(5))
+	common := map[string]bool{}
+	for _, n := range lastNames {
+		common[n] = true
+	}
+	commonSeen, tailSeen := 0, 0
+	for i := 0; i < 2000; i++ {
+		_, last := g.Person(Gender(i % 2))
+		if common[last] {
+			commonSeen++
+		} else {
+			tailSeen++
+		}
+	}
+	if commonSeen == 0 || tailSeen == 0 {
+		t.Fatalf("surname mixture degenerate: %d common, %d tail", commonSeen, tailSeen)
+	}
+}

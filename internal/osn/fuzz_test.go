@@ -1,0 +1,128 @@
+package osn
+
+import (
+	"testing"
+
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/worldgen"
+)
+
+// TestPolicyCapUnderSettingMutation is the policy engine's central safety
+// property, tested by mutation: no matter how a registered minor's privacy
+// switches are flipped, the stranger view stays minimal; and for adults,
+// every shown field corresponds to an enabled setting.
+func TestPolicyCapUnderSettingMutation(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlatform(w, Facebook(), Config{})
+	tok := attacker(t, p)
+	rng := sim.New(77)
+
+	var holders []*worldgen.Person
+	for _, person := range w.People {
+		if person.HasAccount {
+			holders = append(holders, person)
+		}
+	}
+	for trial := 0; trial < 400; trial++ {
+		person := holders[rng.Intn(len(holders))]
+		// Mutate every switch randomly — including maximal sharing.
+		person.Privacy = worldgen.PrivacySettings{
+			FriendListPublic: rng.Bool(0.5),
+			PublicSearch:     rng.Bool(0.5),
+			MessageLink:      rng.Bool(0.5),
+			ShowRelationship: rng.Bool(0.5),
+			ShowInterestedIn: rng.Bool(0.5),
+			ShowBirthday:     rng.Bool(0.5),
+			ShowHometown:     rng.Bool(0.5),
+			ShowPhotos:       rng.Bool(0.5),
+			ShowContact:      rng.Bool(0.5),
+			ListsNetwork:     rng.Bool(0.5),
+		}
+		person.ListsSchool = rng.Bool(0.5)
+		person.ListsCity = rng.Bool(0.5)
+		person.ListsGradSchool = rng.Bool(0.5)
+
+		id, _ := p.PublicIDOf(person.ID)
+		pp, err := p.Profile(tok, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if person.RegisteredMinorAt(w.Now) {
+			if !pp.Minimal() {
+				t.Fatalf("trial %d: registered minor escaped the cap: %+v (settings %+v)",
+					trial, pp, person.Privacy)
+			}
+			if pp.Searchable {
+				t.Fatalf("trial %d: registered minor searchable", trial)
+			}
+			continue
+		}
+		// Adults: every displayed field must be backed by a setting.
+		if pp.HighSchool != "" && !person.ListsSchool {
+			t.Fatalf("trial %d: school shown without setting", trial)
+		}
+		if pp.CurrentCity != "" && !person.ListsCity {
+			t.Fatalf("trial %d: city shown without setting", trial)
+		}
+		if pp.Birthday != nil && !person.Privacy.ShowBirthday {
+			t.Fatalf("trial %d: birthday shown without setting", trial)
+		}
+		if pp.FriendListVisible != person.Privacy.FriendListPublic {
+			t.Fatalf("trial %d: friend-list visibility mismatch", trial)
+		}
+		if pp.ContactInfo && !person.Privacy.ShowContact {
+			t.Fatalf("trial %d: contact shown without setting", trial)
+		}
+		if pp.CanMessage != person.Privacy.MessageLink {
+			t.Fatalf("trial %d: message control mismatch", trial)
+		}
+	}
+}
+
+// TestGooglePlusCapUnderMutation runs the same mutation check against the
+// Google+ policy: minors may expose more (per Table 6) but never beyond
+// the Google+ minor cap.
+func TestGooglePlusCapUnderMutation(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := GooglePlus()
+	p := NewPlatform(w, pol, Config{})
+	tok := attacker(t, p)
+	rng := sim.New(88)
+
+	var minors []*worldgen.Person
+	for _, person := range w.People {
+		if person.HasAccount && person.RegisteredMinorAt(w.Now) {
+			minors = append(minors, person)
+		}
+	}
+	if len(minors) == 0 {
+		t.Skip("no registered minors")
+	}
+	for trial := 0; trial < 200; trial++ {
+		person := minors[rng.Intn(len(minors))]
+		person.Privacy.ShowRelationship = true
+		person.Privacy.ShowContact = true
+		person.Privacy.ShowBirthday = rng.Bool(0.5)
+		person.ListsSchool = rng.Bool(0.5)
+
+		id, _ := p.PublicIDOf(person.ID)
+		pp, err := p.Profile(tok, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Relationship and contact are outside the G+ minor cap.
+		if pp.Relationship || pp.ContactInfo {
+			t.Fatalf("trial %d: G+ minor exposed capped field: %+v", trial, pp)
+		}
+		// School IS inside the G+ minor cap (worst case) — if set, shown.
+		if person.ListsSchool && person.SchoolID >= 0 && pp.HighSchool == "" {
+			t.Fatalf("trial %d: G+ minor worst-case school suppressed", trial)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package osn
+
+import "fmt"
+
+// GraphQuery is a structured people query in the style of Facebook's 2013
+// Graph Search, which the paper probed with searches like "current students
+// at HS1" and "people who study at HS1 in/after/before 2013" and "current
+// students at HS1 who live in city1". Zero-valued fields are unconstrained.
+type GraphQuery struct {
+	// SchoolID scopes the query to people associated with the school.
+	SchoolID int
+	// CurrentStudents keeps only profiles whose visible graduation year is
+	// in the current four-year window.
+	CurrentStudents bool
+	// GradYearAfter / GradYearBefore bound the visible graduation year
+	// (inclusive); 0 means unbounded.
+	GradYearAfter, GradYearBefore int
+	// City keeps only profiles whose visible current city matches.
+	City string
+}
+
+// matches evaluates the query against a profile's *stranger-visible* view.
+// Graph Search can only surface what the viewer could see anyway; the
+// paper verified it returns no registered minors, which the caller
+// (GraphSearch) enforces via the same search-index policy gate as the
+// Find-Friends portal.
+func (q GraphQuery) matches(pp *PublicProfile, schoolName string, currentYear int) bool {
+	if pp.HighSchool != schoolName {
+		return false
+	}
+	if q.CurrentStudents {
+		if pp.GradYear < currentYear || pp.GradYear > currentYear+3 {
+			return false
+		}
+	}
+	if q.GradYearAfter != 0 && pp.GradYear < q.GradYearAfter {
+		return false
+	}
+	if q.GradYearBefore != 0 && pp.GradYear > q.GradYearBefore {
+		return false
+	}
+	if q.City != "" && pp.CurrentCity != q.City {
+		return false
+	}
+	return true
+}
+
+// GraphSearch runs a structured query as the account. Like the
+// Find-Friends portal it pages through an account-dependent capped view and
+// never returns registered minors; unlike the portal it filters on visible
+// profile fields, so one request expresses what would otherwise need a
+// profile download per seed.
+func (p *Platform) GraphSearch(token string, q GraphQuery, page int) (results []SearchResult, more bool, err error) {
+	if err := p.charge(token); err != nil {
+		return nil, false, err
+	}
+	if q.SchoolID < 0 || q.SchoolID >= len(p.searchIndex) {
+		return nil, false, ErrNoSchool
+	}
+	if page < 0 {
+		return nil, false, fmt.Errorf("osn: negative page")
+	}
+	school := p.world.Schools[q.SchoolID]
+	currentYear := school.GradYears[0]
+	view := p.accountView(token, q.SchoolID)
+	var matched []SearchResult
+	for _, u := range view {
+		pp := p.renderProfile(u)
+		if q.matches(pp, school.Name, currentYear) {
+			matched = append(matched, SearchResult{ID: pp.ID, Name: pp.Name})
+		}
+	}
+	start := page * p.cfg.SearchPageSize
+	if start >= len(matched) {
+		return nil, false, nil
+	}
+	end := start + p.cfg.SearchPageSize
+	if end > len(matched) {
+		end = len(matched)
+	}
+	return matched[start:end], end < len(matched), nil
+}

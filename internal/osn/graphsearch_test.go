@@ -1,0 +1,208 @@
+package osn
+
+import (
+	"errors"
+	"testing"
+)
+
+func collectGraph(t *testing.T, p *Platform, tok string, q GraphQuery) []SearchResult {
+	t.Helper()
+	var out []SearchResult
+	for page := 0; ; page++ {
+		res, more, err := p.GraphSearch(tok, q, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, res...)
+		if !more {
+			return out
+		}
+	}
+}
+
+func TestGraphSearchExcludesRegisteredMinors(t *testing.T) {
+	// The paper verified with ground truth that Graph Search, like the
+	// Find-Friends portal, returns no registered minors.
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	for _, q := range []GraphQuery{
+		{SchoolID: 0},
+		{SchoolID: 0, CurrentStudents: true},
+		{SchoolID: 0, GradYearAfter: 2013},
+		{SchoolID: 0, GradYearBefore: 2013},
+	} {
+		for _, r := range collectGraph(t, p, tok, q) {
+			u, ok := p.UserIDOf(r.ID)
+			if !ok {
+				t.Fatalf("unknown result %q", r.ID)
+			}
+			if p.World().People[u].RegisteredMinorAt(p.World().Now) {
+				t.Fatalf("registered minor in graph search %+v", q)
+			}
+		}
+	}
+}
+
+func TestGraphSearchCurrentStudents(t *testing.T) {
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	w := p.World()
+	res := collectGraph(t, p, tok, GraphQuery{SchoolID: 0, CurrentStudents: true})
+	if len(res) == 0 {
+		t.Fatal("no current students found (lying minors should appear)")
+	}
+	for _, r := range res {
+		u, _ := p.UserIDOf(r.ID)
+		person := w.People[u]
+		if person.GradYear < 2012 || person.GradYear > 2015 {
+			t.Fatalf("non-current grad year %d in current-students query", person.GradYear)
+		}
+		if !person.ListsSchool {
+			t.Fatal("result does not list the school on its profile")
+		}
+	}
+}
+
+func TestGraphSearchYearBounds(t *testing.T) {
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	w := p.World()
+	res := collectGraph(t, p, tok, GraphQuery{SchoolID: 0, GradYearAfter: 2009, GradYearBefore: 2011})
+	for _, r := range res {
+		u, _ := p.UserIDOf(r.ID)
+		gy := w.People[u].GradYear
+		if gy < 2009 || gy > 2011 {
+			t.Fatalf("grad year %d outside [2009, 2011]", gy)
+		}
+	}
+}
+
+func TestGraphSearchCityFilter(t *testing.T) {
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	w := p.World()
+	city := w.Schools[0].City
+	res := collectGraph(t, p, tok, GraphQuery{SchoolID: 0, City: city})
+	if len(res) == 0 {
+		t.Skip("no visible-city matches in this seed")
+	}
+	for _, r := range res {
+		u, _ := p.UserIDOf(r.ID)
+		person := w.People[u]
+		if person.CurrentCity != city {
+			t.Fatalf("city filter leaked %q", person.CurrentCity)
+		}
+		if !person.ListsCity {
+			t.Fatal("matched on a city the profile does not show")
+		}
+	}
+}
+
+func TestGraphSearchSubsetOfSchoolSearch(t *testing.T) {
+	// An unconstrained school-scoped graph query returns exactly the
+	// school listers from the account's portal view.
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	graph := collectGraph(t, p, tok, GraphQuery{SchoolID: 0})
+	portal := map[PublicID]bool{}
+	for page := 0; ; page++ {
+		res, more, err := p.SchoolSearch(tok, 0, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			portal[r.ID] = true
+		}
+		if !more {
+			break
+		}
+	}
+	for _, r := range graph {
+		if !portal[r.ID] {
+			t.Fatalf("graph search surfaced %q beyond the portal view", r.ID)
+		}
+	}
+}
+
+func TestGraphSearchErrors(t *testing.T) {
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	if _, _, err := p.GraphSearch("bogus", GraphQuery{SchoolID: 0}, 0); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("got %v", err)
+	}
+	if _, _, err := p.GraphSearch(tok, GraphQuery{SchoolID: 9}, 0); !errors.Is(err, ErrNoSchool) {
+		t.Fatalf("got %v", err)
+	}
+	if _, _, err := p.GraphSearch(tok, GraphQuery{SchoolID: 0}, -1); err == nil {
+		t.Fatal("negative page accepted")
+	}
+}
+
+func TestGraphSearchPagination(t *testing.T) {
+	p := testPlatform(t, Config{SearchPageSize: 3})
+	tok := attacker(t, p)
+	res, more, err := p.GraphSearch(tok, GraphQuery{SchoolID: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) > 3 {
+		t.Fatalf("page size violated: %d", len(res))
+	}
+	if more {
+		res2, _, err := p.GraphSearch(tok, GraphQuery{SchoolID: 0}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range res {
+			for _, b := range res2 {
+				if a.ID == b.ID {
+					t.Fatal("pages overlap")
+				}
+			}
+		}
+	}
+}
+
+func TestCitySearchExcludesMinorsAndMatchesCity(t *testing.T) {
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	w := p.World()
+	city := w.Schools[0].City
+	seen := 0
+	for page := 0; ; page++ {
+		res, more, err := p.CitySearch(tok, city, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			seen++
+			u, ok := p.UserIDOf(r.ID)
+			if !ok {
+				t.Fatalf("unknown result %q", r.ID)
+			}
+			person := w.People[u]
+			if person.RegisteredMinorAt(w.Now) {
+				t.Fatal("registered minor in city search")
+			}
+			if person.CurrentCity != city || !person.ListsCity {
+				t.Fatalf("city search leaked %q (lists=%v)", person.CurrentCity, person.ListsCity)
+			}
+			if !person.Privacy.PublicSearch {
+				t.Fatal("undiscoverable profile in city search")
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	if seen == 0 {
+		t.Fatal("city search returned nothing")
+	}
+	// Case-insensitive; unknown city empty, not an error.
+	if res, _, err := p.CitySearch(tok, "NOWHERE", 0); err != nil || len(res) != 0 {
+		t.Fatalf("unknown city: %v %v", res, err)
+	}
+	if _, _, err := p.CitySearch("bogus", city, 0); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("got %v", err)
+	}
+}

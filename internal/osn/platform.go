@@ -1,0 +1,495 @@
+package osn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/socialgraph"
+	"hsprofiler/internal/worldgen"
+)
+
+// Errors returned by platform endpoints. The HTTP layer maps these to
+// status codes; the crawler maps them back.
+var (
+	ErrUnderage     = errors.New("osn: users must be at least 13 to register")
+	ErrUnauthorized = errors.New("osn: unknown or invalid account token")
+	ErrSuspended    = errors.New("osn: account suspended for excessive requests")
+	ErrThrottled    = errors.New("osn: rate limited, retry later")
+	ErrNotFound     = errors.New("osn: no such user")
+	ErrHidden       = errors.New("osn: friend list not visible to strangers")
+	ErrNoSchool     = errors.New("osn: no such school")
+)
+
+// Config tunes the platform's serving behaviour. Zero values get defaults
+// from DefaultConfig.
+type Config struct {
+	// SearchPerAccount caps how many distinct results one account can pull
+	// out of a school search by scrolling (the paper's "few hundred").
+	SearchPerAccount int
+	// SearchPageSize is results per search request (one AJAX fetch).
+	SearchPageSize int
+	// FriendPageSize is friends per friend-list request; Facebook used 20.
+	FriendPageSize int
+	// RequestBudget is the per-account lifetime request ceiling before the
+	// anti-crawl system suspends the account; 0 means unlimited.
+	RequestBudget int
+	// ThrottleLimit and ThrottleWindow enable adaptive anti-crawl rate
+	// limiting: more than ThrottleLimit requests from one account within
+	// ThrottleWindow yields ErrThrottled until the window drains. This is
+	// the behaviour the paper's crawlers dodged with sleep functions.
+	// Zero ThrottleLimit disables throttling.
+	ThrottleLimit  int
+	ThrottleWindow time.Duration
+}
+
+// DefaultConfig mirrors the paper's observed serving parameters.
+func DefaultConfig() Config {
+	return Config{
+		SearchPerAccount: 400,
+		SearchPageSize:   40,
+		FriendPageSize:   20,
+		RequestBudget:    0,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.SearchPerAccount <= 0 {
+		c.SearchPerAccount = d.SearchPerAccount
+	}
+	if c.SearchPageSize <= 0 {
+		c.SearchPageSize = d.SearchPageSize
+	}
+	if c.FriendPageSize <= 0 {
+		c.FriendPageSize = d.FriendPageSize
+	}
+	return c
+}
+
+type account struct {
+	token     string
+	requests  int
+	suspended bool
+	// recent holds the timestamps of requests inside the throttle window
+	// (a sliding-window ring, oldest first).
+	recent []time.Time
+}
+
+// SchoolRef is the public handle of a school, as discoverable through the
+// platform's search portal (or from Wikipedia, as the paper notes for
+// school sizes).
+type SchoolRef struct {
+	ID   int
+	Name string
+	City string
+}
+
+// SearchResult is one row of a Find-Friends school search.
+type SearchResult struct {
+	ID   PublicID
+	Name string
+}
+
+// FriendRef is one entry of a paginated friend list.
+type FriendRef struct {
+	ID   PublicID
+	Name string
+}
+
+// Platform serves a world under a policy. All exported methods are safe for
+// concurrent use (the HTTP front end calls them from many goroutines).
+type Platform struct {
+	world  *worldgen.World
+	policy *Policy
+	cfg    Config
+
+	pub   []PublicID
+	byPub map[PublicID]socialgraph.UserID
+	// searchIndex[schoolID] lists account holders whose profile names the
+	// school and who are discoverable (public-search enabled). Registered
+	// minors are filtered at query time per policy.
+	searchIndex [][]socialgraph.UserID
+	// cityIndex lists discoverable account holders by the current city
+	// their profile shows (lowercased key).
+	cityIndex map[string][]socialgraph.UserID
+
+	mu       sync.Mutex
+	accounts map[string]*account
+	nextAcct int
+	clock    func() time.Time
+}
+
+// NewPlatform builds a platform over the world. The world must not be
+// structurally mutated while the platform serves it.
+func NewPlatform(w *worldgen.World, pol *Policy, cfg Config) *Platform {
+	p := &Platform{
+		world:    w,
+		policy:   pol,
+		cfg:      cfg.withDefaults(),
+		byPub:    make(map[PublicID]socialgraph.UserID),
+		accounts: make(map[string]*account),
+		clock:    time.Now,
+	}
+	p.assignPublicIDs()
+	p.buildSearchIndex()
+	return p
+}
+
+// World exposes the underlying ground truth. It exists for the evaluation
+// layer only; attack code must not touch it.
+func (p *Platform) World() *worldgen.World { return p.world }
+
+// Policy returns the active policy.
+func (p *Platform) Policy() *Policy { return p.policy }
+
+// FriendPageSize reports the pagination constant p (paper: 20), which the
+// effort model A·R + |S| + |C|·f/p needs.
+func (p *Platform) FriendPageSize() int { return p.cfg.FriendPageSize }
+
+func (p *Platform) assignPublicIDs() {
+	rng := sim.New(p.world.Seed).Stream("publicids")
+	p.pub = make([]PublicID, len(p.world.People))
+	for _, person := range p.world.People {
+		if !person.HasAccount {
+			continue
+		}
+		var id PublicID
+		for {
+			id = PublicID("u" + strconv.FormatUint(rng.Uint64()&0xffffffffff, 36))
+			if _, taken := p.byPub[id]; !taken {
+				break
+			}
+		}
+		p.pub[person.ID] = id
+		p.byPub[id] = person.ID
+	}
+}
+
+func (p *Platform) buildSearchIndex() {
+	p.searchIndex = make([][]socialgraph.UserID, len(p.world.Schools))
+	p.cityIndex = make(map[string][]socialgraph.UserID)
+	for _, person := range p.world.People {
+		if !person.HasAccount || !person.Privacy.PublicSearch {
+			continue
+		}
+		if person.SchoolID >= 0 && person.ListsSchool {
+			p.searchIndex[person.SchoolID] = append(p.searchIndex[person.SchoolID], person.ID)
+		}
+		if person.ListsCity && person.CurrentCity != "" {
+			key := strings.ToLower(person.CurrentCity)
+			p.cityIndex[key] = append(p.cityIndex[key], person.ID)
+		}
+	}
+	for _, idx := range p.searchIndex {
+		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	}
+	for _, idx := range p.cityIndex {
+		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	}
+}
+
+// CitySearch returns one page of users whose profiles place them in the
+// city, as seen by the account. Like the school search it never returns
+// registered minors ("does not list minors when searching for users by
+// high school or city") and caps each account's view.
+func (p *Platform) CitySearch(token, city string, page int) (results []SearchResult, more bool, err error) {
+	if err := p.charge(token); err != nil {
+		return nil, false, err
+	}
+	if page < 0 {
+		return nil, false, fmt.Errorf("osn: negative page")
+	}
+	idx := p.cityIndex[strings.ToLower(city)]
+	view := p.capView(token, "city:"+strings.ToLower(city), idx)
+	start := page * p.cfg.SearchPageSize
+	if start >= len(view) {
+		return nil, false, nil
+	}
+	end := start + p.cfg.SearchPageSize
+	if end > len(view) {
+		end = len(view)
+	}
+	for _, u := range view[start:end] {
+		results = append(results, SearchResult{ID: p.pub[u], Name: p.world.People[u].DisplayName()})
+	}
+	return results, end < len(view), nil
+}
+
+// PublicIDOf reports the public ID of a world user, for evaluation code
+// that needs to compare attacker output against ground truth. Returns false
+// if the person has no account.
+func (p *Platform) PublicIDOf(id socialgraph.UserID) (PublicID, bool) {
+	if int(id) >= len(p.pub) || p.pub[id] == "" {
+		return "", false
+	}
+	return p.pub[id], true
+}
+
+// UserIDOf resolves a public ID back to the world ID (evaluation only).
+func (p *Platform) UserIDOf(id PublicID) (socialgraph.UserID, bool) {
+	u, ok := p.byPub[id]
+	return u, ok
+}
+
+// RegisterAccount creates a third-party account. This is where the COPPA
+// age gate lives: a birth date under 13 years before the world's current
+// date is rejected — which is exactly why the paper's under-13 users lied.
+func (p *Platform) RegisterAccount(name string, birth sim.Date) (token string, err error) {
+	if birth.AgeAt(p.world.Now) < 13 {
+		return "", ErrUnderage
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextAcct++
+	token = fmt.Sprintf("acct-%d-%s", p.nextAcct, name)
+	p.accounts[token] = &account{token: token}
+	return token, nil
+}
+
+// charge authenticates the token and counts one request against its budget
+// and throttle window.
+func (p *Platform) charge(token string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[token]
+	if !ok {
+		return ErrUnauthorized
+	}
+	if a.suspended {
+		return ErrSuspended
+	}
+	if p.cfg.ThrottleLimit > 0 {
+		now := p.clock()
+		cutoff := now.Add(-p.cfg.ThrottleWindow)
+		keep := a.recent[:0]
+		for _, ts := range a.recent {
+			if ts.After(cutoff) {
+				keep = append(keep, ts)
+			}
+		}
+		a.recent = keep
+		if len(a.recent) >= p.cfg.ThrottleLimit {
+			// A throttled request does not consume budget; the crawler is
+			// expected to back off and retry.
+			return ErrThrottled
+		}
+		a.recent = append(a.recent, now)
+	}
+	a.requests++
+	if p.cfg.RequestBudget > 0 && a.requests > p.cfg.RequestBudget {
+		a.suspended = true
+		return ErrSuspended
+	}
+	return nil
+}
+
+// SetClock replaces the platform's time source (tests use a fake clock to
+// drive the throttle window deterministically).
+func (p *Platform) SetClock(clock func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clock = clock
+}
+
+// RequestsServed reports how many requests the account has made
+// (anti-crawl bookkeeping; visible in tests).
+func (p *Platform) RequestsServed(token string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if a, ok := p.accounts[token]; ok {
+		return a.requests
+	}
+	return 0
+}
+
+// Schools lists the schools known to the search portal.
+func (p *Platform) Schools() []SchoolRef {
+	out := make([]SchoolRef, 0, len(p.world.Schools))
+	for _, s := range p.world.Schools {
+		out = append(out, SchoolRef{ID: s.ID, Name: s.Name, City: s.City})
+	}
+	return out
+}
+
+// LookupSchool finds a school by exact name.
+func (p *Platform) LookupSchool(name string) (SchoolRef, error) {
+	for _, s := range p.world.Schools {
+		if s.Name == name {
+			return SchoolRef{ID: s.ID, Name: s.Name, City: s.City}, nil
+		}
+	}
+	return SchoolRef{}, ErrNoSchool
+}
+
+// capView returns the deterministic per-account slice of a search index:
+// the platform shows each searcher an (account-dependent) subset capped at
+// SearchPerAccount — which is why the paper used multiple fake accounts to
+// widen the seed set. Registered minors are excluded per policy.
+func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []socialgraph.UserID {
+	h := uint64(17)
+	for i := 0; i < len(token); i++ {
+		h = h*31 + uint64(token[i])
+	}
+	for i := 0; i < len(scope); i++ {
+		h = h*131 + uint64(scope[i])
+	}
+	rng := sim.New(p.world.Seed ^ h)
+	perm := rng.Perm(len(idx))
+	n := p.cfg.SearchPerAccount
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]socialgraph.UserID, 0, n)
+	for _, k := range perm {
+		u := idx[k]
+		// Policy: registered minors never appear in search results.
+		if !p.policy.MinorsSearchable && p.world.People[u].RegisteredMinorAt(p.world.Now) {
+			continue
+		}
+		out = append(out, u)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// accountView is capView over a school's index.
+func (p *Platform) accountView(token string, schoolID int) []socialgraph.UserID {
+	return p.capView(token, fmt.Sprintf("school:%d", schoolID), p.searchIndex[schoolID])
+}
+
+// SchoolSearch returns one page of the Find-Friends results for the school
+// as seen by the account. Scrolling (increasing page) eventually exhausts
+// the account's view; more reports whether another page exists.
+func (p *Platform) SchoolSearch(token string, schoolID, page int) (results []SearchResult, more bool, err error) {
+	if err := p.charge(token); err != nil {
+		return nil, false, err
+	}
+	if schoolID < 0 || schoolID >= len(p.searchIndex) {
+		return nil, false, ErrNoSchool
+	}
+	if page < 0 {
+		return nil, false, fmt.Errorf("osn: negative page")
+	}
+	view := p.accountView(token, schoolID)
+	start := page * p.cfg.SearchPageSize
+	if start >= len(view) {
+		return nil, false, nil
+	}
+	end := start + p.cfg.SearchPageSize
+	if end > len(view) {
+		end = len(view)
+	}
+	for _, u := range view[start:end] {
+		results = append(results, SearchResult{ID: p.pub[u], Name: p.world.People[u].DisplayName()})
+	}
+	return results, end < len(view), nil
+}
+
+// Profile renders the stranger view of a public profile.
+func (p *Platform) Profile(token string, id PublicID) (*PublicProfile, error) {
+	if err := p.charge(token); err != nil {
+		return nil, err
+	}
+	u, ok := p.byPub[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return p.renderProfile(u), nil
+}
+
+func (p *Platform) renderProfile(u socialgraph.UserID) *PublicProfile {
+	person := p.world.People[u]
+	regMinor := person.RegisteredMinorAt(p.world.Now)
+	vis := func(a Attribute) bool { return visibleToStranger(p.policy, person, regMinor, a) }
+
+	pp := &PublicProfile{
+		ID:       p.pub[u],
+		Name:     person.DisplayName(),
+		HasPhoto: vis(AttrProfilePhoto),
+	}
+	if vis(AttrGender) {
+		pp.Gender = person.Gender.String()
+	}
+	if vis(AttrNetworks) && person.SchoolID >= 0 {
+		pp.Network = p.world.Schools[person.SchoolID].City + " network"
+	}
+	if vis(AttrHighSchool) && person.SchoolID >= 0 {
+		pp.HighSchool = p.world.Schools[person.SchoolID].Name
+		pp.GradYear = person.GradYear
+	}
+	pp.GradSchool = vis(AttrGradSchool)
+	pp.Relationship = vis(AttrRelationship)
+	pp.InterestedIn = vis(AttrInterestedIn)
+	if vis(AttrBirthday) {
+		b := person.RegisteredBirth
+		pp.Birthday = &b
+	}
+	if vis(AttrHometown) {
+		pp.Hometown = person.Hometown
+	}
+	if vis(AttrCurrentCity) {
+		pp.CurrentCity = person.CurrentCity
+	}
+	pp.FriendListVisible = vis(AttrFriendList)
+	if vis(AttrPhotos) {
+		pp.PhotoCount = person.PhotosShared
+	}
+	pp.ContactInfo = vis(AttrContact)
+	pp.CanMessage = person.Privacy.MessageLink && (!regMinor || p.policy.MinorsMessageable)
+	pp.Searchable = person.Privacy.PublicSearch && (!regMinor || p.policy.MinorsSearchable)
+	return pp
+}
+
+// friendListVisible reports whether u's friend list is stranger-visible.
+func (p *Platform) friendListVisible(u socialgraph.UserID) bool {
+	person := p.world.People[u]
+	return visibleToStranger(p.policy, person, person.RegisteredMinorAt(p.world.Now), AttrFriendList)
+}
+
+// FriendPage returns one page (FriendPageSize entries) of a user's friend
+// list, or ErrHidden if the list is not stranger-visible. When the policy's
+// HiddenListsInReverseLookup is false (the §8 countermeasure), entries whose
+// own friend lists are hidden are omitted — they become undiscoverable by
+// reverse lookup.
+func (p *Platform) FriendPage(token string, id PublicID, page int) (friends []FriendRef, more bool, err error) {
+	if err := p.charge(token); err != nil {
+		return nil, false, err
+	}
+	u, ok := p.byPub[id]
+	if !ok {
+		return nil, false, ErrNotFound
+	}
+	if !p.friendListVisible(u) {
+		return nil, false, ErrHidden
+	}
+	all := p.world.Graph.Friends(u)
+	if !p.policy.HiddenListsInReverseLookup {
+		kept := all[:0]
+		for _, f := range all {
+			if p.friendListVisible(f) {
+				kept = append(kept, f)
+			}
+		}
+		all = kept
+	}
+	start := page * p.cfg.FriendPageSize
+	if start >= len(all) {
+		return nil, false, nil
+	}
+	end := start + p.cfg.FriendPageSize
+	if end > len(all) {
+		end = len(all)
+	}
+	for _, f := range all[start:end] {
+		friends = append(friends, FriendRef{ID: p.pub[f], Name: p.world.People[f].DisplayName()})
+	}
+	return friends, end < len(all), nil
+}

@@ -1,0 +1,244 @@
+// Package osn simulates the Online Social Network platform the attack runs
+// against: a 2012-Facebook-policy-faithful service with a COPPA age gate at
+// registration, per-audience visibility rules for registered minors vs
+// registered adults (the paper's Table 1), school search that never returns
+// registered minors, paginated friend lists, and anti-crawl throttling.
+//
+// The package deliberately exposes to callers only what a stranger could
+// see. The attack code in internal/core consumes this surface; the
+// evaluation code reaches around it to the ground-truth world.
+package osn
+
+// Attribute enumerates the profile fields whose stranger-visibility the
+// platform polices. The grouping follows the rows of the paper's Table 1.
+type Attribute int
+
+const (
+	AttrName Attribute = iota
+	AttrProfilePhoto
+	AttrGender
+	AttrNetworks
+	AttrHighSchool // school name + graduation year, one profile field
+	AttrGradSchool
+	AttrRelationship
+	AttrInterestedIn
+	AttrBirthday
+	AttrHometown
+	AttrCurrentCity
+	AttrFriendList
+	AttrPhotos
+	AttrContact
+	numAttributes
+)
+
+// NumAttributes is the number of policed profile attributes.
+const NumAttributes = int(numAttributes)
+
+// String names the attribute as it appears in reports.
+func (a Attribute) String() string {
+	switch a {
+	case AttrName:
+		return "name"
+	case AttrProfilePhoto:
+		return "profile photo"
+	case AttrGender:
+		return "gender"
+	case AttrNetworks:
+		return "networks"
+	case AttrHighSchool:
+		return "high school + grad year"
+	case AttrGradSchool:
+		return "graduate school"
+	case AttrRelationship:
+		return "relationship"
+	case AttrInterestedIn:
+		return "interested in"
+	case AttrBirthday:
+		return "birthday"
+	case AttrHometown:
+		return "hometown"
+	case AttrCurrentCity:
+		return "current city"
+	case AttrFriendList:
+		return "friend list"
+	case AttrPhotos:
+		return "photos"
+	case AttrContact:
+		return "contact info"
+	default:
+		return "unknown"
+	}
+}
+
+// AttrSet is a set of attributes.
+type AttrSet [NumAttributes]bool
+
+// With returns a copy of the set with the given attributes added.
+func (s AttrSet) With(attrs ...Attribute) AttrSet {
+	for _, a := range attrs {
+		s[a] = true
+	}
+	return s
+}
+
+// Has reports membership.
+func (s AttrSet) Has(a Attribute) bool { return s[a] }
+
+// Policy is a platform's minor-protection rule set: what a stranger may
+// ever see of a registered minor's or registered adult's profile (the cap),
+// what a fresh account shares by default, and whether registered minors
+// appear in school-search results or can be messaged by strangers. The
+// effective stranger view of any profile is the intersection of the class
+// cap with the user's own settings.
+type Policy struct {
+	Name string
+
+	// MinorCap and AdultCap bound what each registered class can ever
+	// expose to strangers, regardless of settings.
+	MinorCap, AdultCap AttrSet
+	// MinorDefault and AdultDefault are the out-of-the-box sharing
+	// defaults (the "Default" columns of Tables 1 and 6).
+	MinorDefault, AdultDefault AttrSet
+
+	// MinorsSearchable controls whether registered minors are returned by
+	// the school/city search portals. False for both Facebook and Google+.
+	MinorsSearchable bool
+	// MinorsMessageable controls whether strangers ever see a message
+	// control on a registered minor's profile.
+	MinorsMessageable bool
+	// HiddenListsInReverseLookup controls whether a user whose own friend
+	// list is hidden from strangers still appears inside other users'
+	// visible friend lists. True on the real platforms (this is what makes
+	// reverse lookup work); the §8 countermeasure sets it to false.
+	HiddenListsInReverseLookup bool
+}
+
+// baseRow1 is "Name, Gender, Networks, Profile Photo" — visible in every
+// column of Table 1.
+func baseRow1() AttrSet {
+	return AttrSet{}.With(AttrName, AttrGender, AttrNetworks, AttrProfilePhoto)
+}
+
+// Facebook returns the platform policy documented in the paper's Table 1.
+//
+//	Default  reg. minors: name, gender, networks, profile photo
+//	Default  reg. adults: + HS, relationship, interested-in, hometown,
+//	                        current city, friend list, photos, public search
+//	Worst    reg. minors: same as default (nothing more ever shown)
+//	Worst    reg. adults: + birthday, contact info
+func Facebook() *Policy {
+	minor := baseRow1()
+	adultDefault := baseRow1().With(
+		AttrHighSchool, AttrGradSchool, AttrRelationship, AttrInterestedIn,
+		AttrHometown, AttrCurrentCity, AttrFriendList, AttrPhotos,
+	)
+	adultCap := adultDefault.With(AttrBirthday, AttrContact)
+	return &Policy{
+		Name:                       "Facebook",
+		MinorCap:                   minor,
+		AdultCap:                   adultCap,
+		MinorDefault:               minor,
+		AdultDefault:               adultDefault,
+		MinorsSearchable:           false,
+		MinorsMessageable:          false,
+		HiddenListsInReverseLookup: true,
+	}
+}
+
+// GooglePlus returns the Google+ policy of the paper's Table 6 (appendix).
+// The column alignment of the published table is partially ambiguous in the
+// source text; this encoding preserves its documented qualitative content:
+// minors' defaults are minimal (name + picture), but unlike Facebook the
+// worst case lets minors expose school, hometown, city, photos and circle
+// membership — so the attack surface is *larger* than Facebook's, as the
+// appendix observes. Minors are still excluded from school search.
+func GooglePlus() *Policy {
+	minorDefault := AttrSet{}.With(AttrName, AttrProfilePhoto)
+	minorCap := baseRow1().With(
+		AttrHighSchool, AttrHometown, AttrCurrentCity,
+		AttrPhotos, AttrBirthday, AttrFriendList, // circles are friend lists here
+	)
+	adultDefault := baseRow1().With(
+		AttrHighSchool, AttrGradSchool, AttrHometown, AttrCurrentCity,
+		AttrFriendList,
+	)
+	adultCap := adultDefault.With(
+		AttrRelationship, AttrInterestedIn, AttrBirthday, AttrPhotos,
+		AttrContact,
+	)
+	return &Policy{
+		Name:                       "Google+",
+		MinorCap:                   minorCap,
+		AdultCap:                   adultCap,
+		MinorDefault:               minorDefault,
+		AdultDefault:               adultDefault,
+		MinorsSearchable:           false,
+		MinorsMessageable:          true, // G+ had no stranger-messaging gate distinction in the table
+		HiddenListsInReverseLookup: true,
+	}
+}
+
+// Cap returns the visibility cap for the given registered class.
+func (p *Policy) Cap(registeredMinor bool) AttrSet {
+	if registeredMinor {
+		return p.MinorCap
+	}
+	return p.AdultCap
+}
+
+// Default returns the default sharing set for the given registered class.
+func (p *Policy) Default(registeredMinor bool) AttrSet {
+	if registeredMinor {
+		return p.MinorDefault
+	}
+	return p.AdultDefault
+}
+
+// MatrixRow is one row of the Table 1/Table 6 visibility matrix.
+type MatrixRow struct {
+	Label                                                      string
+	DefaultMinor, DefaultAdult, WorstCaseMinor, WorstCaseAdult bool
+}
+
+// Matrix renders the policy as the paper's table: for each attribute group,
+// whether it is stranger-visible by default and in the worst case for each
+// registered class. The grouping mirrors Table 1's rows.
+func (p *Policy) Matrix() []MatrixRow {
+	groups := []struct {
+		label string
+		attrs []Attribute
+	}{
+		{"Name, Gender, Networks, Profile Photo", []Attribute{AttrName}},
+		{"HS, Relationship, Interested In", []Attribute{AttrHighSchool, AttrRelationship}},
+		{"Birthday", []Attribute{AttrBirthday}},
+		{"Hometown, Current City, Friendlist", []Attribute{AttrHometown, AttrFriendList}},
+		{"Photos", []Attribute{AttrPhotos}},
+		{"Contact Information", []Attribute{AttrContact}},
+	}
+	all := func(s AttrSet, attrs []Attribute) bool {
+		for _, a := range attrs {
+			if !s.Has(a) {
+				return false
+			}
+		}
+		return true
+	}
+	var rows []MatrixRow
+	for _, g := range groups {
+		rows = append(rows, MatrixRow{
+			Label:          g.label,
+			DefaultMinor:   all(p.MinorDefault, g.attrs),
+			DefaultAdult:   all(p.AdultDefault, g.attrs),
+			WorstCaseMinor: all(p.MinorCap, g.attrs),
+			WorstCaseAdult: all(p.AdultCap, g.attrs),
+		})
+	}
+	rows = append(rows, MatrixRow{
+		Label:          "Public Search",
+		DefaultMinor:   p.MinorsSearchable,
+		DefaultAdult:   true,
+		WorstCaseMinor: p.MinorsSearchable,
+		WorstCaseAdult: true,
+	})
+	return rows
+}

@@ -1,0 +1,116 @@
+package osn
+
+import "testing"
+
+// TestFacebookTable1 pins the policy encoding to the paper's Table 1.
+func TestFacebookTable1(t *testing.T) {
+	rows := Facebook().Matrix()
+	want := []MatrixRow{
+		{"Name, Gender, Networks, Profile Photo", true, true, true, true},
+		{"HS, Relationship, Interested In", false, true, false, true},
+		{"Birthday", false, false, false, true},
+		{"Hometown, Current City, Friendlist", false, true, false, true},
+		{"Photos", false, true, false, true},
+		{"Contact Information", false, false, false, true},
+		{"Public Search", false, true, false, true},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %q = %+v, want %+v", w.Label, rows[i], w)
+		}
+	}
+}
+
+// TestMinorCapIsMinimal asserts the central protection the paper documents:
+// no matter the settings, a registered minor's stranger-visible profile
+// never exceeds name/photo/gender/networks on Facebook.
+func TestMinorCapIsMinimal(t *testing.T) {
+	p := Facebook()
+	allowed := map[Attribute]bool{
+		AttrName: true, AttrProfilePhoto: true, AttrGender: true, AttrNetworks: true,
+	}
+	for a := Attribute(0); a < Attribute(NumAttributes); a++ {
+		if p.MinorCap.Has(a) != allowed[a] {
+			t.Errorf("minor cap for %v = %v", a, p.MinorCap.Has(a))
+		}
+	}
+	if p.MinorsSearchable {
+		t.Error("Facebook must not return registered minors in school search")
+	}
+	if p.MinorsMessageable {
+		t.Error("strangers must not see a Message control on minors")
+	}
+}
+
+func TestAdultCapSupersetOfDefault(t *testing.T) {
+	for _, pol := range []*Policy{Facebook(), GooglePlus()} {
+		for a := Attribute(0); a < Attribute(NumAttributes); a++ {
+			if pol.AdultDefault.Has(a) && !pol.AdultCap.Has(a) {
+				t.Errorf("%s: adult default exposes %v beyond the cap", pol.Name, a)
+			}
+			if pol.MinorDefault.Has(a) && !pol.MinorCap.Has(a) {
+				t.Errorf("%s: minor default exposes %v beyond the cap", pol.Name, a)
+			}
+		}
+	}
+}
+
+// TestGooglePlusMinorWorstCaseWiderThanFacebook encodes the appendix's
+// observation: Google+ minors can, at worst, expose school/hometown/city —
+// Facebook minors never can.
+func TestGooglePlusMinorWorstCaseWiderThanFacebook(t *testing.T) {
+	fb, gp := Facebook(), GooglePlus()
+	for _, a := range []Attribute{AttrHighSchool, AttrHometown, AttrCurrentCity} {
+		if fb.MinorCap.Has(a) {
+			t.Errorf("Facebook minor cap unexpectedly includes %v", a)
+		}
+		if !gp.MinorCap.Has(a) {
+			t.Errorf("Google+ minor cap should include %v", a)
+		}
+	}
+	if gp.MinorsSearchable {
+		t.Error("Google+ also excludes minors from school search")
+	}
+}
+
+func TestCapAndDefaultSelectors(t *testing.T) {
+	p := Facebook()
+	if p.Cap(true) != p.MinorCap || p.Cap(false) != p.AdultCap {
+		t.Error("Cap selector wrong")
+	}
+	if p.Default(true) != p.MinorDefault || p.Default(false) != p.AdultDefault {
+		t.Error("Default selector wrong")
+	}
+}
+
+func TestAttrSetWith(t *testing.T) {
+	s := AttrSet{}.With(AttrName, AttrPhotos)
+	if !s.Has(AttrName) || !s.Has(AttrPhotos) || s.Has(AttrBirthday) {
+		t.Error("With/Has wrong")
+	}
+	// With must not mutate the receiver.
+	s2 := s.With(AttrBirthday)
+	if s.Has(AttrBirthday) || !s2.Has(AttrBirthday) {
+		t.Error("With mutated receiver")
+	}
+}
+
+func TestAttributeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for a := Attribute(0); a < Attribute(NumAttributes); a++ {
+		s := a.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("attribute %d has no name", a)
+		}
+		if seen[s] {
+			t.Errorf("duplicate attribute name %q", s)
+		}
+		seen[s] = true
+	}
+	if Attribute(99).String() != "unknown" {
+		t.Error("out-of-range attribute should be unknown")
+	}
+}

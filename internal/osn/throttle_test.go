@@ -1,0 +1,104 @@
+package osn
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestThrottleSlidingWindow(t *testing.T) {
+	p := testPlatform(t, Config{ThrottleLimit: 3, ThrottleWindow: time.Minute})
+	now := time.Unix(1000, 0)
+	p.SetClock(func() time.Time { return now })
+	tok := attacker(t, p)
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+			t.Fatalf("request %d throttled early: %v", i, err)
+		}
+	}
+	if _, _, err := p.SchoolSearch(tok, 0, 0); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("got %v, want ErrThrottled", err)
+	}
+	// Throttled requests must not poison the window further: advancing
+	// past the window restores service.
+	now = now.Add(61 * time.Second)
+	if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+		t.Fatalf("window did not drain: %v", err)
+	}
+}
+
+func TestThrottlePartialDrain(t *testing.T) {
+	p := testPlatform(t, Config{ThrottleLimit: 2, ThrottleWindow: time.Minute})
+	now := time.Unix(1000, 0)
+	p.SetClock(func() time.Time { return now })
+	tok := attacker(t, p)
+
+	mustOK := func() {
+		t.Helper()
+		if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK()
+	now = now.Add(40 * time.Second)
+	mustOK()
+	// First request is 40s old, second fresh: limit reached.
+	if _, _, err := p.SchoolSearch(tok, 0, 0); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("got %v", err)
+	}
+	// 25s later the first request has left the window; one slot free.
+	now = now.Add(25 * time.Second)
+	mustOK()
+	if _, _, err := p.SchoolSearch(tok, 0, 0); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestThrottlePerAccount(t *testing.T) {
+	p := testPlatform(t, Config{ThrottleLimit: 1, ThrottleWindow: time.Minute})
+	now := time.Unix(1000, 0)
+	p.SetClock(func() time.Time { return now })
+	a := attacker(t, p)
+	b := attacker(t, p)
+	if _, _, err := p.SchoolSearch(a, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.SchoolSearch(a, 0, 0); !errors.Is(err, ErrThrottled) {
+		t.Fatal("account a not throttled")
+	}
+	// Account b is unaffected: the window is per account.
+	if _, _, err := p.SchoolSearch(b, 0, 0); err != nil {
+		t.Fatalf("account b throttled: %v", err)
+	}
+}
+
+func TestThrottleDoesNotConsumeBudget(t *testing.T) {
+	p := testPlatform(t, Config{ThrottleLimit: 1, ThrottleWindow: time.Minute, RequestBudget: 2})
+	now := time.Unix(1000, 0)
+	p.SetClock(func() time.Time { return now })
+	tok := attacker(t, p)
+	if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the throttle; none of these should burn budget.
+	for i := 0; i < 10; i++ {
+		if _, _, err := p.SchoolSearch(tok, 0, 0); !errors.Is(err, ErrThrottled) {
+			t.Fatal("expected throttle")
+		}
+	}
+	now = now.Add(2 * time.Minute)
+	if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+		t.Fatalf("budget was consumed by throttled requests: %v", err)
+	}
+}
+
+func TestThrottleDisabledByDefault(t *testing.T) {
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	for i := 0; i < 50; i++ {
+		if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+			t.Fatalf("unthrottled platform rejected request %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package osn
+
+import (
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/worldgen"
+)
+
+// PublicID is the opaque identifier under which a user is exposed by the
+// platform. It carries no information about the underlying world ID.
+type PublicID string
+
+// PublicProfile is everything a stranger sees when visiting a profile page.
+// Invisible fields are zero-valued; boolean presence fields (Relationship,
+// InterestedIn, ContactInfo) model whether the section is shown at all,
+// which is what the paper's Table 5 counts.
+type PublicProfile struct {
+	ID       PublicID
+	Name     string
+	HasPhoto bool
+	Gender   string
+	Network  string // joined network, if listed ("<City> network")
+
+	HighSchool string // school name, empty if hidden
+	GradYear   int    // 0 if hidden
+	GradSchool bool   // profile names a graduate school
+
+	Relationship bool
+	InterestedIn bool
+	Birthday     *sim.Date // the *registered* birthday, if shared
+	Hometown     string
+	CurrentCity  string
+
+	FriendListVisible bool
+	PhotoCount        int
+	ContactInfo       bool
+	CanMessage        bool
+	// Searchable reports whether the profile is discoverable through public
+	// search. An attacker can test this directly (search the displayed name
+	// and check for the profile), so it is part of the stranger view; the
+	// paper's Table 5 reports it as "public search enabled".
+	Searchable bool
+}
+
+// Minimal reports whether this is a "minimal profile" in the paper's sense:
+// at most name, profile photo, networks and gender are visible, and the
+// message control is absent. Under Facebook policy every registered minor's
+// public profile is minimal; the §7 heuristic uses minimality as its
+// minor-detection signal.
+func (pp *PublicProfile) Minimal() bool {
+	return pp.HighSchool == "" && !pp.GradSchool && !pp.Relationship &&
+		!pp.InterestedIn && pp.Birthday == nil && pp.Hometown == "" &&
+		pp.CurrentCity == "" && !pp.FriendListVisible && pp.PhotoCount == 0 &&
+		!pp.ContactInfo && !pp.CanMessage
+}
+
+// settingFor maps a policed attribute to the user's own sharing intent.
+func settingFor(p *worldgen.Person, a Attribute) bool {
+	switch a {
+	case AttrName, AttrProfilePhoto, AttrGender:
+		return true
+	case AttrNetworks:
+		return p.Privacy.ListsNetwork
+	case AttrHighSchool:
+		return p.ListsSchool
+	case AttrGradSchool:
+		return p.ListsGradSchool
+	case AttrRelationship:
+		return p.Privacy.ShowRelationship
+	case AttrInterestedIn:
+		return p.Privacy.ShowInterestedIn
+	case AttrBirthday:
+		return p.Privacy.ShowBirthday
+	case AttrHometown:
+		return p.Privacy.ShowHometown
+	case AttrCurrentCity:
+		return p.ListsCity
+	case AttrFriendList:
+		return p.Privacy.FriendListPublic
+	case AttrPhotos:
+		return p.Privacy.ShowPhotos
+	case AttrContact:
+		return p.Privacy.ShowContact
+	default:
+		return false
+	}
+}
+
+// visibleToStranger applies the policy: cap for the registered class AND the
+// user's setting.
+func visibleToStranger(pol *Policy, p *worldgen.Person, regMinor bool, a Attribute) bool {
+	return pol.Cap(regMinor).Has(a) && settingFor(p, a)
+}

@@ -1,0 +1,305 @@
+package osnhttp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+)
+
+// Pacer throttles the crawler between requests. The paper's crawlers used
+// sleep functions to stay under the platform's anti-crawl radar; tests use
+// NoPace to run at full speed against the local simulator.
+type Pacer interface {
+	Pause()
+}
+
+// NoPace performs no throttling.
+type NoPace struct{}
+
+// Pause implements Pacer.
+func (NoPace) Pause() {}
+
+// SleepPace sleeps a fixed interval before every request.
+type SleepPace struct{ Interval time.Duration }
+
+// Pause implements Pacer.
+func (s SleepPace) Pause() { time.Sleep(s.Interval) }
+
+// Client fetches and parses the platform's HTML pages. It implements the
+// stranger-visible access surface the attack code consumes (core.Client).
+type Client struct {
+	base   string
+	hc     *http.Client
+	pacer  Pacer
+	tokens []string
+}
+
+// NewClient returns a client for the server at base (e.g. an httptest URL).
+// hc may be nil for http.DefaultClient; pacer may be nil for NoPace.
+func NewClient(base string, hc *http.Client, pacer Pacer) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if pacer == nil {
+		pacer = NoPace{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, pacer: pacer}
+}
+
+// RegisterAccounts creates n fake adult accounts for crawling, as the study
+// did (2 for HS1, 4 each for HS2/HS3).
+func (c *Client) RegisterAccounts(n int) error {
+	for i := 0; i < n; i++ {
+		form := url.Values{
+			"name":  {fmt.Sprintf("crawler%d", len(c.tokens))},
+			"birth": {"1985-01-01"},
+		}
+		resp, err := c.hc.PostForm(c.base+"/register", form)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("osnhttp: register: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		c.tokens = append(c.tokens, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// Accounts reports how many fake accounts the client holds.
+func (c *Client) Accounts() int { return len(c.tokens) }
+
+// statusErr maps wire status codes back to the platform error values so the
+// attack code behaves identically in-process and over HTTP.
+func statusErr(code int, body string) error {
+	switch code {
+	case http.StatusUnauthorized:
+		return osn.ErrUnauthorized
+	case http.StatusTooManyRequests:
+		return osn.ErrSuspended
+	case http.StatusServiceUnavailable:
+		return osn.ErrThrottled
+	case http.StatusForbidden:
+		return osn.ErrUnderage
+	case http.StatusNotFound:
+		return osn.ErrNotFound
+	case http.StatusGone:
+		return osn.ErrHidden
+	default:
+		return fmt.Errorf("osnhttp: unexpected status %d: %s", code, strings.TrimSpace(body))
+	}
+}
+
+// get fetches a page, applying pacing and error mapping.
+func (c *Client) get(path string) (string, error) {
+	c.pacer.Pause()
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", statusErr(resp.StatusCode, string(body))
+	}
+	return string(body), nil
+}
+
+func (c *Client) token(acct int) (string, error) {
+	if acct < 0 || acct >= len(c.tokens) {
+		return "", fmt.Errorf("osnhttp: account %d not registered (have %d)", acct, len(c.tokens))
+	}
+	return c.tokens[acct], nil
+}
+
+// LookupSchool resolves a school by exact name via the portal directory.
+func (c *Client) LookupSchool(name string) (osn.SchoolRef, error) {
+	page, err := c.get("/schools")
+	if err != nil {
+		return osn.SchoolRef{}, err
+	}
+	ids := classDataIDs(page, "school")
+	names := classText(page, "schoolname")
+	cities := classText(page, "schoolcity")
+	for i := range ids {
+		if i < len(names) && names[i] == name {
+			id, err := strconv.Atoi(ids[i])
+			if err != nil {
+				return osn.SchoolRef{}, fmt.Errorf("osnhttp: bad school id %q", ids[i])
+			}
+			city := ""
+			if i < len(cities) {
+				city = cities[i]
+			}
+			return osn.SchoolRef{ID: id, Name: name, City: city}, nil
+		}
+	}
+	return osn.SchoolRef{}, osn.ErrNoSchool
+}
+
+// Search fetches one page of Find-Friends results using the acct-th fake
+// account.
+func (c *Client) Search(acct, schoolID, page int) ([]osn.SearchResult, bool, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := c.get(fmt.Sprintf("/find-friends?school=%d&page=%d&acct=%s", schoolID, page, url.QueryEscape(tok)))
+	if err != nil {
+		return nil, false, err
+	}
+	ids := classDataIDs(body, "result")
+	names := classText(body, "name")
+	var out []osn.SearchResult
+	for i, id := range ids {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, osn.SearchResult{ID: osn.PublicID(id), Name: name})
+	}
+	return out, hasClass(body, "next"), nil
+}
+
+// CitySearch fetches one page of the by-city people search.
+func (c *Client) CitySearch(acct int, city string, page int) ([]osn.SearchResult, bool, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := c.get(fmt.Sprintf("/city-search?city=%s&page=%d&acct=%s",
+		url.QueryEscape(city), page, url.QueryEscape(tok)))
+	if err != nil {
+		return nil, false, err
+	}
+	ids := classDataIDs(body, "result")
+	names := classText(body, "name")
+	var out []osn.SearchResult
+	for i, id := range ids {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, osn.SearchResult{ID: osn.PublicID(id), Name: name})
+	}
+	return out, hasClass(body, "next"), nil
+}
+
+// GraphSearch runs a structured Graph-Search-style query via the acct-th
+// account.
+func (c *Client) GraphSearch(acct int, q osn.GraphQuery, page int) ([]osn.SearchResult, bool, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	current := "0"
+	if q.CurrentStudents {
+		current = "1"
+	}
+	body, err := c.get(fmt.Sprintf(
+		"/graph-search?school=%d&current=%s&after=%d&before=%d&city=%s&page=%d&acct=%s",
+		q.SchoolID, current, q.GradYearAfter, q.GradYearBefore,
+		url.QueryEscape(q.City), page, url.QueryEscape(tok)))
+	if err != nil {
+		return nil, false, err
+	}
+	ids := classDataIDs(body, "result")
+	names := classText(body, "name")
+	var out []osn.SearchResult
+	for i, id := range ids {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, osn.SearchResult{ID: osn.PublicID(id), Name: name})
+	}
+	return out, hasClass(body, "next"), nil
+}
+
+// Profile fetches and parses a public profile page.
+func (c *Client) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.get(fmt.Sprintf("/profile/%s?acct=%s", url.PathEscape(string(id)), url.QueryEscape(tok)))
+	if err != nil {
+		return nil, err
+	}
+	return parseProfile(body, id), nil
+}
+
+func parseProfile(body string, id osn.PublicID) *osn.PublicProfile {
+	pp := &osn.PublicProfile{
+		ID:                id,
+		Name:              firstClassText(body, "name"),
+		HasPhoto:          hasClass(body, "photo"),
+		Gender:            firstClassText(body, "gender"),
+		Network:           firstClassText(body, "network"),
+		HighSchool:        firstClassText(body, "school"),
+		GradSchool:        hasClass(body, "gradschool"),
+		Relationship:      hasClass(body, "relationship"),
+		InterestedIn:      hasClass(body, "interested"),
+		Hometown:          firstClassText(body, "hometown"),
+		CurrentCity:       firstClassText(body, "currentcity"),
+		FriendListVisible: hasClass(body, "friendlink"),
+		ContactInfo:       hasClass(body, "contact"),
+		CanMessage:        hasClass(body, "message"),
+		Searchable:        hasClass(body, "searchable"),
+	}
+	if gy := firstClassText(body, "gradyear"); gy != "" {
+		if n, err := strconv.Atoi(strings.TrimPrefix(gy, "Class of ")); err == nil {
+			pp.GradYear = n
+		}
+	}
+	if bd := firstClassText(body, "birthday"); bd != "" {
+		var d sim.Date
+		if _, err := fmt.Sscanf(bd, "%d-%d-%d", &d.Year, &d.Month, &d.Day); err == nil {
+			pp.Birthday = &d
+		}
+	}
+	if pc := firstClassText(body, "photocount"); pc != "" {
+		if n, err := strconv.Atoi(pc); err == nil {
+			pp.PhotoCount = n
+		}
+	}
+	return pp
+}
+
+// FriendPage fetches one page of a friend list.
+func (c *Client) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := c.get(fmt.Sprintf("/friends/%s?page=%d&acct=%s", url.PathEscape(string(id)), page, url.QueryEscape(tok)))
+	if err != nil {
+		return nil, false, err
+	}
+	ids := classDataIDs(body, "friend")
+	names := classText(body, "name")
+	var out []osn.FriendRef
+	for i, fid := range ids {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, osn.FriendRef{ID: osn.PublicID(fid), Name: name})
+	}
+	return out, hasClass(body, "next"), nil
+}

@@ -1,0 +1,36 @@
+package osnhttp
+
+import "testing"
+
+// Native fuzz targets. In plain `go test` runs these execute their seed
+// corpora as regression tests; use `go test -fuzz FuzzParseProfile
+// ./internal/osnhttp` to explore further.
+
+func FuzzParseProfile(f *testing.F) {
+	f.Add(`<div id="profile" data-id="u1"><h1 class="name">Ann</h1></div>`)
+	f.Add(`<span class="gradyear">Class of 2013</span><span class="birthday">1994-02-03</span>`)
+	f.Add(`<span class="name">unterminated`)
+	f.Add("")
+	f.Add(`class="name"`)
+	f.Fuzz(func(t *testing.T, page string) {
+		pp := parseProfile(page, "u")
+		if pp == nil {
+			t.Fatal("nil profile")
+		}
+		if pp.GradYear < 0 || pp.PhotoCount < 0 {
+			t.Fatalf("negative numeric field: %+v", pp)
+		}
+	})
+}
+
+func FuzzClassScanners(f *testing.F) {
+	f.Add(`<div class="result" data-id="u1"><span class="name">A</span></div>`, "result")
+	f.Add(`<li class="friend" data-id="`, "friend")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, page, class string) {
+		_ = classText(page, class)
+		_ = classDataIDs(page, class)
+		_ = hasClass(page, class)
+		_ = firstClassText(page, class)
+	})
+}

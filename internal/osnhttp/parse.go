@@ -1,0 +1,78 @@
+package osnhttp
+
+import (
+	"html"
+	"strings"
+)
+
+// The crawler-side parser. The original study downloaded Facebook HTML and
+// extracted fields with a custom parser; this one does the same against the
+// simulator's pages. It scans for class-marked elements rather than building
+// a DOM: the markers are a stable contract with the server templates, and
+// the scanning tolerates reformatting around them.
+
+// classText returns the text content of every element whose class attribute
+// equals class, e.g. classText(page, "name") over
+// `<span class="name">Ann</span>` yields ["Ann"]. HTML entities are decoded.
+func classText(page, class string) []string {
+	marker := `class="` + class + `"`
+	var out []string
+	for i := 0; ; {
+		j := strings.Index(page[i:], marker)
+		if j < 0 {
+			return out
+		}
+		i += j + len(marker)
+		gt := strings.IndexByte(page[i:], '>')
+		if gt < 0 {
+			return out
+		}
+		start := i + gt + 1
+		lt := strings.IndexByte(page[start:], '<')
+		if lt < 0 {
+			return out
+		}
+		out = append(out, html.UnescapeString(strings.TrimSpace(page[start:start+lt])))
+		i = start + lt
+	}
+}
+
+// firstClassText returns the first class-marked element's text, or "".
+func firstClassText(page, class string) string {
+	if all := classText(page, class); len(all) > 0 {
+		return all[0]
+	}
+	return ""
+}
+
+// hasClass reports whether any element carries the class.
+func hasClass(page, class string) bool {
+	return strings.Contains(page, `class="`+class+`"`)
+}
+
+// classDataIDs returns the data-id attribute of every element with the
+// class, e.g. `<div class="result" data-id="u12">`.
+func classDataIDs(page, class string) []string {
+	marker := `class="` + class + `"`
+	var out []string
+	for i := 0; ; {
+		j := strings.Index(page[i:], marker)
+		if j < 0 {
+			return out
+		}
+		i += j + len(marker)
+		end := strings.IndexByte(page[i:], '>')
+		if end < 0 {
+			return out
+		}
+		tagRest := page[i : i+end]
+		const attr = `data-id="`
+		if k := strings.Index(tagRest, attr); k >= 0 {
+			v := tagRest[k+len(attr):]
+			if q := strings.IndexByte(v, '"'); q >= 0 {
+				out = append(out, html.UnescapeString(v[:q]))
+			}
+		}
+		i += end
+	}
+}

@@ -1,0 +1,70 @@
+package osnhttp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The parser consumes pages from a server it doesn't control (in the
+// original study, Facebook's); it must never panic and must degrade to
+// empty results on malformed input.
+
+func TestParserOnMalformedPages(t *testing.T) {
+	cases := []string{
+		"",
+		"<",
+		`class="name"`,                    // marker with no tag close
+		`<span class="name">unterminated`, // no closing <
+		`<span class="name"`,              // tag never closes
+		`<div class="result" data-id=>x</div>`,
+		`<div class="result" data-id="u1>x</div>`, // unterminated attr
+		`<div data-id="u1" class="result">late attr</div>`,
+		strings.Repeat(`<span class="name">x</span>`, 1000),
+		`<span class="gradyear">Class of notayear</span>`,
+		`<span class="birthday">99-99</span>`,
+		`<span class="photocount">NaN</span>`,
+	}
+	for i, page := range cases {
+		// None of these may panic.
+		_ = classText(page, "name")
+		_ = classDataIDs(page, "result")
+		_ = firstClassText(page, "gradyear")
+		pp := parseProfile(page, "u")
+		if pp == nil {
+			t.Fatalf("case %d: nil profile", i)
+		}
+	}
+	// data-id after class is not picked up only when the tag closed first;
+	// same-tag late attributes still parse.
+	ids := classDataIDs(`<div class="result" x="y" data-id="u9">ok</div>`, "result")
+	if len(ids) != 1 || ids[0] != "u9" {
+		t.Fatalf("late attr ids: %v", ids)
+	}
+}
+
+func TestParserNeverPanicsOnRandomInput(t *testing.T) {
+	prop := func(page string, class string) bool {
+		if len(class) > 20 {
+			class = class[:20]
+		}
+		_ = classText(page, class)
+		_ = classDataIDs(page, class)
+		_ = hasClass(page, class)
+		_ = parseProfile(page, "u1")
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseProfileIgnoresBadNumbers(t *testing.T) {
+	body := `<span class="gradyear">Class of banana</span>
+<span class="birthday">not-a-date</span>
+<span class="photocount">many</span>`
+	pp := parseProfile(body, "u")
+	if pp.GradYear != 0 || pp.Birthday != nil || pp.PhotoCount != 0 {
+		t.Fatalf("bad numbers accepted: %+v", pp)
+	}
+}

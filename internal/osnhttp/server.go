@@ -1,0 +1,239 @@
+// Package osnhttp puts the simulated OSN behind a real HTTP interface and
+// provides the client-side page parser.
+//
+// The paper's measurement effort (Table 3) is denominated in HTTP GETs
+// against HTML endpoints: seed searches (with AJAX scrolling), public
+// profile pages, and paginated friend lists. This package serves those
+// pages as HTML with stable microformat-style class markers, and the Client
+// type fetches and parses them back into the osn view types, so the attack
+// can run over a network boundary exactly as the original crawlers did.
+package osnhttp
+
+import (
+	"errors"
+	"fmt"
+	"html/template"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+)
+
+// Server wraps a Platform as an http.Handler.
+type Server struct {
+	platform *osn.Platform
+	mux      *http.ServeMux
+}
+
+// NewServer returns a handler serving the platform.
+func NewServer(p *osn.Platform) *Server {
+	s := &Server{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /register", s.handleRegister)
+	s.mux.HandleFunc("GET /schools", s.handleSchools)
+	s.mux.HandleFunc("GET /find-friends", s.handleSearch)
+	s.mux.HandleFunc("GET /graph-search", s.handleGraphSearch)
+	s.mux.HandleFunc("GET /city-search", s.handleCitySearch)
+	s.mux.HandleFunc("GET /profile/{id}", s.handleProfile)
+	s.mux.HandleFunc("GET /friends/{id}", s.handleFriends)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpStatus maps platform errors onto wire status codes.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, osn.ErrUnauthorized):
+		return http.StatusUnauthorized
+	case errors.Is(err, osn.ErrSuspended):
+		return http.StatusTooManyRequests
+	case errors.Is(err, osn.ErrThrottled):
+		return http.StatusServiceUnavailable // transient; Retry-After applies
+	case errors.Is(err, osn.ErrUnderage):
+		return http.StatusForbidden
+	case errors.Is(err, osn.ErrNotFound), errors.Is(err, osn.ErrNoSchool):
+		return http.StatusNotFound
+	case errors.Is(err, osn.ErrHidden):
+		return http.StatusGone // page exists, content withheld from strangers
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func fail(w http.ResponseWriter, err error) {
+	code := httpStatus(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	name := r.PostFormValue("name")
+	var birth sim.Date
+	if _, err := fmt.Sscanf(r.PostFormValue("birth"), "%d-%d-%d", &birth.Year, &birth.Month, &birth.Day); err != nil {
+		http.Error(w, "birth must be YYYY-MM-DD", http.StatusBadRequest)
+		return
+	}
+	token, err := s.platform.RegisterAccount(name, birth)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	fmt.Fprint(w, token)
+}
+
+var schoolsTmpl = template.Must(template.New("schools").Parse(`<html><body>
+<ul id="schools">
+{{range .}}<li class="school" data-id="{{.ID}}"><span class="schoolname">{{.Name}}</span> <span class="schoolcity">{{.City}}</span></li>
+{{end}}</ul>
+</body></html>`))
+
+func (s *Server) handleSchools(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	schoolsTmpl.Execute(w, s.platform.Schools())
+}
+
+var searchTmpl = template.Must(template.New("search").Parse(`<html><body>
+<div id="results">
+{{range .Results}}<div class="result" data-id="{{.ID}}"><span class="name">{{.Name}}</span></div>
+{{end}}</div>
+{{if .More}}<a class="next" href="{{.NextURL}}">See more results</a>{{end}}
+</body></html>`))
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	acct := q.Get("acct")
+	schoolID, err := strconv.Atoi(q.Get("school"))
+	if err != nil {
+		http.Error(w, "school must be a numeric id", http.StatusBadRequest)
+		return
+	}
+	page, _ := strconv.Atoi(q.Get("page"))
+	results, more, err := s.platform.SchoolSearch(acct, schoolID, page)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	searchTmpl.Execute(w, map[string]any{
+		"Results": results,
+		"More":    more,
+		"NextURL": fmt.Sprintf("/find-friends?school=%d&page=%d&acct=%s", schoolID, page+1, acct),
+	})
+}
+
+func (s *Server) handleCitySearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	acct := q.Get("acct")
+	city := q.Get("city")
+	page, _ := strconv.Atoi(q.Get("page"))
+	results, more, err := s.platform.CitySearch(acct, city, page)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	searchTmpl.Execute(w, map[string]any{
+		"Results": results,
+		"More":    more,
+		"NextURL": fmt.Sprintf("/city-search?city=%s&page=%d&acct=%s", url.QueryEscape(city), page+1, acct),
+	})
+}
+
+func (s *Server) handleGraphSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	acct := q.Get("acct")
+	schoolID, err := strconv.Atoi(q.Get("school"))
+	if err != nil {
+		http.Error(w, "school must be a numeric id", http.StatusBadRequest)
+		return
+	}
+	page, _ := strconv.Atoi(q.Get("page"))
+	after, _ := strconv.Atoi(q.Get("after"))
+	before, _ := strconv.Atoi(q.Get("before"))
+	gq := osn.GraphQuery{
+		SchoolID:        schoolID,
+		CurrentStudents: q.Get("current") == "1",
+		GradYearAfter:   after,
+		GradYearBefore:  before,
+		City:            q.Get("city"),
+	}
+	results, more, err := s.platform.GraphSearch(acct, gq, page)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	searchTmpl.Execute(w, map[string]any{
+		"Results": results,
+		"More":    more,
+		"NextURL": fmt.Sprintf("/graph-search?school=%d&current=%s&after=%d&before=%d&city=%s&page=%d&acct=%s",
+			schoolID, q.Get("current"), after, before, q.Get("city"), page+1, acct),
+	})
+}
+
+var profileTmpl = template.Must(template.New("profile").Parse(`<html><body>
+<div id="profile" data-id="{{.ID}}">
+<h1 class="name">{{.Name}}</h1>
+{{if .HasPhoto}}<img class="photo" src="/photo/{{.ID}}.jpg">{{end}}
+{{if .Gender}}<span class="gender">{{.Gender}}</span>{{end}}
+{{if .Network}}<span class="network">{{.Network}}</span>{{end}}
+{{if .HighSchool}}<div class="education"><span class="school">{{.HighSchool}}</span> <span class="gradyear">Class of {{.GradYear}}</span></div>{{end}}
+{{if .GradSchool}}<div class="gradschool">Graduate school</div>{{end}}
+{{if .Relationship}}<span class="relationship">In a relationship</span>{{end}}
+{{if .InterestedIn}}<span class="interested">Interested in</span>{{end}}
+{{if .Birthday}}<span class="birthday">{{.Birthday}}</span>{{end}}
+{{if .Hometown}}<span class="hometown">{{.Hometown}}</span>{{end}}
+{{if .CurrentCity}}<span class="currentcity">{{.CurrentCity}}</span>{{end}}
+{{if .FriendListVisible}}<a class="friendlink" href="/friends/{{.ID}}">Friends</a>{{end}}
+{{if .PhotoCount}}<span class="photocount">{{.PhotoCount}}</span>{{end}}
+{{if .ContactInfo}}<span class="contact">Contact info</span>{{end}}
+{{if .CanMessage}}<a class="message" href="/message/{{.ID}}">Message</a>{{end}}
+{{if .Searchable}}<meta class="searchable" content="1">{{end}}
+</div>
+</body></html>`))
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	acct := r.URL.Query().Get("acct")
+	pp, err := s.platform.Profile(acct, osn.PublicID(r.PathValue("id")))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	profileTmpl.Execute(w, pp)
+}
+
+var friendsTmpl = template.Must(template.New("friends").Parse(`<html><body>
+<ul id="friends">
+{{range .Friends}}<li class="friend" data-id="{{.ID}}"><span class="name">{{.Name}}</span></li>
+{{end}}</ul>
+{{if .More}}<a class="next" href="{{.NextURL}}">More friends</a>{{end}}
+</body></html>`))
+
+func (s *Server) handleFriends(w http.ResponseWriter, r *http.Request) {
+	acct := r.URL.Query().Get("acct")
+	id := r.PathValue("id")
+	page, _ := strconv.Atoi(r.URL.Query().Get("page"))
+	friends, more, err := s.platform.FriendPage(acct, osn.PublicID(id), page)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	friendsTmpl.Execute(w, map[string]any{
+		"Friends": friends,
+		"More":    more,
+		"NextURL": fmt.Sprintf("/friends/%s?page=%d&acct=%s", id, page+1, acct),
+	})
+}

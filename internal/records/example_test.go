@@ -1,0 +1,27 @@
+package records_test
+
+import (
+	"fmt"
+
+	"hsprofiler/internal/records"
+)
+
+// ExampleLink shows the §2 data-broker join: an inferred student profile
+// (display name + city from the attack) is matched against voter records,
+// with a friend-list parent lifting confidence.
+func ExampleLink() {
+	db := records.NewVoterDB([]records.VoterRecord{
+		{FirstName: "Ann", LastName: "Walker", City: "Oakfield", Address: "12 Elm St", BirthYear: 1970},
+		{FirstName: "Tom", LastName: "Walker", City: "Oakfield", Address: "9 Pine Rd", BirthYear: 1988},
+	})
+	guesses := records.Link(db, []records.Subject{{
+		ID:          "u1",
+		DisplayName: "Katie Walker", // from the high-school profile
+		City:        "Oakfield",     // inferred from the school
+		FriendNames: []string{"Ann Walker"},
+	}}, records.LinkOptions{CurrentYear: 2012})
+	g := guesses[0]
+	fmt.Printf("%s via %s\n", g.Address, g.Confidence)
+	// Output:
+	// 12 Elm St via parent-in-friend-list
+}

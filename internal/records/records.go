@@ -1,0 +1,271 @@
+// Package records implements the Section 2 data-broker threat: joining the
+// attack's inferred high-school profiles against public voter-registration
+// records to recover street addresses.
+//
+// The paper: "by obtaining voter registration records (which most states
+// make available for a small fee), the data broker can use the last name
+// and city in the high-school profiles to link the students to parents in
+// the voter registration records, thereby determining the street address of
+// many of the students. For those students with friend lists ... if a
+// parent appears in the friend list, then the street-address association
+// can be done with greater certainty."
+//
+// Since real voter rolls cannot ship with a reproduction, the package also
+// builds the synthetic equivalent: the registered-voter subset of a
+// generated world's adults.
+package records
+
+import (
+	"sort"
+	"strings"
+
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/worldgen"
+)
+
+// VoterRecord is one row of a public voter roll.
+type VoterRecord struct {
+	FirstName string
+	LastName  string
+	City      string
+	Address   string
+	BirthYear int
+}
+
+// VoterDB is an indexed voter roll.
+type VoterDB struct {
+	records []VoterRecord
+	// byKey indexes record positions by lowercase "last|city".
+	byKey map[string][]int
+	// byName indexes by lowercase "first last" for friend-list matching.
+	byName map[string][]int
+}
+
+// key builds the (last name, city) join key.
+func key(last, city string) string {
+	return strings.ToLower(last) + "|" + strings.ToLower(city)
+}
+
+// NewVoterDB builds a voter roll from records.
+func NewVoterDB(records []VoterRecord) *VoterDB {
+	db := &VoterDB{
+		records: records,
+		byKey:   make(map[string][]int),
+		byName:  make(map[string][]int),
+	}
+	for i, r := range records {
+		k := key(r.LastName, r.City)
+		db.byKey[k] = append(db.byKey[k], i)
+		n := strings.ToLower(r.FirstName + " " + r.LastName)
+		db.byName[n] = append(db.byName[n], i)
+	}
+	return db
+}
+
+// Len is the number of records.
+func (db *VoterDB) Len() int { return len(db.records) }
+
+// LookupLastCity returns records matching a last name and city.
+func (db *VoterDB) LookupLastCity(last, city string) []VoterRecord {
+	var out []VoterRecord
+	for _, i := range db.byKey[key(last, city)] {
+		out = append(out, db.records[i])
+	}
+	return out
+}
+
+// LookupName returns records matching a full name.
+func (db *VoterDB) LookupName(fullName string) []VoterRecord {
+	var out []VoterRecord
+	for _, i := range db.byName[strings.ToLower(fullName)] {
+		out = append(out, db.records[i])
+	}
+	return out
+}
+
+// BuildVoterDB synthesizes the public voter roll of a world: each adult
+// (18+ at the collection date) registers with probability regRate. Voter
+// rolls list true identity — they are government records, unaffected by
+// anything anyone told the OSN.
+func BuildVoterDB(w *worldgen.World, regRate float64, seed uint64) *VoterDB {
+	rng := sim.New(seed).Stream("voterdb")
+	var recs []VoterRecord
+	for _, p := range w.People {
+		if p.TrueBirth.AgeAt(w.Now) < 18 {
+			continue
+		}
+		if !rng.Bool(regRate) {
+			continue
+		}
+		recs = append(recs, VoterRecord{
+			FirstName: p.FirstName,
+			LastName:  p.LastName,
+			City:      p.CurrentCity,
+			Address:   p.StreetAddress,
+			BirthYear: p.TrueBirth.Year,
+		})
+	}
+	return NewVoterDB(recs)
+}
+
+// Subject is what the data broker knows about one inferred student going
+// into the join: the display name and inferred city from the dossier, and
+// the (possibly reverse-lookup-recovered) friend display names.
+type Subject struct {
+	// ID is any caller-side handle; the linker passes it through.
+	ID string
+	// DisplayName as shown on the OSN (aliases defeat the join, as the
+	// paper's roster matching found).
+	DisplayName string
+	// City inferred from the school.
+	City string
+	// FriendNames are display names of known friends (public or
+	// recovered); parents among them raise confidence.
+	FriendNames []string
+}
+
+// Confidence grades an address guess.
+type Confidence int
+
+const (
+	// Ambiguous means several different addresses matched the last
+	// name + city join and none was corroborated.
+	Ambiguous Confidence = iota
+	// NameCityUnique means exactly one household matched the join.
+	NameCityUnique
+	// ParentInFriendList means a joined voter also appears in the
+	// student's friend list — the paper's "greater certainty" case.
+	ParentInFriendList
+)
+
+// String names the confidence level.
+func (c Confidence) String() string {
+	switch c {
+	case ParentInFriendList:
+		return "parent-in-friend-list"
+	case NameCityUnique:
+		return "name-city-unique"
+	default:
+		return "ambiguous"
+	}
+}
+
+// AddressGuess is the linker's output for one subject.
+type AddressGuess struct {
+	SubjectID  string
+	Address    string
+	Confidence Confidence
+	// Matches is how many distinct addresses the base join produced.
+	Matches int
+}
+
+// lastNameOf extracts the surname from a display name; aliases without a
+// space are unlinkable and return "".
+func lastNameOf(displayName string) string {
+	fields := strings.Fields(displayName)
+	if len(fields) < 2 {
+		return ""
+	}
+	last := fields[len(fields)-1]
+	// Roster-style abbreviated surnames ("Katie S.") are unlinkable too.
+	if strings.HasSuffix(last, ".") {
+		return ""
+	}
+	return last
+}
+
+// LinkOptions tunes the join.
+type LinkOptions struct {
+	// CurrentYear, when non-zero, enables parental-age filtering: join
+	// candidates must be of plausible parental age (32-75) at that year,
+	// which removes same-surname young adults from the pool.
+	CurrentYear int
+}
+
+// plausibleParent reports whether a voter could be a high-schooler's parent.
+func (o LinkOptions) plausibleParent(v VoterRecord) bool {
+	if o.CurrentYear == 0 || v.BirthYear == 0 {
+		return true
+	}
+	age := o.CurrentYear - v.BirthYear
+	return age >= 32 && age <= 75
+}
+
+// Link joins subjects against the voter roll. For each subject it collects
+// the voters sharing the surname and city (likely parents and relatives),
+// prefers an address corroborated by a friend-list voter, then a unique
+// household, and reports ambiguous multi-household joins with the
+// most-corroborated address first.
+func Link(db *VoterDB, subjects []Subject, opts LinkOptions) []AddressGuess {
+	var out []AddressGuess
+	for _, s := range subjects {
+		last := lastNameOf(s.DisplayName)
+		if last == "" || s.City == "" {
+			continue
+		}
+		var matches []VoterRecord
+		for _, m := range db.LookupLastCity(last, s.City) {
+			if opts.plausibleParent(m) {
+				matches = append(matches, m)
+			}
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		addrs := map[string]int{}
+		for _, m := range matches {
+			addrs[m.Address]++
+		}
+
+		// Friend-list corroboration: a voter at a candidate address whose
+		// full name appears among the subject's friends.
+		corroborated := ""
+		for _, friend := range s.FriendNames {
+			for _, v := range db.LookupName(friend) {
+				if strings.EqualFold(v.LastName, last) && strings.EqualFold(v.City, s.City) {
+					if _, candidate := addrs[v.Address]; candidate {
+						corroborated = v.Address
+						break
+					}
+				}
+			}
+			if corroborated != "" {
+				break
+			}
+		}
+
+		g := AddressGuess{SubjectID: s.ID, Matches: len(addrs)}
+		switch {
+		case corroborated != "":
+			g.Address = corroborated
+			g.Confidence = ParentInFriendList
+		case len(addrs) == 1:
+			for a := range addrs {
+				g.Address = a
+			}
+			g.Confidence = NameCityUnique
+		default:
+			// Ambiguous: report the household with the most registered
+			// voters (two-parent households outweigh singletons),
+			// deterministically tie-broken.
+			type ac struct {
+				addr  string
+				count int
+			}
+			var list []ac
+			for a, c := range addrs {
+				list = append(list, ac{a, c})
+			}
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].count != list[j].count {
+					return list[i].count > list[j].count
+				}
+				return list[i].addr < list[j].addr
+			})
+			g.Address = list[0].addr
+			g.Confidence = Ambiguous
+		}
+		out = append(out, g)
+	}
+	return out
+}

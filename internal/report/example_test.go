@@ -1,0 +1,33 @@
+package report_test
+
+import (
+	"os"
+
+	"hsprofiler/internal/report"
+)
+
+func ExampleTable() {
+	t := &report.Table{
+		Title:   "Coverage",
+		Headers: []string{"school", "found"},
+	}
+	t.AddRow("HS1", report.Pct(0.84))
+	t.AddRow("HS2", report.Pct(0.85))
+	t.Render(os.Stdout)
+	// Output:
+	// Coverage
+	// ========
+	// | school | found |
+	// | ------ | ----- |
+	// | HS1    | 84%   |
+	// | HS2    | 85%   |
+}
+
+func ExampleTable_renderCSV() {
+	t := &report.Table{Headers: []string{"t", "found"}}
+	t.AddRow(400, 0.84)
+	t.RenderCSV(os.Stdout)
+	// Output:
+	// t,found
+	// 400,0.84
+}

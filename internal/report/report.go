@@ -1,0 +1,221 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and ASCII line charts — the formats cmd/experiments uses to regenerate
+// every table and figure of the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of strings.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, stringifying each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders floats compactly: integers without decimals,
+// otherwise two decimals.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Pct renders a fraction as a percentage string ("84%").
+func Pct(frac float64) string {
+	return fmt.Sprintf("%.0f%%", frac*100)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("=", len(t.Title)))
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(t.Headers)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (quotes cells containing
+// commas or quotes).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, `",`) {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			quoted[i] = c
+		}
+		fmt.Fprintf(w, "%s\n", strings.Join(quoted, ","))
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a text line chart; it stands in for the paper's figures.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// YLog plots log10(y) (Figure 3 uses a log scale).
+	YLog   bool
+	Series []Series
+	// Width and Height are the plot area in characters; zero values get
+	// defaults (64×20).
+	Width, Height int
+}
+
+// markers assigns one rune per series.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	tx := func(v float64) float64 { return v }
+	ty := func(v float64) float64 {
+		if c.YLog {
+			if v <= 0 {
+				return 0
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yTop, yBot := maxY, minY
+	suffix := ""
+	if c.YLog {
+		suffix = " (log10)"
+	}
+	fmt.Fprintf(w, "%s%s\n", c.YLabel, suffix)
+	fmt.Fprintf(w, "%8.2f +%s\n", yTop, strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(w, "%8s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(w, "%8.2f +%s\n", yBot, strings.Repeat("-", width))
+	fmt.Fprintf(w, "%8s  %-10.6g%s%10.6g  (%s)\n", "", minX,
+		strings.Repeat(" ", max(0, width-20)), maxX, c.XLabel)
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "%8s  %c = %s\n", "", markers[si%len(markers)], s.Name)
+	}
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 42)
+	tb.AddRow("a-much-longer-name", 3.14159)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" || !strings.HasPrefix(lines[1], "====") {
+		t.Fatalf("title block wrong:\n%s", out)
+	}
+	// All table lines equal width.
+	width := len(lines[2])
+	for _, l := range lines[2:] {
+		if len(l) != width {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float formatting missing: %s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("int row missing: %s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		0:       "0",
+		-2.5:    "-2.50",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if Pct(0.84) != "84%" {
+		t.Errorf("Pct = %q", Pct(0.84))
+	}
+}
+
+func TestRenderCSVQuoting(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow(`He said "hi"`, "x,y")
+	var b strings.Builder
+	tb.RenderCSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"He said ""hi"""`) {
+		t.Fatalf("quote escaping wrong: %s", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma quoting wrong: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header wrong: %s", out)
+	}
+}
+
+func TestChartRenderBasics(t *testing.T) {
+	ch := &Chart{
+		Title:  "coverage vs t",
+		XLabel: "t",
+		YLabel: "%",
+		Series: []Series{
+			{Name: "found", X: []float64{200, 300, 400, 500}, Y: []float64{54, 71, 84, 92}},
+			{Name: "fp", X: []float64{200, 300, 400, 500}, Y: []float64{13, 22, 32, 40}},
+		},
+		Width: 40, Height: 10,
+	}
+	out := ch.String()
+	if !strings.Contains(out, "coverage vs t") || !strings.Contains(out, "* = found") || !strings.Contains(out, "o = fp") {
+		t.Fatalf("chart missing elements:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("no data points plotted:\n%s", out)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	ch := &Chart{
+		YLog: true,
+		Series: []Series{
+			{Name: "fp", X: []float64{1, 2, 3}, Y: []float64{10, 1000, 100000}},
+		},
+	}
+	out := ch.String()
+	if !strings.Contains(out, "(log10)") {
+		t.Fatalf("log marker missing:\n%s", out)
+	}
+	// Top axis label should be log10(1e5) = 5.
+	if !strings.Contains(out, "5.00") {
+		t.Fatalf("log scaling wrong:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := &Chart{Title: "empty"}
+	out := ch.String()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart should say so:\n%s", out)
+	}
+}
+
+func TestChartSinglePointDomain(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	ch := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}}
+	out := ch.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}

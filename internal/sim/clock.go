@@ -1,0 +1,47 @@
+package sim
+
+import "fmt"
+
+// Date is a calendar date in the simulated world. The reproduction follows
+// the paper's timeline: data for HS1 was collected in March 2012 and for
+// HS2/HS3 in June 2012, and "current year" arithmetic (graduation-year
+// filters, registered-age computation) is all relative to the collection
+// date, so dates are explicit values rather than readings of a wall clock.
+type Date struct {
+	Year  int
+	Month int // 1..12
+	Day   int // 1..31; granularity beyond month is unused but kept for birth dates
+}
+
+// String renders the date as YYYY-MM-DD.
+func (d Date) String() string {
+	return fmt.Sprintf("%04d-%02d-%02d", d.Year, d.Month, d.Day)
+}
+
+// Before reports whether d is strictly earlier than other.
+func (d Date) Before(other Date) bool {
+	if d.Year != other.Year {
+		return d.Year < other.Year
+	}
+	if d.Month != other.Month {
+		return d.Month < other.Month
+	}
+	return d.Day < other.Day
+}
+
+// AgeAt returns the age in whole years at date now for a person born on d.
+func (d Date) AgeAt(now Date) int {
+	age := now.Year - d.Year
+	if now.Month < d.Month || (now.Month == d.Month && now.Day < d.Day) {
+		age--
+	}
+	if age < 0 {
+		age = 0
+	}
+	return age
+}
+
+// AddYears returns the date shifted by n years (n may be negative).
+func (d Date) AddYears(n int) Date {
+	return Date{Year: d.Year + n, Month: d.Month, Day: d.Day}
+}

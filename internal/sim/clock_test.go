@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDateString(t *testing.T) {
+	d := Date{Year: 2012, Month: 3, Day: 7}
+	if got := d.String(); got != "2012-03-07" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDateBefore(t *testing.T) {
+	cases := []struct {
+		a, b Date
+		want bool
+	}{
+		{Date{2011, 12, 31}, Date{2012, 1, 1}, true},
+		{Date{2012, 1, 1}, Date{2011, 12, 31}, false},
+		{Date{2012, 3, 1}, Date{2012, 6, 1}, true},
+		{Date{2012, 6, 1}, Date{2012, 6, 2}, true},
+		{Date{2012, 6, 2}, Date{2012, 6, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Before(c.b); got != c.want {
+			t.Errorf("%v.Before(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAgeAt(t *testing.T) {
+	birth := Date{1998, 6, 15}
+	cases := []struct {
+		now  Date
+		want int
+	}{
+		{Date{2012, 3, 1}, 13},  // birthday not yet reached this year
+		{Date{2012, 6, 14}, 13}, // day before birthday
+		{Date{2012, 6, 15}, 14}, // on the birthday
+		{Date{2012, 12, 1}, 14},
+		{Date{1998, 6, 15}, 0},
+		{Date{1997, 1, 1}, 0}, // before birth clamps to zero
+	}
+	for _, c := range cases {
+		if got := birth.AgeAt(c.now); got != c.want {
+			t.Errorf("AgeAt(%v) = %d, want %d", c.now, got, c.want)
+		}
+	}
+}
+
+func TestAddYears(t *testing.T) {
+	d := Date{2012, 3, 7}
+	if got := d.AddYears(-13); got != (Date{1999, 3, 7}) {
+		t.Errorf("AddYears(-13) = %v", got)
+	}
+	if got := d.AddYears(0); got != d {
+		t.Errorf("AddYears(0) = %v", got)
+	}
+}
+
+// Property: the age gate invariant the OSN relies on — a person is "minor"
+// (age < 18) at now iff their 18th birthday is after now.
+func TestAgeConsistencyProperty(t *testing.T) {
+	prop := func(by, bm, bd, ny, nm, nd uint8) bool {
+		birth := Date{1980 + int(by%40), 1 + int(bm%12), 1 + int(bd%28)}
+		now := Date{2000 + int(ny%30), 1 + int(nm%12), 1 + int(nd%28)}
+		if now.Before(birth) {
+			return birth.AgeAt(now) == 0
+		}
+		age := birth.AgeAt(now)
+		eighteenth := birth.AddYears(18)
+		isMinor := age < 18
+		turned18 := !now.Before(eighteenth)
+		return isMinor == !turned18
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

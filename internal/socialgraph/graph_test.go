@@ -1,0 +1,253 @@
+package socialgraph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hsprofiler/internal/sim"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var g Graph
+	if err := g.AddFriendship(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.AreFriends(1, 2) {
+		t.Fatal("edge not recorded on zero-value graph")
+	}
+}
+
+func TestAddFriendshipSymmetric(t *testing.T) {
+	g := New()
+	if err := g.AddFriendship(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.AreFriends(1, 2) || !g.AreFriends(2, 1) {
+		t.Fatal("friendship not symmetric")
+	}
+	if g.NumEdges() != 1 || g.NumUsers() != 2 {
+		t.Fatalf("counts: %d edges, %d users", g.NumEdges(), g.NumUsers())
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := New()
+	if err := g.AddFriendship(3, 3); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatal("self-loop mutated edge count")
+	}
+}
+
+func TestDuplicateEdgeIdempotent(t *testing.T) {
+	g := New()
+	g.AddFriendship(1, 2)
+	g.AddFriendship(2, 1)
+	g.AddFriendship(1, 2)
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edges counted: %d", g.NumEdges())
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatal("duplicate edges inflated degree")
+	}
+}
+
+func TestRemoveFriendship(t *testing.T) {
+	g := New()
+	g.AddFriendship(1, 2)
+	g.AddFriendship(1, 3)
+	g.RemoveFriendship(2, 1) // reversed order must also work
+	if g.AreFriends(1, 2) {
+		t.Fatal("edge survives removal")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges after removal: %d", g.NumEdges())
+	}
+	g.RemoveFriendship(1, 9) // non-existent: no-op
+	if g.NumEdges() != 1 {
+		t.Fatal("removing missing edge changed count")
+	}
+}
+
+func TestFriendsSortedAndFresh(t *testing.T) {
+	g := New()
+	for _, v := range []UserID{9, 3, 7, 1} {
+		g.AddFriendship(5, v)
+	}
+	f := g.Friends(5)
+	if !sort.SliceIsSorted(f, func(i, j int) bool { return f[i] < f[j] }) {
+		t.Fatalf("friends not sorted: %v", f)
+	}
+	f[0] = 999 // mutating the returned slice must not corrupt the graph
+	if g.AreFriends(5, 999) {
+		t.Fatal("returned slice aliases internal state")
+	}
+}
+
+func TestUsersSorted(t *testing.T) {
+	g := New()
+	g.AddUser(5)
+	g.AddUser(1)
+	g.AddFriendship(3, 2)
+	u := g.Users()
+	want := []UserID{1, 2, 3, 5}
+	if len(u) != len(want) {
+		t.Fatalf("users %v", u)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("users %v, want %v", u, want)
+		}
+	}
+}
+
+func TestMutualFriendsAndJaccard(t *testing.T) {
+	g := New()
+	// a=1 friends: 10,11,12 ; b=2 friends: 11,12,13,14
+	for _, v := range []UserID{10, 11, 12} {
+		g.AddFriendship(1, v)
+	}
+	for _, v := range []UserID{11, 12, 13, 14} {
+		g.AddFriendship(2, v)
+	}
+	if got := g.MutualFriends(1, 2); got != 2 {
+		t.Fatalf("mutual = %d", got)
+	}
+	// union = 3 + 4 - 2 = 5
+	if got := g.Jaccard(1, 2); got != 2.0/5.0 {
+		t.Fatalf("jaccard = %v", got)
+	}
+	g.AddUser(99)
+	g.AddUser(98)
+	if got := g.Jaccard(99, 98); got != 0 {
+		t.Fatalf("jaccard of isolated users = %v", got)
+	}
+}
+
+func TestForEachFriendMatchesFriends(t *testing.T) {
+	g := New()
+	for _, v := range []UserID{2, 4, 6, 8} {
+		g.AddFriendship(1, v)
+	}
+	seen := map[UserID]bool{}
+	g.ForEachFriend(1, func(v UserID) { seen[v] = true })
+	for _, v := range g.Friends(1) {
+		if !seen[v] {
+			t.Fatalf("ForEachFriend missed %d", v)
+		}
+	}
+	if len(seen) != g.Degree(1) {
+		t.Fatal("ForEachFriend visited extra users")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New()
+	g.AddFriendship(1, 2)
+	c := g.Clone()
+	c.AddFriendship(1, 3)
+	c.RemoveFriendship(1, 2)
+	if !g.AreFriends(1, 2) || g.AreFriends(1, 3) {
+		t.Fatal("clone shares state with original")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after an arbitrary sequence of adds and removes the structural
+// invariants hold and degree sums equal twice the edge count.
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := sim.New(seed)
+		g := New()
+		const users = 60
+		for op := 0; op < 500; op++ {
+			a := UserID(rng.Intn(users))
+			b := UserID(rng.Intn(users))
+			if a == b {
+				continue
+			}
+			if rng.Bool(0.8) {
+				if err := g.AddFriendship(a, b); err != nil {
+					return false
+				}
+			} else {
+				g.RemoveFriendship(a, b)
+			}
+		}
+		if err := g.CheckInvariants(); err != nil {
+			return false
+		}
+		degSum := 0
+		for _, u := range g.Users() {
+			degSum += g.Degree(u)
+		}
+		return degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Jaccard is symmetric and within [0,1].
+func TestJaccardProperties(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := sim.New(seed)
+		g := New()
+		for op := 0; op < 300; op++ {
+			a, b := UserID(rng.Intn(40)), UserID(rng.Intn(40))
+			if a != b {
+				g.AddFriendship(a, b)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			a, b := UserID(rng.Intn(40)), UserID(rng.Intn(40))
+			j1, j2 := g.Jaccard(a, b), g.Jaccard(b, a)
+			if j1 != j2 || j1 < 0 || j1 > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddFriendship(b *testing.B) {
+	g := New()
+	rng := sim.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddFriendship(UserID(rng.Intn(10000)), UserID(rng.Intn(10000)+10000))
+	}
+}
+
+func BenchmarkMutualFriends(b *testing.B) {
+	g := New()
+	rng := sim.New(1)
+	for i := 0; i < 200000; i++ {
+		a, c := UserID(rng.Intn(5000)), UserID(rng.Intn(5000))
+		if a != c {
+			g.AddFriendship(a, c)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MutualFriends(UserID(i%5000), UserID((i*7)%5000))
+	}
+}
+
+func TestHasUser(t *testing.T) {
+	g := New()
+	if g.HasUser(1) {
+		t.Fatal("phantom user")
+	}
+	g.AddUser(1)
+	if !g.HasUser(1) || g.HasUser(2) {
+		t.Fatal("HasUser wrong")
+	}
+}

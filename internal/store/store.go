@@ -1,0 +1,278 @@
+// Package store persists crawled artifacts. The original study parsed
+// Facebook pages into an SQL database and ran its analyses offline; this
+// package plays that role: a provenance-keeping record of every profile and
+// friend-list page fetched, a JSON snapshot format, and a caching Client
+// wrapper so re-analysis (threshold sweeps, re-runs, §6 extension passes)
+// does not re-crawl what the store already holds.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/osn"
+)
+
+// Store is an in-memory crawl archive. Safe for concurrent use.
+type Store struct {
+	mu sync.Mutex
+	s  snapshot
+}
+
+// snapshot is the serialized form.
+type snapshot struct {
+	Version int `json:"version"`
+	// Seq is the global fetch counter (provenance ordering).
+	Seq      int                               `json:"seq"`
+	Profiles map[osn.PublicID]*profileEntry    `json:"profiles"`
+	Friends  map[osn.PublicID]*friendListEntry `json:"friends"`
+}
+
+type profileEntry struct {
+	Profile *osn.PublicProfile `json:"profile"`
+	Seq     int                `json:"seq"`
+}
+
+type friendListEntry struct {
+	// Hidden marks lists the platform refused to serve.
+	Hidden  bool            `json:"hidden"`
+	Friends []osn.FriendRef `json:"friends,omitempty"`
+	Seq     int             `json:"seq"`
+}
+
+const storeVersion = 1
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{s: snapshot{
+		Version:  storeVersion,
+		Profiles: make(map[osn.PublicID]*profileEntry),
+		Friends:  make(map[osn.PublicID]*friendListEntry),
+	}}
+}
+
+// PutProfile records a fetched profile.
+func (st *Store) PutProfile(pp *osn.PublicProfile) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.s.Seq++
+	st.s.Profiles[pp.ID] = &profileEntry{Profile: pp, Seq: st.s.Seq}
+}
+
+// Profile returns a stored profile, if any.
+func (st *Store) Profile(id osn.PublicID) (*osn.PublicProfile, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.s.Profiles[id]; ok {
+		return e.Profile, true
+	}
+	return nil, false
+}
+
+// PutFriends records a complete fetched friend list.
+func (st *Store) PutFriends(id osn.PublicID, friends []osn.FriendRef) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.s.Seq++
+	st.s.Friends[id] = &friendListEntry{Friends: friends, Seq: st.s.Seq}
+}
+
+// PutFriendsHidden records that the list was refused.
+func (st *Store) PutFriendsHidden(id osn.PublicID) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.s.Seq++
+	st.s.Friends[id] = &friendListEntry{Hidden: true, Seq: st.s.Seq}
+}
+
+// Friends returns a stored friend list. hidden reports a recorded refusal;
+// ok reports whether anything is recorded at all.
+func (st *Store) Friends(id osn.PublicID) (friends []osn.FriendRef, hidden, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.s.Friends[id]
+	if !ok {
+		return nil, false, false
+	}
+	return e.Friends, e.Hidden, true
+}
+
+// Stats summarizes the archive.
+type Stats struct {
+	Profiles    int
+	FriendLists int
+	HiddenLists int
+	Fetches     int
+}
+
+// Stats returns archive counts.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{Profiles: len(st.s.Profiles), Fetches: st.s.Seq}
+	for _, e := range st.s.Friends {
+		if e.Hidden {
+			s.HiddenLists++
+		} else {
+			s.FriendLists++
+		}
+	}
+	return s
+}
+
+// WriteJSON serializes the archive.
+func (st *Store) WriteJSON(w io.Writer) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return json.NewEncoder(w).Encode(&st.s)
+}
+
+// ReadJSON loads an archive written by WriteJSON.
+func ReadJSON(r io.Reader) (*Store, error) {
+	var s snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	if s.Version != storeVersion {
+		return nil, fmt.Errorf("store: version %d, want %d", s.Version, storeVersion)
+	}
+	if s.Profiles == nil {
+		s.Profiles = make(map[osn.PublicID]*profileEntry)
+	}
+	if s.Friends == nil {
+		s.Friends = make(map[osn.PublicID]*friendListEntry)
+	}
+	return &Store{s: s}, nil
+}
+
+// CachedClient wraps a crawler.Client so profile and friend-list fetches
+// hit the store first. Searches pass through (they are account- and
+// time-dependent). A CachedClient makes re-analysis free: the second run of
+// an experiment costs zero platform requests for everything the first run
+// touched.
+type CachedClient struct {
+	inner crawler.Client
+	store *Store
+
+	mu sync.Mutex
+	// saved counts requests answered from the store.
+	saved crawler.Effort
+	// partial assembles multi-page friend lists as callers walk them; the
+	// list is archived when its final page arrives.
+	partial map[osn.PublicID][]osn.FriendRef
+}
+
+// NewCachedClient wraps inner with the store.
+func NewCachedClient(inner crawler.Client, st *Store) *CachedClient {
+	return &CachedClient{
+		inner:   inner,
+		store:   st,
+		partial: make(map[osn.PublicID][]osn.FriendRef),
+	}
+}
+
+// Saved reports the requests the cache absorbed.
+func (c *CachedClient) Saved() crawler.Effort {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saved
+}
+
+// Accounts implements crawler.Client.
+func (c *CachedClient) Accounts() int { return c.inner.Accounts() }
+
+// LookupSchool implements crawler.Client.
+func (c *CachedClient) LookupSchool(name string) (osn.SchoolRef, error) {
+	return c.inner.LookupSchool(name)
+}
+
+// Search implements crawler.Client (pass-through; search views are
+// account-dependent and the paper re-ran them per account on purpose).
+func (c *CachedClient) Search(acct, schoolID, page int) ([]osn.SearchResult, bool, error) {
+	return c.inner.Search(acct, schoolID, page)
+}
+
+// Profile implements crawler.Client with store caching.
+func (c *CachedClient) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error) {
+	if pp, ok := c.store.Profile(id); ok {
+		c.mu.Lock()
+		c.saved.ProfileRequests++
+		c.mu.Unlock()
+		return pp, nil
+	}
+	pp, err := c.inner.Profile(acct, id)
+	if err != nil {
+		return nil, err
+	}
+	c.store.PutProfile(pp)
+	return pp, nil
+}
+
+// FriendPage implements crawler.Client. Whole lists are cached: a hit
+// serves any page locally. On misses, pages are assembled as the caller
+// walks them (callers always iterate page 0..n), and the completed list is
+// archived when the final page arrives.
+func (c *CachedClient) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
+	if friends, hidden, ok := c.store.Friends(id); ok {
+		c.mu.Lock()
+		c.saved.FriendListRequests++
+		c.mu.Unlock()
+		if hidden {
+			return nil, false, osn.ErrHidden
+		}
+		return pageOf(friends, page)
+	}
+	batch, more, err := c.inner.FriendPage(acct, id, page)
+	if errors.Is(err, osn.ErrHidden) {
+		c.store.PutFriendsHidden(id)
+		return nil, false, err
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	if page == 0 {
+		c.partial[id] = append([]osn.FriendRef(nil), batch...)
+	} else {
+		c.partial[id] = append(c.partial[id], batch...)
+	}
+	if !more {
+		full := c.partial[id]
+		delete(c.partial, id)
+		c.mu.Unlock()
+		c.store.PutFriends(id, full)
+		return batch, more, nil
+	}
+	c.mu.Unlock()
+	return batch, more, nil
+}
+
+// pageSize is the page width used when serving cached lists. It matches
+// the platform default; exactness does not matter to callers, which always
+// iterate until more == false.
+const pageSize = 20
+
+func pageOf(friends []osn.FriendRef, page int) ([]osn.FriendRef, bool, error) {
+	if page < 0 {
+		return nil, false, fmt.Errorf("store: negative page")
+	}
+	start := page * pageSize
+	if start >= len(friends) {
+		return nil, false, nil
+	}
+	end := start + pageSize
+	if end > len(friends) {
+		end = len(friends)
+	}
+	return friends[start:end], end < len(friends), nil
+}
+
+// Archive records a fully assembled friend list (used by callers that
+// paginate through the inner client and want the result cached).
+func (c *CachedClient) Archive(id osn.PublicID, friends []osn.FriendRef) {
+	c.store.PutFriends(id, friends)
+}

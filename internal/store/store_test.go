@@ -1,0 +1,250 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/worldgen"
+)
+
+func TestStoreProfileRoundTrip(t *testing.T) {
+	st := New()
+	pp := &osn.PublicProfile{ID: "u1", Name: "Ann", HighSchool: "X High", GradYear: 2013}
+	st.PutProfile(pp)
+	got, ok := st.Profile("u1")
+	if !ok || got.Name != "Ann" || got.GradYear != 2013 {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+	if _, ok := st.Profile("u2"); ok {
+		t.Fatal("ghost profile")
+	}
+}
+
+func TestStoreFriendsAndHidden(t *testing.T) {
+	st := New()
+	st.PutFriends("a", []osn.FriendRef{{ID: "b", Name: "Bo"}})
+	st.PutFriendsHidden("c")
+	if f, hidden, ok := st.Friends("a"); !ok || hidden || len(f) != 1 {
+		t.Fatalf("a: %v %v %v", f, hidden, ok)
+	}
+	if _, hidden, ok := st.Friends("c"); !ok || !hidden {
+		t.Fatal("hidden marker lost")
+	}
+	if _, _, ok := st.Friends("z"); ok {
+		t.Fatal("ghost list")
+	}
+	s := st.Stats()
+	if s.FriendLists != 1 || s.HiddenLists != 1 || s.Fetches != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestStoreJSONRoundTrip(t *testing.T) {
+	st := New()
+	st.PutProfile(&osn.PublicProfile{ID: "u1", Name: "Ann"})
+	st.PutFriends("u1", []osn.FriendRef{{ID: "u2", Name: "Bo"}})
+	st.PutFriendsHidden("u3")
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats() != st.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", got.Stats(), st.Stats())
+	}
+	if pp, ok := got.Profile("u1"); !ok || pp.Name != "Ann" {
+		t.Fatal("profile lost")
+	}
+	if _, hidden, ok := got.Friends("u3"); !ok || !hidden {
+		t.Fatal("hidden marker lost in round trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func cachedRig(t testing.TB) (*osn.Platform, *CachedClient) {
+	t.Helper()
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{FriendPageSize: 20})
+	d, err := crawler.NewDirect(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, NewCachedClient(d, New())
+}
+
+func TestCachedClientProfileHit(t *testing.T) {
+	p, c := cachedRig(t)
+	var id osn.PublicID
+	for _, person := range p.World().People {
+		if person.HasAccount {
+			id, _ = p.PublicIDOf(person.ID)
+			break
+		}
+	}
+	a, err := c.Profile(0, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Profile(0, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name {
+		t.Fatal("cache served different data")
+	}
+	if c.Saved().ProfileRequests != 1 {
+		t.Fatalf("saved %+v", c.Saved())
+	}
+}
+
+func TestCachedClientFriendAssemblyAndHit(t *testing.T) {
+	p, c := cachedRig(t)
+	w := p.World()
+	var id osn.PublicID
+	var degree int
+	for _, person := range w.People {
+		if person.HasAccount && !person.RegisteredMinorAt(w.Now) &&
+			person.Privacy.FriendListPublic && w.Graph.Degree(person.ID) > 45 {
+			id, _ = p.PublicIDOf(person.ID)
+			degree = w.Graph.Degree(person.ID)
+			break
+		}
+	}
+	if id == "" {
+		t.Skip("no suitable user")
+	}
+	walk := func() int {
+		total := 0
+		for page := 0; ; page++ {
+			batch, more, err := c.FriendPage(0, id, page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(batch)
+			if !more {
+				return total
+			}
+		}
+	}
+	if got := walk(); got != degree {
+		t.Fatalf("first walk %d, degree %d", got, degree)
+	}
+	saved0 := c.Saved().FriendListRequests
+	if saved0 != 0 {
+		t.Fatalf("first walk should be all misses, saved %d", saved0)
+	}
+	if got := walk(); got != degree {
+		t.Fatalf("cached walk %d, degree %d", got, degree)
+	}
+	if c.Saved().FriendListRequests == 0 {
+		t.Fatal("second walk hit the platform")
+	}
+}
+
+func TestCachedClientHiddenMemoized(t *testing.T) {
+	p, c := cachedRig(t)
+	w := p.World()
+	var id osn.PublicID
+	for _, person := range w.People {
+		if person.HasAccount && person.RegisteredMinorAt(w.Now) {
+			id, _ = p.PublicIDOf(person.ID)
+			break
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.FriendPage(0, id, 0); !errors.Is(err, osn.ErrHidden) {
+			t.Fatalf("got %v", err)
+		}
+	}
+	if c.Saved().FriendListRequests != 1 {
+		t.Fatalf("hidden verdict not memoized: %+v", c.Saved())
+	}
+}
+
+// TestCachedRunSavesEffort re-runs the whole attack through the cache and
+// verifies the second pass costs almost nothing beyond the seed searches.
+func TestCachedRunSavesEffort(t *testing.T) {
+	p, c := cachedRig(t)
+	params := core.Params{
+		SchoolName:   p.Schools()[0].Name,
+		CurrentYear:  2012,
+		Mode:         core.Enhanced,
+		MaxThreshold: 90,
+	}
+	res1, err := core.Run(crawler.NewSession(c), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved1 := c.Saved()
+	res2, err := core.Run(crawler.NewSession(c), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved2 := c.Saved()
+	if len(res1.Ranked) != len(res2.Ranked) {
+		t.Fatal("cached re-run changed the result")
+	}
+	savedByRun2 := saved2.Total() - saved1.Total()
+	if savedByRun2 < res2.Effort.Total()/2 {
+		t.Fatalf("cache absorbed only %d of %d requests", savedByRun2, res2.Effort.Total())
+	}
+	t.Logf("second run: %d logical requests, %d served from the store",
+		res2.Effort.Total(), savedByRun2)
+}
+
+func TestPageOfBounds(t *testing.T) {
+	friends := make([]osn.FriendRef, 45)
+	if _, _, err := pageOf(friends, -1); err == nil {
+		t.Fatal("negative page accepted")
+	}
+	got, more, err := pageOf(friends, 1)
+	if err != nil || len(got) != 20 || !more {
+		t.Fatalf("page 1: %d more=%v err=%v", len(got), more, err)
+	}
+	got, more, _ = pageOf(friends, 2)
+	if len(got) != 5 || more {
+		t.Fatalf("final page: %d more=%v", len(got), more)
+	}
+	got, more, _ = pageOf(friends, 3)
+	if len(got) != 0 || more {
+		t.Fatal("past-the-end page should be empty")
+	}
+}
+
+func TestCachedClientArchiveAndPassthrough(t *testing.T) {
+	p, c := cachedRig(t)
+	// Archive seeds the store directly.
+	c.Archive("zz", []osn.FriendRef{{ID: "a", Name: "A"}})
+	if f, hidden, ok := c.store.Friends("zz"); !ok || hidden || len(f) != 1 {
+		t.Fatal("Archive did not store the list")
+	}
+	// Pass-throughs.
+	if c.Accounts() != 2 {
+		t.Fatalf("accounts %d", c.Accounts())
+	}
+	if _, err := c.LookupSchool(p.Schools()[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Search(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+package worldgen
+
+import "hsprofiler/internal/sim"
+
+// LyingModel parameterizes COPPA-circumvention behaviour at account
+// creation. Pew reported 44% of online teens admitting to age lies; Boyd et
+// al. found parents often assist. A liar signed up while under 13, claiming
+// either to be exactly 13 (the minimum) or to be an adult outright. The
+// claimed age fixes the registered birth date, which in turn determines
+// whether the OSN treats the user as an adult at collection time.
+type LyingModel struct {
+	// StudentLieProb is the probability that a current student lied about
+	// their age at signup.
+	StudentLieProb float64
+	// AdultClaimProb is, among liars, the probability of having claimed to
+	// be 18+ at signup (vs claiming exactly 13).
+	AdultClaimProb float64
+	// SignupAgeMin/Max bound the true age at which liars created accounts.
+	SignupAgeMin, SignupAgeMax int
+	// AlumniLieProb is the (small) probability that an alumnus or adult has
+	// an inflated registered age; harmless for them, but it existed.
+	AlumniLieProb float64
+}
+
+// PrivacyDist gives the marginal probabilities with which registered-adult
+// accounts enable each sharing switch. Table 5 of the paper reports the
+// measured marginals for each school's minors-registered-as-adults; the
+// per-scenario values below are pinned to those columns.
+type PrivacyDist struct {
+	FriendListPublic float64
+	PublicSearch     float64
+	MessageLink      float64
+	Relationship     float64
+	InterestedIn     float64
+	Birthday         float64
+	Hometown         float64
+	Photos           float64
+	Contact          float64
+	Network          float64 // "typically less than 10% specify network"
+	// PhotosMean is the mean photo count for accounts sharing photos.
+	PhotosMean float64
+}
+
+// FriendshipConfig controls the friendship-formation model.
+type FriendshipConfig struct {
+	// InCohortDegree is the target mean number of friends a student has in
+	// their own graduating class.
+	InCohortDegree float64
+	// CrossCohortDegree is the target mean number of friends in each
+	// adjacent class.
+	CrossCohortDegree float64
+	// OutsideDegreeMean/Std set how many friends a student has outside the
+	// school system (relatives, camp, clubs, internet friends). Together
+	// with OutsidePool this controls candidate-set size and overlap.
+	OutsideDegreeMean, OutsideDegreeStd float64
+	// AlumniOwnClassDegree is the mean intra-class degree for alumni.
+	AlumniOwnClassDegree float64
+	// AlumniOutsideDegree is the mean outside-pool degree for alumni.
+	AlumniOutsideDegree float64
+	// RecentGradBridgeMean is the mean number of *current students* a
+	// member of the two most recent alumni classes is friends with; this is
+	// the young-adult bridge the §7 COPPA-less heuristic exploits. It
+	// decays by DecayPerClass for each year further back.
+	RecentGradBridgeMean float64
+	BridgeDecayPerClass  float64
+	// FormerRetainFrac is the fraction of in-school friendships a
+	// transferred-out student retains.
+	FormerRetainFrac float64
+	// ParentFriendProb is the probability a parent is OSN-friends with
+	// their child (when both have accounts).
+	ParentFriendProb float64
+	// TeacherStudentDegree is the mean number of students a teacher is
+	// friends with.
+	TeacherStudentDegree float64
+}
+
+// SchoolConfig describes one high school scenario.
+type SchoolConfig struct {
+	// Label names the scenario in reports ("HS1").
+	Label string
+	// Students is the size of the current student body (roster size).
+	Students int
+	// AdoptionRate is the fraction of students holding OSN accounts.
+	AdoptionRate float64
+	// AliasProb is the probability an account uses an unmatchable alias.
+	AliasProb float64
+	// AlumniClasses and AlumniPerClass size the graduated population still
+	// associated with the school online.
+	AlumniClasses, AlumniPerClass int
+	// ChurnPerYear is the fraction of the student body transferring out per
+	// year (the paper's HS1 sees 10-20%).
+	ChurnPerYear float64
+	// FormerYearsVisible is how many years of transferred-out students
+	// still have school-linked accounts.
+	FormerYearsVisible int
+	// Teachers on the school's staff.
+	Teachers int
+
+	Friendship FriendshipConfig
+	Privacy    PrivacyDist
+
+	// ListsSchoolStudent is the probability a student's profile names the
+	// school and graduation year (only ever stranger-visible for
+	// registered adults).
+	ListsSchoolStudent float64
+	// ListsSchoolAlumni / ListsSchoolFormer likewise for graduates and
+	// transferred-out students (the latter with their stale grad year).
+	ListsSchoolAlumni, ListsSchoolFormer float64
+	// FormerUpdatesSchool is the probability a former student's profile
+	// names their *new* school instead (caught by the §4.4 filter).
+	FormerUpdatesSchool float64
+	// AlumniMovedAway is the probability an alumnus lives in a different
+	// city now (current-city filter interplay).
+	AlumniMovedAway float64
+	// GradSchoolProbAlumni is the probability an old-enough alumnus lists a
+	// graduate school.
+	GradSchoolProbAlumni float64
+}
+
+// Config describes a full world.
+type Config struct {
+	// Now is the data-collection date; "current year" semantics follow it.
+	Now sim.Date
+	// SeniorClassYear is the graduation year of the current senior class
+	// (2012 for a spring-2012 collection).
+	SeniorClassYear int
+	// Schools lists the scenario of each school in the world.
+	Schools []SchoolConfig
+	// OutsidePool is the size of the general population with no school tie.
+	// Smaller pools make students' outside friendship circles overlap more
+	// (suburban schools); larger pools disperse them (urban schools).
+	OutsidePool int
+	// Parents is the number of parent accounts to create (linked to random
+	// students).
+	Parents int
+	Lying   LyingModel
+}
+
+// defaultLying matches the Pew/Boyd measurements and, combined with the
+// school-year age structure, yields ~45% of years-1-3 students registered
+// as adults — the paper's Table 5 range.
+func defaultLying() LyingModel {
+	return LyingModel{
+		StudentLieProb: 0.60,
+		AdultClaimProb: 0.65,
+		SignupAgeMin:   9,
+		SignupAgeMax:   12,
+		AlumniLieProb:  0.08,
+	}
+}
+
+// HS1Config reproduces the paper's HS1: a small private urban school with
+// ~360 students, high churn, and a dispersed (urban) friendship structure.
+// Collection date March 2012.
+func HS1Config() Config {
+	return Config{
+		Now:             sim.Date{Year: 2012, Month: 3, Day: 15},
+		SeniorClassYear: 2012,
+		OutsidePool:     26000,
+		Parents:         500,
+		Lying:           defaultLying(),
+		Schools: []SchoolConfig{{
+			Label:              "HS1",
+			Students:           362,
+			AdoptionRate:       0.90,
+			AliasProb:          0.03,
+			AlumniClasses:      10,
+			AlumniPerClass:     88,
+			ChurnPerYear:       0.13,
+			FormerYearsVisible: 3,
+			Teachers:           35,
+			Friendship: FriendshipConfig{
+				InCohortDegree:       68,
+				CrossCohortDegree:    15,
+				OutsideDegreeMean:    320,
+				OutsideDegreeStd:     120,
+				AlumniOwnClassDegree: 35,
+				AlumniOutsideDegree:  180,
+				RecentGradBridgeMean: 14,
+				BridgeDecayPerClass:  0.45,
+				FormerRetainFrac:     0.55,
+				ParentFriendProb:     0.35,
+				TeacherStudentDegree: 4,
+			},
+			Privacy: PrivacyDist{
+				FriendListPublic: 0.73,
+				PublicSearch:     0.71,
+				MessageLink:      0.89,
+				Relationship:     0.15,
+				InterestedIn:     0.13,
+				Birthday:         0.09,
+				Hometown:         0.55,
+				Photos:           0.60,
+				Contact:          0.05,
+				Network:          0.08,
+				PhotosMean:       32,
+			},
+			ListsSchoolStudent:   0.22,
+			ListsSchoolAlumni:    0.55,
+			ListsSchoolFormer:    0.35,
+			FormerUpdatesSchool:  0.40,
+			AlumniMovedAway:      0.60,
+			GradSchoolProbAlumni: 0.20,
+		}},
+	}
+}
+
+// HS2Config reproduces HS2: a large public suburban East-Coast school of
+// ~1,500 students with a tight, overlapping local friendship structure.
+// Collection date June 2012.
+func HS2Config() Config {
+	return Config{
+		Now:             sim.Date{Year: 2012, Month: 6, Day: 10},
+		SeniorClassYear: 2012,
+		OutsidePool:     15000,
+		Parents:         1500,
+		Lying:           defaultLying(),
+		Schools: []SchoolConfig{{
+			Label:              "HS2",
+			Students:           1500,
+			AdoptionRate:       0.88,
+			AliasProb:          0.04,
+			AlumniClasses:      12,
+			AlumniPerClass:     370,
+			ChurnPerYear:       0.07,
+			FormerYearsVisible: 3,
+			Teachers:           100,
+			Friendship: FriendshipConfig{
+				InCohortDegree:       140,
+				CrossCohortDegree:    35,
+				OutsideDegreeMean:    330,
+				OutsideDegreeStd:     140,
+				AlumniOwnClassDegree: 60,
+				AlumniOutsideDegree:  150,
+				RecentGradBridgeMean: 25,
+				BridgeDecayPerClass:  0.45,
+				FormerRetainFrac:     0.70,
+				ParentFriendProb:     0.30,
+				TeacherStudentDegree: 5,
+			},
+			Privacy: PrivacyDist{
+				FriendListPublic: 0.77,
+				PublicSearch:     0.80,
+				MessageLink:      0.86,
+				Relationship:     0.26,
+				InterestedIn:     0.20,
+				Birthday:         0.04,
+				Hometown:         0.60,
+				Photos:           0.70,
+				Contact:          0.06,
+				Network:          0.09,
+				PhotosMean:       73,
+			},
+			ListsSchoolStudent:   0.22,
+			ListsSchoolAlumni:    0.55,
+			ListsSchoolFormer:    0.35,
+			FormerUpdatesSchool:  0.40,
+			AlumniMovedAway:      0.45,
+			GradSchoolProbAlumni: 0.18,
+		}},
+	}
+}
+
+// HS3Config reproduces HS3: a large public school in a small Midwestern
+// city, also ~1,500 students, with the tightest friendship overlap of the
+// three. Collection date June 2012.
+func HS3Config() Config {
+	cfg := HS2Config()
+	s := &cfg.Schools[0]
+	s.Label = "HS3"
+	cfg.OutsidePool = 12000
+	s.ChurnPerYear = 0.06
+	s.Friendship.InCohortDegree = 130
+	s.Friendship.OutsideDegreeMean = 310
+	s.Privacy.FriendListPublic = 0.87
+	s.Privacy.PublicSearch = 0.86
+	s.Privacy.MessageLink = 0.91
+	s.Privacy.Relationship = 0.34
+	s.Privacy.InterestedIn = 0.33
+	s.Privacy.Birthday = 0.06
+	s.Privacy.PhotosMean = 80
+	s.ListsSchoolStudent = 0.20
+	return cfg
+}
+
+// TinyConfig is a fast, small world for unit tests: one 80-student school
+// and a small outside pool. Not calibrated to the paper.
+func TinyConfig() Config {
+	return Config{
+		Now:             sim.Date{Year: 2012, Month: 3, Day: 15},
+		SeniorClassYear: 2012,
+		OutsidePool:     800,
+		Parents:         60,
+		Lying:           defaultLying(),
+		Schools: []SchoolConfig{{
+			Label:              "TinyHS",
+			Students:           80,
+			AdoptionRate:       0.9,
+			AliasProb:          0.03,
+			AlumniClasses:      4,
+			AlumniPerClass:     20,
+			ChurnPerYear:       0.12,
+			FormerYearsVisible: 2,
+			Teachers:           8,
+			Friendship: FriendshipConfig{
+				InCohortDegree:       15,
+				CrossCohortDegree:    3,
+				OutsideDegreeMean:    30,
+				OutsideDegreeStd:     12,
+				AlumniOwnClassDegree: 8,
+				AlumniOutsideDegree:  20,
+				RecentGradBridgeMean: 5,
+				BridgeDecayPerClass:  0.5,
+				FormerRetainFrac:     0.6,
+				ParentFriendProb:     0.35,
+				TeacherStudentDegree: 3,
+			},
+			Privacy: PrivacyDist{
+				FriendListPublic: 0.75,
+				PublicSearch:     0.75,
+				MessageLink:      0.88,
+				Relationship:     0.2,
+				InterestedIn:     0.18,
+				Birthday:         0.06,
+				Hometown:         0.55,
+				Photos:           0.65,
+				Contact:          0.05,
+				Network:          0.08,
+				PhotosMean:       30,
+			},
+			ListsSchoolStudent:   0.22,
+			ListsSchoolAlumni:    0.55,
+			ListsSchoolFormer:    0.35,
+			FormerUpdatesSchool:  0.40,
+			AlumniMovedAway:      0.55,
+			GradSchoolProbAlumni: 0.2,
+		}},
+	}
+}
+
+// CityConfig is a multi-school world for the city-scale audit example: n
+// copies of a mid-sized school sharing one city and one outside pool.
+func CityConfig(n int) Config {
+	base := TinyConfig()
+	school := base.Schools[0]
+	school.Students = 300
+	school.AlumniPerClass = 70
+	school.Friendship.InCohortDegree = 35
+	school.Friendship.OutsideDegreeMean = 120
+	cfg := Config{
+		Now:             base.Now,
+		SeniorClassYear: base.SeniorClassYear,
+		OutsidePool:     8000,
+		Parents:         600,
+		Lying:           defaultLying(),
+	}
+	for i := 0; i < n; i++ {
+		s := school
+		s.Label = "City-HS" + string(rune('A'+i))
+		cfg.Schools = append(cfg.Schools, s)
+	}
+	return cfg
+}

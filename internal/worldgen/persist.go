@@ -1,0 +1,77 @@
+package worldgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/socialgraph"
+)
+
+// snapshot is the serialized form of a world: people and schools as-is,
+// the friendship graph flattened to an edge list.
+type snapshot struct {
+	Version int                     `json:"version"`
+	Seed    uint64                  `json:"seed"`
+	Now     sim.Date                `json:"now"`
+	Schools []*School               `json:"schools"`
+	People  []*Person               `json:"people"`
+	Edges   [][2]socialgraph.UserID `json:"edges"`
+}
+
+const snapshotVersion = 1
+
+// WriteJSON serializes the world. The format is stable within a snapshot
+// version and round-trips through ReadJSON.
+func (w *World) WriteJSON(out io.Writer) error {
+	snap := snapshot{
+		Version: snapshotVersion,
+		Seed:    w.Seed,
+		Now:     w.Now,
+		Schools: w.Schools,
+		People:  w.People,
+	}
+	for _, u := range w.Graph.Users() {
+		for _, v := range w.Graph.Friends(u) {
+			if u < v { // each undirected edge once
+				snap.Edges = append(snap.Edges, [2]socialgraph.UserID{u, v})
+			}
+		}
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(snap)
+}
+
+// ReadJSON deserializes a world written by WriteJSON and re-validates its
+// invariants.
+func ReadJSON(in io.Reader) (*World, error) {
+	var snap snapshot
+	if err := json.NewDecoder(in).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("worldgen: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("worldgen: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	w := &World{
+		Seed:    snap.Seed,
+		Now:     snap.Now,
+		Schools: snap.Schools,
+		People:  snap.People,
+		Graph:   socialgraph.New(),
+	}
+	for _, p := range w.People {
+		if p.HasAccount {
+			w.Graph.AddUser(p.ID)
+		}
+	}
+	for _, e := range snap.Edges {
+		if err := w.Graph.AddFriendship(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("worldgen: snapshot fails invariants: %w", err)
+	}
+	return w, nil
+}

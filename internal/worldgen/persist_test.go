@@ -1,0 +1,51 @@
+package worldgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := tinyWorld(t, 77)
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != w.Seed || got.Now != w.Now {
+		t.Fatal("metadata lost")
+	}
+	if len(got.People) != len(w.People) {
+		t.Fatalf("people %d vs %d", len(got.People), len(w.People))
+	}
+	for i := range w.People {
+		a, b := w.People[i], got.People[i]
+		if a.DisplayName() != b.DisplayName() || a.Privacy != b.Privacy ||
+			a.TrueBirth != b.TrueBirth || a.RegisteredBirth != b.RegisteredBirth ||
+			a.Sociality != b.Sociality || a.Role != b.Role {
+			t.Fatalf("person %d differs after round trip", i)
+		}
+	}
+	if got.Graph.NumEdges() != w.Graph.NumEdges() {
+		t.Fatalf("edges %d vs %d", got.Graph.NumEdges(), w.Graph.NumEdges())
+	}
+	// Spot-check adjacency equality.
+	for _, u := range w.Graph.Users() {
+		if got.Graph.Degree(u) != w.Graph.Degree(u) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

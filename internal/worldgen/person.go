@@ -1,0 +1,159 @@
+package worldgen
+
+import (
+	"hsprofiler/internal/namegen"
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/socialgraph"
+)
+
+// Role classifies a person's relation to the school system. The attack's
+// false-positive structure depends on these distinctions: alumni and former
+// (transferred-out) students are exactly the populations that look like
+// current students to the scoring rule.
+type Role int
+
+const (
+	// RoleStudent currently attends a high school in the world.
+	RoleStudent Role = iota
+	// RoleAlumnus graduated from a school in the world.
+	RoleAlumnus
+	// RoleFormer attended a school in the world but transferred out before
+	// graduating (the paper's HS1 has 10-20% annual churn).
+	RoleFormer
+	// RoleParent is a parent of a student.
+	RoleParent
+	// RoleTeacher works at a school.
+	RoleTeacher
+	// RoleOutside is a member of the general population with no tie to any
+	// school in the world (the bulk of students' non-school friends).
+	RoleOutside
+)
+
+// String names the role for reports and debugging.
+func (r Role) String() string {
+	switch r {
+	case RoleStudent:
+		return "student"
+	case RoleAlumnus:
+		return "alumnus"
+	case RoleFormer:
+		return "former-student"
+	case RoleParent:
+		return "parent"
+	case RoleTeacher:
+		return "teacher"
+	default:
+		return "outside"
+	}
+}
+
+// PrivacySettings are the per-account sharing switches a user can configure.
+// They express intent only: what a stranger actually sees is the AND of
+// these switches with the platform policy cap for the user's registered
+// class (see package osn). A registered minor may enable everything and
+// still expose nothing beyond the minimal profile.
+type PrivacySettings struct {
+	FriendListPublic bool
+	PublicSearch     bool // discoverable via search portals
+	MessageLink      bool // strangers may open a message thread
+	ShowRelationship bool
+	ShowInterestedIn bool
+	ShowBirthday     bool
+	ShowHometown     bool // hometown and current city
+	ShowPhotos       bool
+	ShowContact      bool // email / IM / phone
+	ListsNetwork     bool // joined a (school/city) network, visible per Table 1
+}
+
+// Person is one member of the synthetic society. Fields are exported for
+// JSON world snapshots; the OSN layer mediates all attacker access.
+type Person struct {
+	ID        socialgraph.UserID
+	FirstName string
+	LastName  string
+	// AliasName, when non-empty, is the display name on the OSN instead of
+	// the real name (the ~10% of students the paper could not roster-match).
+	AliasName string
+	Gender    namegen.Gender
+	TrueBirth sim.Date
+	Role      Role
+
+	// SchoolID is the index of the school the person attends (students),
+	// attended (alumni, former students) or works at (teachers); -1 if none.
+	SchoolID int
+	// GradYear is the (expected) graduation year for students, the actual
+	// one for alumni, and the projected one at time of transfer for former
+	// students; 0 if not applicable.
+	GradYear int
+	// CurrentCity is where the person lives now.
+	CurrentCity string
+	// Hometown is where the person grew up.
+	Hometown string
+	// StreetAddress is the person's home address. It is ground truth the
+	// OSN never serves; the §2 data-broker threat recovers it by joining
+	// inferred profiles against public voter-registration records (package
+	// records). Children share their parents' address.
+	StreetAddress string
+
+	// HasAccount reports whether the person is on the OSN at all.
+	HasAccount bool
+	// LiedAtSignup reports whether the person overstated their age when
+	// registering (the COPPA-circumvention behaviour at the heart of the
+	// paper).
+	LiedAtSignup bool
+	// RegisteredBirth is the birth date on file with the OSN. Equal to
+	// TrueBirth unless the person lied at signup.
+	RegisteredBirth sim.Date
+
+	Privacy PrivacySettings
+
+	// ListsSchool reports whether the profile names the person's school and
+	// graduation year. This is what the attack's step 2 parses.
+	ListsSchool bool
+	// ListsGradSchool reports whether the profile names a graduate school
+	// (one of the §4.4 filter signals: such users are not HS students).
+	ListsGradSchool bool
+	// ListsCity reports whether the profile shows a current city.
+	ListsCity bool
+
+	// PhotosShared is how many photos a stranger could see if photo
+	// visibility applies (Table 5 reports the averages).
+	PhotosShared int
+
+	// Sociality scales this person's propensity to form friendships
+	// (mean ≈ 1). Low-sociality students are the ones the attack misses:
+	// with few classmate ties they collect too few reverse-lookup hits to
+	// outrank the false-positive band, which is how the paper's ~10-15%
+	// residual misses arise.
+	Sociality float64
+
+	// ChildIDs are this person's children, when Role == RoleParent.
+	ChildIDs []socialgraph.UserID
+}
+
+// DisplayName is the name shown on the OSN profile.
+func (p *Person) DisplayName() string {
+	if p.AliasName != "" {
+		return p.AliasName
+	}
+	return p.FirstName + " " + p.LastName
+}
+
+// IsMinorAt reports whether the person is truly under 18 at the given date
+// (the paper's definition of "minor").
+func (p *Person) IsMinorAt(now sim.Date) bool {
+	return p.TrueBirth.AgeAt(now) < 18
+}
+
+// RegisteredMinorAt reports whether the OSN believes the person is under 18
+// at the given date, based on the registered birth date.
+func (p *Person) RegisteredMinorAt(now sim.Date) bool {
+	return p.RegisteredBirth.AgeAt(now) < 18
+}
+
+// MinorRegisteredAsAdultAt reports whether the person is truly a minor but
+// registered as an adult — the "lying minors" whose extended exposure
+// Section 6.2 quantifies.
+func (p *Person) MinorRegisteredAsAdultAt(now sim.Date) bool {
+	return p.IsMinorAt(now) && !p.RegisteredMinorAt(now)
+}

@@ -1,0 +1,237 @@
+package worldgen
+
+import (
+	"fmt"
+
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/socialgraph"
+)
+
+// School is one high school in the world. All schools are four-year schools,
+// like the paper's three test schools.
+type School struct {
+	ID   int
+	Name string
+	City string
+	// GradYears are the four graduation classes currently enrolled, ordered
+	// year 4 (seniors, graduating soonest) first is NOT assumed anywhere;
+	// GradYears[i] is the class of students in school year 4-i. For a
+	// collection date in spring 2012 these are 2012, 2013, 2014, 2015.
+	GradYears [4]int
+}
+
+// CohortIndex returns the 0-based school-year index (0 = first listed
+// graduating class) for gradYear, or -1 if gradYear is not a current class.
+func (s *School) CohortIndex(gradYear int) int {
+	for i, y := range s.GradYears {
+		if y == gradYear {
+			return i
+		}
+	}
+	return -1
+}
+
+// World is a complete synthetic society: people, schools, friendships and
+// the collection date. A world is a pure function of (config, seed); the
+// generator's self-check enforces structural invariants at build time.
+type World struct {
+	Seed    uint64
+	Now     sim.Date
+	Schools []*School
+	People  []*Person
+	Graph   *socialgraph.Graph
+}
+
+// Person returns the person with the given ID, or nil if out of range.
+func (w *World) Person(id socialgraph.UserID) *Person {
+	if id < 0 || int(id) >= len(w.People) {
+		return nil
+	}
+	return w.People[id]
+}
+
+// School returns the school with the given ID, or nil.
+func (w *World) School(id int) *School {
+	if id < 0 || id >= len(w.Schools) {
+		return nil
+	}
+	return w.Schools[id]
+}
+
+// Roster returns the ground-truth student body of a school: every person
+// (with or without an OSN account) currently attending it. This is the
+// confidential student list the paper obtained for HS1; the evaluation layer
+// treats it as oracle data unavailable to the attacker.
+func (w *World) Roster(schoolID int) []*Person {
+	var out []*Person
+	for _, p := range w.People {
+		if p.Role == RoleStudent && p.SchoolID == schoolID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RosterOnOSN returns the subset of the roster that has OSN accounts — the
+// paper's set M (e.g. 325 of HS1's 362 students).
+func (w *World) RosterOnOSN(schoolID int) []*Person {
+	var out []*Person
+	for _, p := range w.Roster(schoolID) {
+		if p.HasAccount {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CountRole returns how many people have the given role (all schools).
+func (w *World) CountRole(r Role) int {
+	n := 0
+	for _, p := range w.People {
+		if p.Role == r {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants validates cross-cutting structural properties of the
+// world. It is called by the generator after construction and exercised
+// directly by tests.
+func (w *World) CheckInvariants() error {
+	if err := w.Graph.CheckInvariants(); err != nil {
+		return err
+	}
+	for i, p := range w.People {
+		if int(p.ID) != i {
+			return fmt.Errorf("worldgen: person at index %d has ID %d", i, p.ID)
+		}
+		if p.Role == RoleStudent || p.Role == RoleAlumnus || p.Role == RoleFormer || p.Role == RoleTeacher {
+			if w.School(p.SchoolID) == nil {
+				return fmt.Errorf("worldgen: %s %d references missing school %d", p.Role, p.ID, p.SchoolID)
+			}
+		}
+		if p.Role == RoleStudent {
+			s := w.School(p.SchoolID)
+			if s.CohortIndex(p.GradYear) < 0 {
+				return fmt.Errorf("worldgen: student %d grad year %d not a current class of school %d", p.ID, p.GradYear, p.SchoolID)
+			}
+			if !p.IsMinorAt(w.Now) && p.TrueBirth.AgeAt(w.Now) > 19 {
+				return fmt.Errorf("worldgen: student %d is %d years old", p.ID, p.TrueBirth.AgeAt(w.Now))
+			}
+		}
+		if p.HasAccount {
+			// Lying can only overstate age: the OSN may believe a user is
+			// older than they are, never younger. This is the direction
+			// COPPA circumvention pushes, and the methodology depends on it.
+			if p.TrueBirth.Before(p.RegisteredBirth) {
+				return fmt.Errorf("worldgen: person %d registered younger than true age", p.ID)
+			}
+			if !p.LiedAtSignup && p.RegisteredBirth != p.TrueBirth {
+				return fmt.Errorf("worldgen: person %d did not lie but birth dates differ", p.ID)
+			}
+			if p.LiedAtSignup && p.RegisteredBirth == p.TrueBirth {
+				return fmt.Errorf("worldgen: person %d lied but birth dates equal", p.ID)
+			}
+		}
+		for _, c := range p.ChildIDs {
+			child := w.Person(c)
+			if child == nil {
+				return fmt.Errorf("worldgen: parent %d references missing child %d", p.ID, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a copy of the world with independently mutable Person
+// records but a shared (structurally immutable after generation) friendship
+// graph. The §7 without-COPPA counterfactual re-registers every account
+// truthfully on such a clone without touching the original.
+func (w *World) Clone() *World {
+	c := &World{Seed: w.Seed, Now: w.Now, Schools: w.Schools, Graph: w.Graph}
+	c.People = make([]*Person, len(w.People))
+	for i, p := range w.People {
+		cp := *p
+		c.People[i] = &cp
+	}
+	return c
+}
+
+// Stats summarizes a school's population for calibration reports and tests.
+type Stats struct {
+	Students           int
+	StudentsOnOSN      int
+	RegisteredAdults   int // students on OSN registered as adults
+	MinorsRegAsAdults  int // §6.2 population, school years 1-3 only
+	MinimalProfiles    int // students whose public profile is minimal (registered minors)
+	PublicFriendLists  int // students on OSN with stranger-visible friend lists
+	ListSchoolPublicly int // students on OSN whose profile names school+grad year
+	Alumni             int
+	FormerStudents     int
+	AvgStudentDegree   float64
+	AvgInSchoolDegree  float64
+	CohortSizes        [4]int
+}
+
+// SchoolStats computes calibration statistics for one school.
+func (w *World) SchoolStats(schoolID int) Stats {
+	var st Stats
+	s := w.School(schoolID)
+	var degSum, inSum int
+	inSchool := make(map[socialgraph.UserID]bool)
+	for _, p := range w.People {
+		if p.SchoolID != schoolID {
+			continue
+		}
+		switch p.Role {
+		case RoleAlumnus:
+			st.Alumni++
+		case RoleFormer:
+			st.FormerStudents++
+		case RoleStudent:
+			inSchool[p.ID] = true
+		}
+	}
+	for _, p := range w.Roster(schoolID) {
+		st.Students++
+		if ci := s.CohortIndex(p.GradYear); ci >= 0 {
+			st.CohortSizes[ci]++
+		}
+		if !p.HasAccount {
+			continue
+		}
+		st.StudentsOnOSN++
+		regMinor := p.RegisteredMinorAt(w.Now)
+		if !regMinor {
+			st.RegisteredAdults++
+			if p.Privacy.FriendListPublic {
+				st.PublicFriendLists++
+			}
+			if p.ListsSchool {
+				st.ListSchoolPublicly++
+			}
+		} else {
+			st.MinimalProfiles++
+		}
+		if p.MinorRegisteredAsAdultAt(w.Now) && s.CohortIndex(p.GradYear) >= 1 {
+			// School years 1-3 = cohort indexes 1..3 when GradYears[0] is
+			// the senior class.
+			st.MinorsRegAsAdults++
+		}
+		deg := w.Graph.Degree(p.ID)
+		degSum += deg
+		in := 0
+		w.Graph.ForEachFriend(p.ID, func(f socialgraph.UserID) {
+			if inSchool[f] {
+				in++
+			}
+		})
+		inSum += in
+	}
+	if st.StudentsOnOSN > 0 {
+		st.AvgStudentDegree = float64(degSum) / float64(st.StudentsOnOSN)
+		st.AvgInSchoolDegree = float64(inSum) / float64(st.StudentsOnOSN)
+	}
+	return st
+}
