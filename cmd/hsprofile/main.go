@@ -5,13 +5,22 @@
 //
 //	hsprofile -url http://localhost:8080 -school "Oakfield High School" \
 //	          -year 2012 -accounts 2 -mode enhanced -t 400
+//
+// A long crawl survives interruption: SIGINT cancels the run cleanly, the
+// partial crawl is still written to -archive, and a later invocation with
+// -resume pointed at that archive continues without re-fetching anything
+// already collected.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"hsprofiler/internal/core"
@@ -33,6 +42,8 @@ func main() {
 	pace := flag.Duration("pace", 0, "politeness delay between requests (e.g. 200ms)")
 	dossiers := flag.Bool("dossiers", false, "run the Section 6 profile extension and report dossier stats")
 	archive := flag.String("archive", "", "write the crawl archive (profiles + friend lists) as JSON to this file")
+	resume := flag.String("resume", "", "resume from a crawl archive written by a previous (possibly interrupted) run")
+	failureBudget := flag.Int("failure-budget", 0, "how many per-item fetch failures to absorb before aborting (0 = fail fast)")
 	flag.Parse()
 
 	if *school == "" {
@@ -48,24 +59,52 @@ func main() {
 		fatal(err)
 	}
 	// All fetches flow through a crawl store (the study kept its parses in
-	// an SQL database); -archive exports it.
+	// an SQL database); -archive exports it and -resume reloads it, so an
+	// interrupted crawl picks up where it stopped.
 	crawlStore := store.New()
-	sess := crawler.NewSession(store.NewCachedClient(client, crawlStore))
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		crawlStore, err = store.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		st := crawlStore.Stats()
+		fmt.Printf("resuming: %d profiles, %d friend lists, %d partial lists already archived\n",
+			st.Profiles, st.FriendLists+st.HiddenLists, st.PartialLists)
+	}
+	cached := store.NewCachedClient(client, crawlStore)
+	sess := crawler.NewSession(cached)
+
+	// SIGINT cancels the crawl between requests; the archive below is
+	// written either way, so the next -resume run continues from here.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	m := core.Basic
 	if *mode == "enhanced" {
 		m = core.Enhanced
 	}
 	start := time.Now()
-	res, err := core.Run(sess, core.Params{
+	res, err := core.RunContext(ctx, sess, core.Params{
 		SchoolName:    *school,
 		CurrentYear:   *year,
 		Mode:          m,
 		Epsilon:       *epsilon,
 		MaxThreshold:  *threshold,
 		FetchProfiles: *filtering,
+		FailureBudget: *failureBudget,
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "hsprofile: interrupted; writing partial archive")
+			writeArchive(*archive, crawlStore)
+			os.Exit(130)
+		}
+		writeArchive(*archive, crawlStore)
 		fatal(err)
 	}
 	sel := res.Select(*threshold, *filtering)
@@ -76,6 +115,14 @@ func main() {
 	fmt.Printf("effort: %d seed + %d profile + %d friend-list = %d requests in %s\n",
 		res.Effort.SeedRequests, res.Effort.ProfileRequests,
 		res.Effort.FriendListRequests, res.Effort.Total(), time.Since(start).Round(time.Millisecond))
+	if res.Retries.Total() > 0 || res.Failures.Total() > 0 || res.FailedFetches > 0 {
+		fmt.Printf("resilience: %d retries (%d seed, %d profile, %d friend-list), %d hard failures, %d items absorbed\n",
+			res.Retries.Total(), res.Retries.SeedRequests, res.Retries.ProfileRequests,
+			res.Retries.FriendListRequests, res.Failures.Total(), res.FailedFetches)
+	}
+	if saved := cached.Saved().Total(); saved > 0 {
+		fmt.Printf("archive cache: %d requests served locally\n", saved)
+	}
 	fmt.Printf("inferred students (|H| = %d):\n", len(sel))
 
 	byYear := map[int]int{}
@@ -105,22 +152,30 @@ func main() {
 			st.Count, st.FriendListPublic*100, st.MessageLink*100)
 	}
 
-	if *archive != "" {
-		f, err := os.Create(*archive)
-		if err != nil {
-			fatal(err)
-		}
-		if err := crawlStore.WriteJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		st := crawlStore.Stats()
-		fmt.Printf("\narchive: %d profiles, %d friend lists (%d hidden) -> %s\n",
-			st.Profiles, st.FriendLists, st.HiddenLists, *archive)
+	writeArchive(*archive, crawlStore)
+}
+
+// writeArchive exports the crawl store to path (no-op when path is empty).
+// It is called on success, interruption, and failure alike: whatever was
+// fetched is never lost.
+func writeArchive(path string, crawlStore *store.Store) {
+	if path == "" {
+		return
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := crawlStore.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st := crawlStore.Stats()
+	fmt.Printf("\narchive: %d profiles, %d friend lists (%d hidden), %d partial -> %s\n",
+		st.Profiles, st.FriendLists, st.HiddenLists, st.PartialLists, path)
 }
 
 func fatal(err error) {

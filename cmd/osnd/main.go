@@ -5,6 +5,7 @@
 //	osnd -world hs1.json -addr :8080
 //	osnd -scenario hs1 -addr :8080 -policy googleplus
 //	osnd -scenario hs1 -no-reverse-lookup   # the §8 countermeasure
+//	osnd -scenario hs1 -faults 0.1          # serve a hostile platform
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"hsprofiler/internal/faults"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/osnhttp"
 	"hsprofiler/internal/worldgen"
@@ -33,6 +35,9 @@ func main() {
 	budget := flag.Int("request-budget", 0, "per-account request ceiling before suspension (0 = unlimited)")
 	throttleLimit := flag.Int("throttle-limit", 0, "per-account requests allowed per throttle window (0 = no throttling)")
 	throttleWindow := flag.Duration("throttle-window", time.Minute, "sliding window for -throttle-limit")
+	faultRate := flag.Float64("faults", 0, "composite fault-injection rate in [0,1], split evenly across 5xx, spurious throttles, connection resets, truncated and garbled pages (0 = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (same seed + same request sequence = same faults)")
+	faultLatency := flag.Duration("fault-latency", 0, "max injected latency; applied to roughly a quarter of requests (0 = off)")
 	flag.Parse()
 
 	var w *worldgen.World
@@ -91,9 +96,23 @@ func main() {
 	}
 	fmt.Printf("osnd: %s policy on %s\n", pol.Name, *addr)
 
+	var handler http.Handler = osnhttp.NewServer(platform)
+	var injector *faults.Injector
+	if *faultRate > 0 || *faultLatency > 0 {
+		cfg := faults.Composite(*faultRate, *faultSeed)
+		if *faultLatency > 0 {
+			cfg.Latency = 0.25
+			cfg.MaxLatency = *faultLatency
+		}
+		injector = faults.New(cfg)
+		handler = injector.Middleware(handler)
+		rate := cfg.ServerError + cfg.Throttle + cfg.Reset + cfg.Truncate + cfg.Garble
+		fmt.Printf("osnd: injecting faults at rate %.2f (seed %d)\n", rate, *faultSeed)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           osnhttp.NewServer(platform),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -117,6 +136,9 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fatal(err)
 		}
+	}
+	if injector != nil {
+		fmt.Printf("osnd: %s\n", injector.Stats())
 	}
 }
 

@@ -11,6 +11,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -101,6 +103,14 @@ type Params struct {
 	// Rule selects the ranking statistic (default: the paper's
 	// normalized max).
 	Rule ScoreRule
+	// FailureBudget is how many individual fetch failures (a seed profile,
+	// a core friend list, a window profile that stays broken after the
+	// session's own retries) one run absorbs before aborting. An absorbed
+	// failure skips just that item — the seed is dropped, the core user is
+	// excluded, the candidate stays unprofiled — and is counted in
+	// Result.FailedFetches. 0 preserves the strict fail-fast behavior.
+	// Context cancellation is never absorbed.
+	FailureBudget int
 }
 
 func (p Params) withDefaults() Params {
@@ -184,6 +194,32 @@ type Result struct {
 	Ranked []Candidate
 	// Effort is the request tally for this run.
 	Effort crawler.Effort
+	// Retries counts extra attempts the session spent riding out transient
+	// failures, and Failures the requests that failed for good, both by
+	// category.
+	Retries  crawler.Effort
+	Failures crawler.Effort
+	// FailedFetches counts the per-item failures absorbed under
+	// Params.FailureBudget.
+	FailedFetches int
+
+	// failBudget is the remaining failure allowance during the run.
+	failBudget int
+}
+
+// absorb reports whether a per-item fetch failure can be absorbed under the
+// failure budget, consuming one unit and tallying it when so. Context
+// cancellation is never absorbed: a cancelled crawl must stop, not limp on.
+func (r *Result) absorb(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if r.failBudget <= 0 {
+		return false
+	}
+	r.failBudget--
+	r.FailedFetches++
+	return true
 }
 
 // CandidateCount is |K|.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,10 +25,20 @@ import (
 // augmented core. Filtering (§4.4) is evaluated lazily: the run records
 // each downloaded profile's filter verdict and Select applies it.
 func Run(sess *crawler.Session, p Params) (*Result, error) {
+	return RunContext(context.Background(), sess, p)
+}
+
+// RunContext is Run under a caller context. Cancelling it stops the crawl
+// between requests; the returned error then wraps the context's error.
+// Per-item fetch failures (after the session's own retries) are absorbed up
+// to Params.FailureBudget, so a run against a flaky platform degrades item
+// by item instead of dying whole.
+func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, error) {
 	p = p.withDefaults()
 	if err := validateParams(p); err != nil {
 		return nil, err
 	}
+	sess.WithContext(ctx)
 	school, err := sess.LookupSchool(p.SchoolName)
 	if err != nil {
 		return nil, fmt.Errorf("core: looking up target school: %w", err)
@@ -37,6 +48,7 @@ func Run(sess *crawler.Session, p Params) (*Result, error) {
 		School:         school,
 		CorePrime:      make(map[osn.PublicID]int),
 		corePrimeNames: make(map[osn.PublicID]string),
+		failBudget:     p.FailureBudget,
 	}
 
 	// Step 1: seeds.
@@ -54,6 +66,9 @@ func Run(sess *crawler.Session, p Params) (*Result, error) {
 	for _, seed := range r.Seeds {
 		pp, err := sess.FetchProfile(seed.ID)
 		if err != nil {
+			if r.absorb(err) {
+				continue // skip this seed
+			}
 			return nil, fmt.Errorf("core: seed profile %s: %w", seed.ID, err)
 		}
 		if !IndicatesCurrentStudent(pp, school.Name, p.CurrentYear) {
@@ -106,6 +121,8 @@ func Run(sess *crawler.Session, p Params) (*Result, error) {
 
 	r.ExtendedCoreSize = len(r.CorePrime)
 	r.Effort = sess.Effort
+	r.Retries = sess.Retries
+	r.Failures = sess.Failures
 	return r, nil
 }
 
@@ -144,6 +161,9 @@ func (r *Result) harvestAndScore(sess *crawler.Session, core []CoreUser) error {
 				continue
 			}
 			if err != nil {
+				if r.absorb(err) {
+					continue // exclude this core user from scoring
+				}
 				return fmt.Errorf("core: friend list of %s: %w", cu.ID, err)
 			}
 			cu.Friends = friends
@@ -202,6 +222,12 @@ func (r *Result) fetchWindowProfiles(sess *crawler.Session, window int, promote 
 			if c.Profile == nil {
 				pp, err := sess.FetchProfile(c.ID)
 				if err != nil {
+					if r.absorb(err) {
+						// Keep the candidate ranked but unprofiled: it can
+						// still be selected, just never filtered or promoted.
+						kept = append(kept, c)
+						continue
+					}
 					return nil, fmt.Errorf("core: candidate profile %s: %w", c.ID, err)
 				}
 				c.Profile = pp

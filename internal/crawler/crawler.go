@@ -5,12 +5,41 @@
 package crawler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"hsprofiler/internal/osn"
 )
+
+// IsTransient reports whether an error is worth retrying. Platform-semantic
+// verdicts (suspension, hidden lists, missing users, bad credentials) and
+// context cancellation are final; everything else — throttling, injected
+// 5xx, connection resets, malformed pages, timeouts — is assumed to be a
+// property of the attempt rather than the request, which is how a
+// production crawler must treat an adversarial platform.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, permanent := range []error{
+		osn.ErrSuspended, osn.ErrHidden, osn.ErrNotFound, osn.ErrNoSchool,
+		osn.ErrUnauthorized, osn.ErrUnderage,
+		context.Canceled, context.DeadlineExceeded,
+	} {
+		if errors.Is(err, permanent) {
+			return false
+		}
+	}
+	return true
+}
+
+// Effort bucket selectors, used to attribute retries and failures to the
+// same categories as the requests themselves.
+func seedBucket(e *Effort) *int    { return &e.SeedRequests }
+func profileBucket(e *Effort) *int { return &e.ProfileRequests }
+func friendBucket(e *Effort) *int  { return &e.FriendListRequests }
 
 // Client is the stranger-visible platform surface available to a third
 // party: school lookup, Find-Friends search, public profile pages, and
@@ -61,15 +90,25 @@ func (e Effort) Add(o Effort) Effort {
 // is the object the attack methodology drives. Not safe for concurrent use.
 type Session struct {
 	client Client
-	// Effort is the running request tally.
+	// Effort is the running request tally. It counts logical requests
+	// (the paper's Table 3 semantics); extra attempts spent riding out
+	// throttles and transient failures are tallied in Retries instead.
 	Effort Effort
+	// Retries counts extra attempts after throttled or transient
+	// failures, by request category.
+	Retries Effort
+	// Failures counts requests that failed for good: transient errors
+	// that exhausted the retry budget, or unexpected permanent errors
+	// (suspensions and hidden lists are expected outcomes, not failures).
+	Failures Effort
 	// Backoff is called before retrying a throttled request, with the
 	// 0-based attempt number. The default sleeps exponentially from 5 ms.
 	// Replace it in tests for instant retries.
 	Backoff func(attempt int)
-	// MaxRetries bounds throttle retries per request (default 12).
+	// MaxRetries bounds throttle/transient retries per request (default 12).
 	MaxRetries int
 
+	ctx       context.Context
 	rot       int
 	suspended map[int]bool
 }
@@ -80,8 +119,20 @@ func NewSession(c Client) *Session {
 		client:     c,
 		Backoff:    DefaultBackoff,
 		MaxRetries: 12,
+		ctx:        context.Background(),
 		suspended:  make(map[int]bool),
 	}
+}
+
+// WithContext sets the context consulted between attempts: once it is
+// cancelled, the session's fetch methods return its error instead of
+// issuing further requests. It returns the session for chaining.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+	return s
 }
 
 // DefaultBackoff sleeps 5ms·2^attempt, capped at 500ms — the polite-crawler
@@ -94,17 +145,33 @@ func DefaultBackoff(attempt int) {
 	time.Sleep(d)
 }
 
-// retryThrottled runs fn, backing off and retrying while it reports
-// osn.ErrThrottled, up to MaxRetries attempts.
-func (s *Session) retryThrottled(fn func() error) error {
+// retryTransient runs fn, backing off and retrying while it reports a
+// transient error (throttling, 5xx, resets, malformed pages), up to
+// MaxRetries attempts. Retries and terminal failures are tallied into the
+// bucket-selected category; the session's context is consulted before every
+// attempt so a cancelled crawl stops mid-list rather than at the next
+// phase boundary.
+func (s *Session) retryTransient(bucket func(*Effort) *int, fn func() error) error {
 	for attempt := 0; ; attempt++ {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
 		err := fn()
-		if !errors.Is(err, osn.ErrThrottled) {
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) {
+			if !errors.Is(err, osn.ErrSuspended) && !errors.Is(err, osn.ErrHidden) &&
+				!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				*bucket(&s.Failures)++
+			}
 			return err
 		}
 		if attempt >= s.MaxRetries {
+			*bucket(&s.Failures)++
 			return err
 		}
+		*bucket(&s.Retries)++
 		s.Backoff(attempt)
 	}
 }
@@ -125,9 +192,15 @@ func (s *Session) nextAccount() (int, error) {
 	return 0, fmt.Errorf("crawler: all %d accounts suspended", n)
 }
 
-// LookupSchool resolves the target school.
+// LookupSchool resolves the target school, retrying transient failures.
 func (s *Session) LookupSchool(name string) (osn.SchoolRef, error) {
-	return s.client.LookupSchool(name)
+	var ref osn.SchoolRef
+	err := s.retryTransient(seedBucket, func() error {
+		var err error
+		ref, err = s.client.LookupSchool(name)
+		return err
+	})
+	return ref, err
 }
 
 // CollectSeeds runs the school search on each of the given accounts,
@@ -144,7 +217,7 @@ func (s *Session) CollectSeeds(schoolID int, accounts []int) ([]osn.SearchResult
 			s.Effort.SeedRequests++
 			var results []osn.SearchResult
 			var more bool
-			err := s.retryThrottled(func() error {
+			err := s.retryTransient(seedBucket, func() error {
 				var err error
 				results, more, err = s.client.Search(acct, schoolID, page)
 				return err
@@ -190,7 +263,7 @@ func (s *Session) FetchProfile(id osn.PublicID) (*osn.PublicProfile, error) {
 		}
 		s.Effort.ProfileRequests++
 		var pp *osn.PublicProfile
-		err = s.retryThrottled(func() error {
+		err = s.retryTransient(profileBucket, func() error {
 			var err error
 			pp, err = s.client.Profile(acct, id)
 			return err
@@ -219,7 +292,7 @@ func (s *Session) FetchFriends(id osn.PublicID) ([]osn.FriendRef, error) {
 		s.Effort.FriendListRequests++
 		var friends []osn.FriendRef
 		var more bool
-		err = s.retryThrottled(func() error {
+		err = s.retryTransient(friendBucket, func() error {
 			var err error
 			friends, more, err = s.client.FriendPage(acct, id, page)
 			return err

@@ -4,22 +4,65 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
 )
+
+// ErrTimeout is returned (wrapped) when one client call exceeds the
+// fetcher's per-request Timeout. It is transient: the fetcher retries it
+// like any other flaky-transport failure.
+var ErrTimeout = errors.New("crawler: request timed out")
 
 // Fetcher downloads profiles and friend lists concurrently over a Client.
 // The study's crawler was sequential with sleeps (politeness against the
 // live platform); against the simulator the interesting regime is a
 // parallel crawl with account rotation, which Fetcher provides. It is safe
 // for concurrent use and keeps its own effort tally.
+//
+// The fetcher is hardened for hostile transports: each request gets an
+// optional per-call timeout, transient failures (throttles, 5xx, resets,
+// malformed pages, timeouts) are retried up to MaxRetries times with
+// exponential backoff and deterministic jitter, and batch calls tolerate a
+// configurable number of per-item failures instead of aborting on the
+// first one. Tune the exported fields before the first batch call.
 type Fetcher struct {
 	client  Client
 	workers int
 
+	// MaxRetries bounds transient retries per request (0 = default 8;
+	// negative = no retries).
+	MaxRetries int
+	// BaseDelay and MaxDelay shape the exponential backoff between
+	// transient retries (defaults 2ms and 250ms). The delay for attempt k
+	// is min(BaseDelay<<k, MaxDelay) scaled by a deterministic jitter in
+	// [0.5, 1.0) drawn from JitterSeed and the request key, so two runs
+	// back off identically while concurrent workers stay decorrelated.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterSeed seeds the backoff jitter.
+	JitterSeed uint64
+	// Sleep performs the backoff pause; tests replace it to run at full
+	// speed. Nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Timeout bounds each client call (0 = unbounded). A call that
+	// overruns is abandoned on its goroutine and retried; the abandoned
+	// call's result is discarded.
+	Timeout time.Duration
+	// Tolerance is how many per-item failures one batch call absorbs
+	// before giving up. Failed items keep their zero-valued result slot
+	// and are tallied in Failures; exceeding the tolerance aborts the
+	// batch with every collected item error joined. 0 (the default)
+	// preserves the strict abort-on-first-error behavior.
+	Tolerance int
+
 	mu        sync.Mutex
 	effort    Effort
+	retries   Effort
+	failures  Effort
 	suspended map[int]bool
 	next      int
 }
@@ -32,11 +75,27 @@ func NewFetcher(c Client, workers int) *Fetcher {
 	return &Fetcher{client: c, workers: workers, suspended: make(map[int]bool)}
 }
 
-// Effort returns the accumulated request tally.
+// Effort returns the accumulated request tally. Unlike Session, the fetcher
+// counts every attempt actually issued, including retries.
 func (f *Fetcher) Effort() Effort {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.effort
+}
+
+// Retries returns the per-category tally of extra attempts spent on
+// transient failures.
+func (f *Fetcher) Retries() Effort {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retries
+}
+
+// Failures returns the per-category tally of requests that failed for good.
+func (f *Fetcher) Failures() Effort {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failures
 }
 
 // account picks a non-suspended account round-robin.
@@ -60,36 +119,149 @@ func (f *Fetcher) markSuspended(acct int) {
 	f.mu.Unlock()
 }
 
-func (f *Fetcher) countProfile() {
-	f.mu.Lock()
-	f.effort.ProfileRequests++
-	f.mu.Unlock()
+func (f *Fetcher) maxRetries() int {
+	switch {
+	case f.MaxRetries == 0:
+		return 8
+	case f.MaxRetries < 0:
+		return 0
+	default:
+		return f.MaxRetries
+	}
 }
 
-func (f *Fetcher) countFriendPage() {
-	f.mu.Lock()
-	f.effort.FriendListRequests++
-	f.mu.Unlock()
+func (f *Fetcher) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if f.Sleep != nil {
+		f.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
-// forEach runs fn(i) for every index over the worker pool, stopping on the
-// first error.
-func (f *Fetcher) forEach(n int, fn func(i int) error) error {
-	ctx, cancel := context.WithCancel(context.Background())
+// backoffDelay computes the attempt's backoff with deterministic jitter.
+func (f *Fetcher) backoffDelay(key string, attempt int) time.Duration {
+	base := f.BaseDelay
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	max := f.MaxDelay
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	jitter := sim.New(f.JitterSeed).Stream(key + "#" + strconv.Itoa(attempt)).Float64()
+	return time.Duration(float64(d) * (0.5 + jitter/2))
+}
+
+// withTimeout runs fn under the per-request timeout and the batch context.
+// An overrunning call is abandoned: it finishes on its own goroutine and
+// its outcome is discarded.
+func (f *Fetcher) withTimeout(ctx context.Context, fn func() error) error {
+	if f.Timeout <= 0 && ctx.Done() == nil {
+		return fn()
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	var timeout <-chan time.Time
+	if f.Timeout > 0 {
+		timer := time.NewTimer(f.Timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-timeout:
+		return fmt.Errorf("%w after %v", ErrTimeout, f.Timeout)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// call issues one logical request: it rotates accounts on suspension,
+// counts every attempt in the effort tally, and retries transient failures
+// with backoff. Terminal platform verdicts (ErrHidden, ErrNotFound, ...)
+// are returned unwrapped for callers to branch on.
+func (f *Fetcher) call(ctx context.Context, key string, bucket func(*Effort) *int, fn func(acct int) error) error {
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		acct, err := f.account()
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+		*bucket(&f.effort)++
+		f.mu.Unlock()
+		err = f.withTimeout(ctx, func() error { return fn(acct) })
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, osn.ErrSuspended) {
+			// Account rotation, not a retry: the request itself is
+			// fine, the credential is burned.
+			f.markSuspended(acct)
+			continue
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		if attempt >= f.maxRetries() {
+			f.mu.Lock()
+			*bucket(&f.failures)++
+			f.mu.Unlock()
+			return err
+		}
+		f.mu.Lock()
+		*bucket(&f.retries)++
+		f.mu.Unlock()
+		f.sleep(f.backoffDelay(key, attempt))
+		attempt++
+	}
+}
+
+// forEach runs fn(i) for every index over the worker pool. Per-item errors
+// are all collected (none silently dropped); once more than Tolerance items
+// have failed, the remaining work is cancelled and every collected error is
+// returned via errors.Join. Within tolerance, failed items are absorbed and
+// forEach returns nil.
+func (f *Fetcher) forEach(outer context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(outer)
 	defer cancel()
 	jobs := make(chan int)
-	errs := make(chan error, f.workers)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
 	for w := 0; w < f.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := fn(i); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
+				err := fn(ctx, i)
+				if err == nil {
+					continue
+				}
+				if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+					// Cancellation noise from a sibling's abort or
+					// the caller's context, not an item failure.
+					return
+				}
+				mu.Lock()
+				errs = append(errs, err)
+				abort := len(errs) > f.Tolerance
+				mu.Unlock()
+				if abort {
 					cancel()
 					return
 				}
@@ -106,37 +278,39 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) > f.Tolerance {
+		return errors.Join(errs...)
 	}
+	// The caller's cancellation surfaces even when no item recorded it;
+	// forEach's own abort path was handled above.
+	if err := outer.Err(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Profiles fetches the public profiles of ids concurrently. The result
 // slice is index-aligned with ids, so output is deterministic regardless of
-// completion order.
+// completion order. With Tolerance > 0, failed items yield nil entries.
 func (f *Fetcher) Profiles(ids []osn.PublicID) ([]*osn.PublicProfile, error) {
+	return f.ProfilesContext(context.Background(), ids)
+}
+
+// ProfilesContext is Profiles under a caller context; cancelling it stops
+// the crawl between requests.
+func (f *Fetcher) ProfilesContext(ctx context.Context, ids []osn.PublicID) ([]*osn.PublicProfile, error) {
 	out := make([]*osn.PublicProfile, len(ids))
-	err := f.forEach(len(ids), func(i int) error {
-		for {
-			acct, err := f.account()
-			if err != nil {
-				return err
-			}
-			f.countProfile()
+	err := f.forEach(ctx, len(ids), func(ctx context.Context, i int) error {
+		return f.call(ctx, "profile/"+string(ids[i]), profileBucket, func(acct int) error {
 			pp, err := f.client.Profile(acct, ids[i])
-			if errors.Is(err, osn.ErrSuspended) {
-				f.markSuspended(acct)
-				continue
-			}
 			if err != nil {
 				return fmt.Errorf("crawler: profile %s: %w", ids[i], err)
 			}
 			out[i] = pp
 			return nil
-		}
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -146,23 +320,25 @@ func (f *Fetcher) Profiles(ids []osn.PublicID) ([]*osn.PublicProfile, error) {
 
 // FriendLists fetches the complete friend lists of ids concurrently.
 // Hidden lists yield a nil entry (not an error), mirroring how the attack
-// treats them. The result is index-aligned with ids.
+// treats them. The result is index-aligned with ids. With Tolerance > 0,
+// failed items also yield nil entries; consult Failures to tell them apart.
 func (f *Fetcher) FriendLists(ids []osn.PublicID) ([][]osn.FriendRef, error) {
+	return f.FriendListsContext(context.Background(), ids)
+}
+
+// FriendListsContext is FriendLists under a caller context.
+func (f *Fetcher) FriendListsContext(ctx context.Context, ids []osn.PublicID) ([][]osn.FriendRef, error) {
 	out := make([][]osn.FriendRef, len(ids))
-	err := f.forEach(len(ids), func(i int) error {
+	err := f.forEach(ctx, len(ids), func(ctx context.Context, i int) error {
 		var friends []osn.FriendRef
 		for page := 0; ; page++ {
-			acct, err := f.account()
-			if err != nil {
+			var batch []osn.FriendRef
+			var more bool
+			err := f.call(ctx, fmt.Sprintf("friends/%s/%d", ids[i], page), friendBucket, func(acct int) error {
+				var err error
+				batch, more, err = f.client.FriendPage(acct, ids[i], page)
 				return err
-			}
-			f.countFriendPage()
-			batch, more, err := f.client.FriendPage(acct, ids[i], page)
-			if errors.Is(err, osn.ErrSuspended) {
-				f.markSuspended(acct)
-				page--
-				continue
-			}
+			})
 			if errors.Is(err, osn.ErrHidden) {
 				return nil // nil entry
 			}
@@ -171,11 +347,11 @@ func (f *Fetcher) FriendLists(ids []osn.PublicID) ([][]osn.FriendRef, error) {
 			}
 			friends = append(friends, batch...)
 			if !more {
-				out[i] = friends
 				if friends == nil {
 					// Distinguish "visible but empty" from "hidden".
-					out[i] = []osn.FriendRef{}
+					friends = []osn.FriendRef{}
 				}
+				out[i] = friends
 				return nil
 			}
 		}

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/osn"
+)
+
+// Client wraps a crawler.Client with the injector, for in-process runs that
+// skip the HTTP stack. Truncate and Garble have no body to mangle here, so
+// they surface as ErrInjected (the consumer-visible effect of an unusable
+// page is the same: the request must be retried).
+//
+// Request keys deliberately exclude the account index: a retry that rotates
+// accounts continues the same fault schedule instead of starting a fresh
+// one, matching how a flaky backend looks to a crawler that swaps
+// credentials.
+type Client struct {
+	inner crawler.Client
+	in    *Injector
+}
+
+// Client decorates inner with fault injection.
+func (in *Injector) Client(inner crawler.Client) *Client {
+	return &Client{inner: inner, in: in}
+}
+
+var _ crawler.Client = (*Client)(nil)
+
+// fault makes the decision for key and returns the injected error, or nil.
+func (c *Client) fault(key string) error {
+	kind, delay := c.in.Decide(key)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch kind {
+	case ServerError, Truncate, Garble:
+		return ErrInjected
+	case Throttle:
+		return osn.ErrThrottled
+	case Reset:
+		return ErrReset
+	}
+	return nil
+}
+
+// Accounts implements crawler.Client.
+func (c *Client) Accounts() int { return c.inner.Accounts() }
+
+// LookupSchool implements crawler.Client.
+func (c *Client) LookupSchool(name string) (osn.SchoolRef, error) {
+	if err := c.fault("school/" + name); err != nil {
+		return osn.SchoolRef{}, err
+	}
+	return c.inner.LookupSchool(name)
+}
+
+// Search implements crawler.Client.
+func (c *Client) Search(acct, schoolID, page int) ([]osn.SearchResult, bool, error) {
+	if err := c.fault(fmt.Sprintf("search/%d/%d/%d", acct, schoolID, page)); err != nil {
+		return nil, false, err
+	}
+	return c.inner.Search(acct, schoolID, page)
+}
+
+// Profile implements crawler.Client.
+func (c *Client) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error) {
+	if err := c.fault("profile/" + string(id)); err != nil {
+		return nil, err
+	}
+	return c.inner.Profile(acct, id)
+}
+
+// FriendPage implements crawler.Client.
+func (c *Client) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
+	if err := c.fault(fmt.Sprintf("friends/%s/%d", id, page)); err != nil {
+		return nil, false, err
+	}
+	return c.inner.FriendPage(acct, id, page)
+}

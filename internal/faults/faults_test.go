@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+)
+
+func TestDecideDeterministic(t *testing.T) {
+	cfg := Composite(0.5, 42)
+	a, b := New(cfg), New(cfg)
+	keys := []string{"profile/u1", "friends/u1/0", "profile/u1", "search/0/0/1", "profile/u1"}
+	for i, key := range keys {
+		ka, da := a.Decide(key)
+		kb, db := b.Decide(key)
+		if ka != kb || da != db {
+			t.Fatalf("step %d key %q: (%v,%v) vs (%v,%v)", i, key, ka, da, kb, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestDecideIndependentOfInterleaving(t *testing.T) {
+	cfg := Composite(0.6, 7)
+	// Per-key decision sequences must not depend on what other keys did in
+	// between — that is what makes concurrent crawls deterministic.
+	solo := New(cfg)
+	var want []Kind
+	for i := 0; i < 6; i++ {
+		k, _ := solo.Decide("profile/u9")
+		want = append(want, k)
+	}
+	mixed := New(cfg)
+	for i := 0; i < 6; i++ {
+		mixed.Decide("friends/u1/0")
+		k, _ := mixed.Decide("profile/u9")
+		mixed.Decide("search/0/0/0")
+		if k != want[i] {
+			t.Fatalf("attempt %d: %v with interleaving, %v without", i, k, want[i])
+		}
+	}
+}
+
+func TestMaxConsecutiveGuaranteesProgress(t *testing.T) {
+	in := New(Config{Seed: 1, ServerError: 1}) // every eligible attempt faults
+	for attempt := 0; attempt < 4; attempt++ {
+		if k, _ := in.Decide("k"); k != ServerError {
+			t.Fatalf("attempt %d: %v, want server-error", attempt, k)
+		}
+	}
+	if k, _ := in.Decide("k"); k != None {
+		t.Fatalf("attempt 4 should be fault-free, got %v", k)
+	}
+	// Other keys still have their own budget.
+	if k, _ := in.Decide("other"); k != ServerError {
+		t.Fatalf("fresh key should fault, got %v", k)
+	}
+}
+
+func TestCompositeClampsAndSplits(t *testing.T) {
+	c := Composite(0.5, 1)
+	if got := c.total(); got < 0.499 || got > 0.501 {
+		t.Fatalf("total %v, want 0.5", got)
+	}
+	if Composite(-1, 1).total() != 0 {
+		t.Fatal("negative rate not clamped")
+	}
+	if got := Composite(9, 1).total(); got < 0.999 || got > 1.001 {
+		t.Fatalf("overlarge rate clamped to %v", got)
+	}
+}
+
+func TestClientDecoratorErrorMapping(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want error
+	}{
+		{Config{Seed: 1, ServerError: 1}, ErrInjected},
+		{Config{Seed: 1, Throttle: 1}, osn.ErrThrottled},
+		{Config{Seed: 1, Reset: 1}, ErrReset},
+		{Config{Seed: 1, Truncate: 1}, ErrInjected},
+		{Config{Seed: 1, Garble: 1}, ErrInjected},
+	}
+	for _, tc := range cases {
+		c := New(tc.cfg).Client(nil)
+		if err := c.fault("k"); !errors.Is(err, tc.want) {
+			t.Fatalf("%+v: got %v, want %v", tc.cfg, err, tc.want)
+		}
+	}
+}
+
+// page is a minimal well-formed body middleware tests serve.
+const page = `<html><body><div id="x">hello world, a body long enough to cut</div></body></html>`
+
+func serveThrough(t *testing.T, cfg Config, method string) *http.Response {
+	t.Helper()
+	in := New(cfg)
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, page)
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	req, err := http.NewRequest(method, srv.URL+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestMiddlewareStatusFaults(t *testing.T) {
+	if resp := serveThrough(t, Config{Seed: 1, ServerError: 1}, http.MethodGet); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("server-error fault: status %d", resp.StatusCode)
+	}
+	resp := serveThrough(t, Config{Seed: 1, Throttle: 1}, http.MethodGet)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("throttle fault: status %d retry-after %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestMiddlewareSkipsPost(t *testing.T) {
+	resp := serveThrough(t, Config{Seed: 1, ServerError: 1}, http.MethodPost)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST must pass through, got %d", resp.StatusCode)
+	}
+}
+
+func TestMiddlewareMangledBodiesAreDetectable(t *testing.T) {
+	for _, cfg := range []Config{
+		{Seed: 3, Truncate: 1},
+		{Seed: 3, Garble: 1},
+	} {
+		resp := serveThrough(t, cfg, http.MethodGet)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mangle faults keep 200, got %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(body) == page {
+			t.Fatalf("%+v: body untouched", cfg)
+		}
+		// The missing trailer is what lets osnhttp's validatePage reject
+		// the page as ErrMalformed instead of silently dropping rows.
+		if strings.HasSuffix(strings.TrimRight(string(body), " \t\r\n"), "</body></html>") {
+			t.Fatalf("mangled body kept its trailer: %q", body)
+		}
+	}
+}
+
+func TestMiddlewareReset(t *testing.T) {
+	resp, err := http.Get(serveThroughURL(t, Config{Seed: 1, Reset: 1}))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("reset fault produced a clean response")
+	}
+}
+
+// serveThroughURL starts a middleware-wrapped server and returns its URL
+// (for tests that need the raw transport error).
+func serveThroughURL(t *testing.T, cfg Config) string {
+	t.Helper()
+	h := New(cfg).Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, page)
+	}))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func TestMangleHelpers(t *testing.T) {
+	r := sim.New(5).Stream("t")
+	cut := TruncateHTML(page, r)
+	if len(cut) == 0 || len(cut) >= len(page) {
+		t.Fatalf("truncate produced %d of %d bytes", len(cut), len(page))
+	}
+	if g := GarbleHTML(page, sim.New(5).Stream("t")); !strings.Contains(g, "#garbled") {
+		t.Fatalf("garble lost its junk tail: %q", g)
+	}
+	if TruncateHTML("x", r) != "" {
+		t.Fatal("sub-2-byte page should truncate to empty")
+	}
+}

@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Middleware wraps an http.Handler (typically osnhttp.NewServer) with fault
+// injection. Requests are keyed by method + URI, so each logical crawl
+// request has its own deterministic fault schedule regardless of arrival
+// order.
+//
+// POST requests (account registration) pass through untouched: faults model
+// the hostile crawl surface, and corrupting registration would change which
+// accounts exist rather than how the crawl copes.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := r.Method + " " + r.URL.RequestURI()
+		kind, delay := in.Decide(key)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		switch kind {
+		case ServerError:
+			http.Error(w, "injected server error", http.StatusInternalServerError)
+		case Throttle:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "injected throttle", http.StatusServiceUnavailable)
+		case Reset:
+			// net/http recovers ErrAbortHandler and severs the
+			// connection without a response — the client sees EOF,
+			// exactly like a mid-flight reset.
+			panic(http.ErrAbortHandler)
+		case Truncate, Garble:
+			rec := &recorder{header: make(http.Header), code: http.StatusOK}
+			next.ServeHTTP(rec, r)
+			body := rec.body.String()
+			// Only HTML bodies of successful responses are mangled;
+			// error responses keep their status semantics.
+			if rec.code == http.StatusOK && strings.Contains(rec.header.Get("Content-Type"), "text/html") {
+				mr := in.mangleStream(key, 0)
+				if kind == Truncate {
+					body = TruncateHTML(body, mr)
+				} else {
+					body = GarbleHTML(body, mr)
+				}
+			}
+			copyHeader(w.Header(), rec.header)
+			w.Header().Del("Content-Length")
+			w.WriteHeader(rec.code)
+			w.Write([]byte(body))
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// recorder buffers a response so the middleware can mangle it before it
+// reaches the wire.
+type recorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+
+func (r *recorder) WriteHeader(code int) { r.code = code }
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -127,13 +127,41 @@ func (c *Client) token(acct int) (string, error) {
 	return c.tokens[acct], nil
 }
 
+// parseResults extracts one page of search results, validating the page
+// and that no damaged row was dropped.
+func parseResults(body string) ([]osn.SearchResult, bool, error) {
+	if err := validatePage(body, "results"); err != nil {
+		return nil, false, err
+	}
+	ids := classDataIDs(body, "result")
+	if err := checkRows(body, "result", len(ids)); err != nil {
+		return nil, false, err
+	}
+	names := classText(body, "name")
+	var out []osn.SearchResult
+	for i, id := range ids {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, osn.SearchResult{ID: osn.PublicID(id), Name: name})
+	}
+	return out, hasClass(body, "next"), nil
+}
+
 // LookupSchool resolves a school by exact name via the portal directory.
 func (c *Client) LookupSchool(name string) (osn.SchoolRef, error) {
 	page, err := c.get("/schools")
 	if err != nil {
 		return osn.SchoolRef{}, err
 	}
+	if err := validatePage(page, "schools"); err != nil {
+		return osn.SchoolRef{}, err
+	}
 	ids := classDataIDs(page, "school")
+	if err := checkRows(page, "school", len(ids)); err != nil {
+		return osn.SchoolRef{}, err
+	}
 	names := classText(page, "schoolname")
 	cities := classText(page, "schoolcity")
 	for i := range ids {
@@ -163,17 +191,7 @@ func (c *Client) Search(acct, schoolID, page int) ([]osn.SearchResult, bool, err
 	if err != nil {
 		return nil, false, err
 	}
-	ids := classDataIDs(body, "result")
-	names := classText(body, "name")
-	var out []osn.SearchResult
-	for i, id := range ids {
-		name := ""
-		if i < len(names) {
-			name = names[i]
-		}
-		out = append(out, osn.SearchResult{ID: osn.PublicID(id), Name: name})
-	}
-	return out, hasClass(body, "next"), nil
+	return parseResults(body)
 }
 
 // CitySearch fetches one page of the by-city people search.
@@ -187,17 +205,7 @@ func (c *Client) CitySearch(acct int, city string, page int) ([]osn.SearchResult
 	if err != nil {
 		return nil, false, err
 	}
-	ids := classDataIDs(body, "result")
-	names := classText(body, "name")
-	var out []osn.SearchResult
-	for i, id := range ids {
-		name := ""
-		if i < len(names) {
-			name = names[i]
-		}
-		out = append(out, osn.SearchResult{ID: osn.PublicID(id), Name: name})
-	}
-	return out, hasClass(body, "next"), nil
+	return parseResults(body)
 }
 
 // GraphSearch runs a structured Graph-Search-style query via the acct-th
@@ -218,17 +226,7 @@ func (c *Client) GraphSearch(acct int, q osn.GraphQuery, page int) ([]osn.Search
 	if err != nil {
 		return nil, false, err
 	}
-	ids := classDataIDs(body, "result")
-	names := classText(body, "name")
-	var out []osn.SearchResult
-	for i, id := range ids {
-		name := ""
-		if i < len(names) {
-			name = names[i]
-		}
-		out = append(out, osn.SearchResult{ID: osn.PublicID(id), Name: name})
-	}
-	return out, hasClass(body, "next"), nil
+	return parseResults(body)
 }
 
 // Profile fetches and parses a public profile page.
@@ -241,10 +239,15 @@ func (c *Client) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error) 
 	if err != nil {
 		return nil, err
 	}
-	return parseProfile(body, id), nil
+	return parseProfile(body, id)
 }
 
-func parseProfile(body string, id osn.PublicID) *osn.PublicProfile {
+// parseProfile extracts a profile from a page, first validating that the
+// page arrived intact (ErrMalformed otherwise).
+func parseProfile(body string, id osn.PublicID) (*osn.PublicProfile, error) {
+	if err := validatePage(body, "profile"); err != nil {
+		return nil, err
+	}
 	pp := &osn.PublicProfile{
 		ID:                id,
 		Name:              firstClassText(body, "name"),
@@ -278,7 +281,7 @@ func parseProfile(body string, id osn.PublicID) *osn.PublicProfile {
 			pp.PhotoCount = n
 		}
 	}
-	return pp
+	return pp, nil
 }
 
 // FriendPage fetches one page of a friend list.
@@ -291,7 +294,13 @@ func (c *Client) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRe
 	if err != nil {
 		return nil, false, err
 	}
+	if err := validatePage(body, "friends"); err != nil {
+		return nil, false, err
+	}
 	ids := classDataIDs(body, "friend")
+	if err := checkRows(body, "friend", len(ids)); err != nil {
+		return nil, false, err
+	}
 	names := classText(body, "name")
 	var out []osn.FriendRef
 	for i, fid := range ids {

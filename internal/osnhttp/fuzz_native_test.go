@@ -1,10 +1,43 @@
 package osnhttp
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"hsprofiler/internal/faults"
+	"hsprofiler/internal/sim"
+)
 
 // Native fuzz targets. In plain `go test` runs these execute their seed
 // corpora as regression tests; use `go test -fuzz FuzzParseProfile
 // ./internal/osnhttp` to explore further.
+
+// intactProfile is a representative complete profile page, the base for the
+// fault-injector-derived corpus below.
+const intactProfile = `<html><body>
+<div id="profile" data-id="u1">
+<h1 class="name">Ann</h1>
+<span class="gender">female</span>
+<div class="education"><span class="school">Oakfield High School</span> <span class="gradyear">Class of 2013</span></div>
+<span class="birthday">1994-02-03</span>
+<a class="friendlink" href="/friends/u1">Friends</a>
+</div>
+</body></html>`
+
+// faultedPages derives truncated and garbled variants of a page exactly the
+// way the fault injector's middleware does, seeding the corpus with the
+// failure shapes the crawler must survive.
+func faultedPages(page string) []string {
+	var out []string
+	for seed := uint64(1); seed <= 6; seed++ {
+		r := sim.New(seed).Stream("fuzz-corpus")
+		out = append(out,
+			faults.TruncateHTML(page, r),
+			faults.GarbleHTML(page, r),
+		)
+	}
+	return out
+}
 
 func FuzzParseProfile(f *testing.F) {
 	f.Add(`<div id="profile" data-id="u1"><h1 class="name">Ann</h1></div>`)
@@ -12,10 +45,20 @@ func FuzzParseProfile(f *testing.F) {
 	f.Add(`<span class="name">unterminated`)
 	f.Add("")
 	f.Add(`class="name"`)
+	f.Add(intactProfile)
+	for _, page := range faultedPages(intactProfile) {
+		f.Add(page)
+	}
 	f.Fuzz(func(t *testing.T, page string) {
-		pp := parseProfile(page, "u")
+		pp, err := parseProfile(page, "u")
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("non-typed parse error: %v", err)
+			}
+			return
+		}
 		if pp == nil {
-			t.Fatal("nil profile")
+			t.Fatal("nil profile without error")
 		}
 		if pp.GradYear < 0 || pp.PhotoCount < 0 {
 			t.Fatalf("negative numeric field: %+v", pp)
@@ -23,14 +66,56 @@ func FuzzParseProfile(f *testing.F) {
 	})
 }
 
+const intactFriends = `<html><body>
+<ul id="friends">
+<li class="friend" data-id="u2"><span class="name">Bo</span></li>
+<li class="friend" data-id="u3"><span class="name">Cy</span></li>
+</ul>
+<a class="next" href="/friends/u1?page=1">More friends</a>
+</body></html>`
+
 func FuzzClassScanners(f *testing.F) {
 	f.Add(`<div class="result" data-id="u1"><span class="name">A</span></div>`, "result")
 	f.Add(`<li class="friend" data-id="`, "friend")
 	f.Add("", "")
+	f.Add(intactFriends, "friend")
+	for _, page := range faultedPages(intactFriends) {
+		f.Add(page, "friend")
+	}
 	f.Fuzz(func(t *testing.T, page, class string) {
+		ids := classDataIDs(page, class)
 		_ = classText(page, class)
-		_ = classDataIDs(page, class)
 		_ = hasClass(page, class)
 		_ = firstClassText(page, class)
+		if len(ids) > classCount(page, class) {
+			t.Fatalf("parsed %d ids from %d marked rows", len(ids), classCount(page, class))
+		}
+	})
+}
+
+// FuzzParseResults drives the full page-level validation the crawler relies
+// on: any accepted page yields exactly as many rows as it marks.
+func FuzzParseResults(f *testing.F) {
+	intact := `<html><body>
+<div id="results">
+<div class="result" data-id="u5"><span class="name">Di</span></div>
+</div>
+</body></html>`
+	f.Add(intact)
+	f.Add("")
+	for _, page := range faultedPages(intact) {
+		f.Add(page)
+	}
+	f.Fuzz(func(t *testing.T, page string) {
+		results, _, err := parseResults(page)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("non-typed parse error: %v", err)
+			}
+			return
+		}
+		if len(results) != classCount(page, "result") {
+			t.Fatalf("accepted page dropped rows: %d parsed, %d marked", len(results), classCount(page, "result"))
+		}
 	})
 }

@@ -278,7 +278,10 @@ func TestParseProfileMinimalRoundTrip(t *testing.T) {
 <img class="photo" src="x.jpg">
 <span class="gender">female</span>
 </div></body></html>`
-	pp := parseProfile(body, "u9")
+	pp, err := parseProfile(body, "u9")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !pp.Minimal() {
 		t.Fatalf("expected minimal, got %+v", pp)
 	}

@@ -1,6 +1,8 @@
 package osnhttp
 
 import (
+	"errors"
+	"fmt"
 	"html"
 	"strings"
 )
@@ -10,6 +12,44 @@ import (
 // simulator's pages. It scans for class-marked elements rather than building
 // a DOM: the markers are a stable contract with the server templates, and
 // the scanning tolerates reformatting around them.
+
+// ErrMalformed reports a page that failed structural validation: truncated
+// mid-transfer, garbled, or missing the container its endpoint always
+// serves. Callers treat it as transient and refetch — a half-delivered
+// friend-list page must never be mistaken for a short friend list.
+var ErrMalformed = errors.New("osnhttp: malformed page")
+
+// pageTrailer closes every page the server emits; its absence means the
+// body was cut off.
+const pageTrailer = "</body></html>"
+
+// validatePage checks the structural contract every well-formed page
+// satisfies: the endpoint's container element is present and the document
+// is complete. It returns an ErrMalformed-wrapped error otherwise.
+func validatePage(body, container string) error {
+	if !strings.Contains(body, `id="`+container+`"`) {
+		return fmt.Errorf("%w: missing %q container", ErrMalformed, container)
+	}
+	if !strings.HasSuffix(strings.TrimRight(body, " \t\r\n"), pageTrailer) {
+		return fmt.Errorf("%w: truncated body", ErrMalformed)
+	}
+	return nil
+}
+
+// classCount counts elements carrying the class marker. Row extractors
+// compare it against what they parsed: a mismatch means rows were damaged,
+// and the page is reported malformed instead of silently shortened.
+func classCount(page, class string) int {
+	return strings.Count(page, `class="`+class+`"`)
+}
+
+// checkRows verifies that every class-marked row yielded a parsed entry.
+func checkRows(page, class string, parsed int) error {
+	if n := classCount(page, class); n != parsed {
+		return fmt.Errorf("%w: %d %q rows, parsed %d", ErrMalformed, n, class, parsed)
+	}
+	return nil
+}
 
 // classText returns the text content of every element whose class attribute
 // equals class, e.g. classText(page, "name") over

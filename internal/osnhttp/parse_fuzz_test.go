@@ -1,14 +1,15 @@
 package osnhttp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
 )
 
 // The parser consumes pages from a server it doesn't control (in the
-// original study, Facebook's); it must never panic and must degrade to
-// empty results on malformed input.
+// original study, Facebook's); it must never panic, and damaged pages must
+// surface as typed ErrMalformed rather than silently shrinking results.
 
 func TestParserOnMalformedPages(t *testing.T) {
 	cases := []string{
@@ -30,9 +31,10 @@ func TestParserOnMalformedPages(t *testing.T) {
 		_ = classText(page, "name")
 		_ = classDataIDs(page, "result")
 		_ = firstClassText(page, "gradyear")
-		pp := parseProfile(page, "u")
-		if pp == nil {
-			t.Fatalf("case %d: nil profile", i)
+		// None carries a complete profile container, so all must be
+		// reported malformed rather than parsed into an empty profile.
+		if _, err := parseProfile(page, "u"); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("case %d: want ErrMalformed, got %v", i, err)
 		}
 	}
 	// data-id after class is not picked up only when the tag closed first;
@@ -40,6 +42,36 @@ func TestParserOnMalformedPages(t *testing.T) {
 	ids := classDataIDs(`<div class="result" x="y" data-id="u9">ok</div>`, "result")
 	if len(ids) != 1 || ids[0] != "u9" {
 		t.Fatalf("late attr ids: %v", ids)
+	}
+}
+
+func TestValidatePage(t *testing.T) {
+	whole := `<html><body><div id="profile" data-id="u1"></div></body></html>`
+	if err := validatePage(whole, "profile"); err != nil {
+		t.Fatalf("intact page rejected: %v", err)
+	}
+	if err := validatePage(whole+"\n  ", "profile"); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	}
+	truncated := whole[:len(whole)-10]
+	if err := validatePage(truncated, "profile"); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated page accepted: %v", err)
+	}
+	if err := validatePage(whole, "friends"); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("wrong container accepted: %v", err)
+	}
+}
+
+func TestCheckRowsDetectsDroppedRows(t *testing.T) {
+	// Two marked rows, one with its data-id damaged: the old parser
+	// silently returned a single row; now the page is malformed.
+	page := `<html><body><ul id="friends">
+<li class="friend" data-id="u1"><span class="name">A</span></li>
+<li class="friend" data-id=><span class="name">B</span></li>
+</ul></body></html>`
+	ids := classDataIDs(page, "friend")
+	if err := checkRows(page, "friend", len(ids)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("dropped row not reported: %v", err)
 	}
 }
 
@@ -51,7 +83,7 @@ func TestParserNeverPanicsOnRandomInput(t *testing.T) {
 		_ = classText(page, class)
 		_ = classDataIDs(page, class)
 		_ = hasClass(page, class)
-		_ = parseProfile(page, "u1")
+		_, _ = parseProfile(page, "u1")
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
@@ -60,10 +92,13 @@ func TestParserNeverPanicsOnRandomInput(t *testing.T) {
 }
 
 func TestParseProfileIgnoresBadNumbers(t *testing.T) {
-	body := `<span class="gradyear">Class of banana</span>
+	body := `<html><body><div id="profile" data-id="u"><span class="gradyear">Class of banana</span>
 <span class="birthday">not-a-date</span>
-<span class="photocount">many</span>`
-	pp := parseProfile(body, "u")
+<span class="photocount">many</span></div></body></html>`
+	pp, err := parseProfile(body, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pp.GradYear != 0 || pp.Birthday != nil || pp.PhotoCount != 0 {
 		t.Fatalf("bad numbers accepted: %+v", pp)
 	}

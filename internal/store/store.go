@@ -30,6 +30,18 @@ type snapshot struct {
 	Seq      int                               `json:"seq"`
 	Profiles map[osn.PublicID]*profileEntry    `json:"profiles"`
 	Friends  map[osn.PublicID]*friendListEntry `json:"friends"`
+	// Partial checkpoints friend lists whose pagination was interrupted
+	// mid-walk, page by page, so a resumed crawl re-serves the fetched
+	// prefix locally and continues from the first missing page.
+	Partial map[osn.PublicID]*partialEntry `json:"partial,omitempty"`
+}
+
+// partialEntry is an incomplete friend list: the pages fetched so far, in
+// order, exactly as the platform served them (page boundaries preserved so
+// replay matches the original pagination).
+type partialEntry struct {
+	Pages [][]osn.FriendRef `json:"pages"`
+	Seq   int               `json:"seq"`
 }
 
 type profileEntry struct {
@@ -52,6 +64,7 @@ func New() *Store {
 		Version:  storeVersion,
 		Profiles: make(map[osn.PublicID]*profileEntry),
 		Friends:  make(map[osn.PublicID]*friendListEntry),
+		Partial:  make(map[osn.PublicID]*partialEntry),
 	}}
 }
 
@@ -89,6 +102,66 @@ func (st *Store) PutFriendsHidden(id osn.PublicID) {
 	st.s.Friends[id] = &friendListEntry{Hidden: true, Seq: st.s.Seq}
 }
 
+// PutPartialPage checkpoints one fetched page of a still-incomplete friend
+// list. Pages must arrive in walk order; a page already recorded is
+// ignored, and a gap (page beyond the recorded prefix) is ignored too —
+// callers walk 0..n, so neither occurs in practice.
+func (st *Store) PutPartialPage(id osn.PublicID, page int, batch []osn.FriendRef) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.s.Partial[id]
+	if e == nil {
+		e = &partialEntry{}
+		st.s.Partial[id] = e
+	}
+	if page != len(e.Pages) {
+		return
+	}
+	st.s.Seq++
+	e.Pages = append(e.Pages, append([]osn.FriendRef(nil), batch...))
+	e.Seq = st.s.Seq
+}
+
+// PartialPage returns a checkpointed page of an incomplete list, if
+// recorded. Partial pages are by construction never the final page.
+func (st *Store) PartialPage(id osn.PublicID, page int) ([]osn.FriendRef, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.s.Partial[id]
+	if e == nil || page < 0 || page >= len(e.Pages) {
+		return nil, false
+	}
+	return e.Pages[page], true
+}
+
+// PartialPages reports how many pages of an incomplete list are
+// checkpointed.
+func (st *Store) PartialPages(id osn.PublicID) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.s.Partial[id]; e != nil {
+		return len(e.Pages)
+	}
+	return 0
+}
+
+// CompleteFriends promotes a checkpointed partial walk into a fully
+// archived list: the recorded prefix pages plus the final page's batch.
+func (st *Store) CompleteFriends(id osn.PublicID, finalBatch []osn.FriendRef) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var full []osn.FriendRef
+	if e := st.s.Partial[id]; e != nil {
+		for _, page := range e.Pages {
+			full = append(full, page...)
+		}
+		delete(st.s.Partial, id)
+	}
+	full = append(full, finalBatch...)
+	st.s.Seq++
+	st.s.Friends[id] = &friendListEntry{Friends: full, Seq: st.s.Seq}
+}
+
 // Friends returns a stored friend list. hidden reports a recorded refusal;
 // ok reports whether anything is recorded at all.
 func (st *Store) Friends(id osn.PublicID) (friends []osn.FriendRef, hidden, ok bool) {
@@ -103,17 +176,22 @@ func (st *Store) Friends(id osn.PublicID) (friends []osn.FriendRef, hidden, ok b
 
 // Stats summarizes the archive.
 type Stats struct {
-	Profiles    int
-	FriendLists int
-	HiddenLists int
-	Fetches     int
+	Profiles     int
+	FriendLists  int
+	HiddenLists  int
+	PartialLists int
+	Fetches      int
 }
 
 // Stats returns archive counts.
 func (st *Store) Stats() Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	s := Stats{Profiles: len(st.s.Profiles), Fetches: st.s.Seq}
+	s := Stats{
+		Profiles:     len(st.s.Profiles),
+		PartialLists: len(st.s.Partial),
+		Fetches:      st.s.Seq,
+	}
 	for _, e := range st.s.Friends {
 		if e.Hidden {
 			s.HiddenLists++
@@ -146,6 +224,9 @@ func ReadJSON(r io.Reader) (*Store, error) {
 	if s.Friends == nil {
 		s.Friends = make(map[osn.PublicID]*friendListEntry)
 	}
+	if s.Partial == nil {
+		s.Partial = make(map[osn.PublicID]*partialEntry)
+	}
 	return &Store{s: s}, nil
 }
 
@@ -161,18 +242,14 @@ type CachedClient struct {
 	mu sync.Mutex
 	// saved counts requests answered from the store.
 	saved crawler.Effort
-	// partial assembles multi-page friend lists as callers walk them; the
-	// list is archived when its final page arrives.
-	partial map[osn.PublicID][]osn.FriendRef
 }
 
-// NewCachedClient wraps inner with the store.
+// NewCachedClient wraps inner with the store. Partially walked friend
+// lists are checkpointed in the store page by page, so a crawl killed
+// mid-list resumes from the first unfetched page rather than refetching
+// the whole list.
 func NewCachedClient(inner crawler.Client, st *Store) *CachedClient {
-	return &CachedClient{
-		inner:   inner,
-		store:   st,
-		partial: make(map[osn.PublicID][]osn.FriendRef),
-	}
+	return &CachedClient{inner: inner, store: st}
 }
 
 // Saved reports the requests the cache absorbed.
@@ -213,9 +290,12 @@ func (c *CachedClient) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, e
 }
 
 // FriendPage implements crawler.Client. Whole lists are cached: a hit
-// serves any page locally. On misses, pages are assembled as the caller
-// walks them (callers always iterate page 0..n), and the completed list is
-// archived when the final page arrives.
+// serves any page locally. An interrupted walk is checkpointed in the
+// store page by page, so its fetched prefix is also served locally
+// (partial pages are never final — more is always true for them) and the
+// inner client is only consulted from the first missing page onward. When
+// the final page arrives, the checkpoint is promoted to a complete
+// archived list.
 func (c *CachedClient) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
 	if friends, hidden, ok := c.store.Friends(id); ok {
 		c.mu.Lock()
@@ -226,6 +306,12 @@ func (c *CachedClient) FriendPage(acct int, id osn.PublicID, page int) ([]osn.Fr
 		}
 		return pageOf(friends, page)
 	}
+	if batch, ok := c.store.PartialPage(id, page); ok {
+		c.mu.Lock()
+		c.saved.FriendListRequests++
+		c.mu.Unlock()
+		return batch, true, nil
+	}
 	batch, more, err := c.inner.FriendPage(acct, id, page)
 	if errors.Is(err, osn.ErrHidden) {
 		c.store.PutFriendsHidden(id)
@@ -234,20 +320,11 @@ func (c *CachedClient) FriendPage(acct int, id osn.PublicID, page int) ([]osn.Fr
 	if err != nil {
 		return nil, false, err
 	}
-	c.mu.Lock()
-	if page == 0 {
-		c.partial[id] = append([]osn.FriendRef(nil), batch...)
+	if more {
+		c.store.PutPartialPage(id, page, batch)
 	} else {
-		c.partial[id] = append(c.partial[id], batch...)
+		c.store.CompleteFriends(id, batch)
 	}
-	if !more {
-		full := c.partial[id]
-		delete(c.partial, id)
-		c.mu.Unlock()
-		c.store.PutFriends(id, full)
-		return batch, more, nil
-	}
-	c.mu.Unlock()
 	return batch, more, nil
 }
 

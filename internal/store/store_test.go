@@ -2,8 +2,11 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"hsprofiler/internal/core"
@@ -209,6 +212,292 @@ func TestCachedRunSavesEffort(t *testing.T) {
 	}
 	t.Logf("second run: %d logical requests, %d served from the store",
 		res2.Effort.Total(), savedByRun2)
+}
+
+func TestStorePartialCheckpointAndPromotion(t *testing.T) {
+	st := New()
+	page0 := []osn.FriendRef{{ID: "b", Name: "Bo"}, {ID: "c", Name: "Cy"}}
+	page1 := []osn.FriendRef{{ID: "d", Name: "Di"}}
+	st.PutPartialPage("a", 0, page0)
+	st.PutPartialPage("a", 1, page1)
+	// Out-of-order and duplicate writes are ignored, not corrupting.
+	st.PutPartialPage("a", 0, []osn.FriendRef{{ID: "x"}})
+	st.PutPartialPage("a", 5, []osn.FriendRef{{ID: "x"}})
+	if n := st.PartialPages("a"); n != 2 {
+		t.Fatalf("partial pages %d, want 2", n)
+	}
+	if got, ok := st.PartialPage("a", 1); !ok || len(got) != 1 || got[0].ID != "d" {
+		t.Fatalf("page 1: %v ok=%v", got, ok)
+	}
+	if _, ok := st.PartialPage("a", 2); ok {
+		t.Fatal("ghost partial page")
+	}
+	if st.Stats().PartialLists != 1 {
+		t.Fatalf("stats %+v", st.Stats())
+	}
+	// The checkpoint survives serialization.
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PartialPages("a") != 2 {
+		t.Fatal("checkpoint lost in round trip")
+	}
+	// Completion promotes prefix + final batch into the archive.
+	got.CompleteFriends("a", []osn.FriendRef{{ID: "e", Name: "Ed"}})
+	full, hidden, ok := got.Friends("a")
+	if !ok || hidden || len(full) != 4 {
+		t.Fatalf("promoted list: %v hidden=%v ok=%v", full, hidden, ok)
+	}
+	if full[0].ID != "b" || full[3].ID != "e" {
+		t.Fatalf("promotion order wrong: %v", full)
+	}
+	if got.PartialPages("a") != 0 || got.Stats().PartialLists != 0 {
+		t.Fatal("checkpoint not cleared after promotion")
+	}
+}
+
+// TestCachedClientResumesPartialWalk interrupts a friend-list walk mid-way,
+// rebuilds the cached client from the serialized store (simulating a killed
+// and restarted crawl), and verifies the resumed walk serves the fetched
+// prefix locally and only fetches the remaining pages.
+func TestCachedClientResumesPartialWalk(t *testing.T) {
+	p, c := cachedRig(t)
+	w := p.World()
+	var id osn.PublicID
+	var degree int
+	for _, person := range w.People {
+		if person.HasAccount && !person.RegisteredMinorAt(w.Now) &&
+			person.Privacy.FriendListPublic && w.Graph.Degree(person.ID) > 45 {
+			id, _ = p.PublicIDOf(person.ID)
+			degree = w.Graph.Degree(person.ID)
+			break
+		}
+	}
+	if id == "" {
+		t.Skip("no suitable user")
+	}
+	// First run dies after fetching page 0 and page 1.
+	for page := 0; page < 2; page++ {
+		if _, more, err := c.FriendPage(0, id, page); err != nil || !more {
+			t.Fatalf("page %d: more=%v err=%v", page, more, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.store.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingClient{Client: c.inner}
+	c2 := NewCachedClient(counting, st2)
+	total := 0
+	for page := 0; ; page++ {
+		batch, more, err := c2.FriendPage(0, id, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+		if !more {
+			break
+		}
+	}
+	if total != degree {
+		t.Fatalf("resumed walk %d, degree %d", total, degree)
+	}
+	if c2.Saved().FriendListRequests != 2 {
+		t.Fatalf("checkpointed prefix not served locally: saved %+v", c2.Saved())
+	}
+	wantInner := (degree+19)/20 - 2
+	if counting.friendCalls != wantInner {
+		t.Fatalf("resumed walk issued %d platform fetches, want %d", counting.friendCalls, wantInner)
+	}
+	// The completed walk promoted the checkpoint into the archive.
+	if full, _, ok := st2.Friends(id); !ok || len(full) != degree {
+		t.Fatal("resumed walk did not archive the full list")
+	}
+	if st2.Stats().PartialLists != 0 {
+		t.Fatal("checkpoint lingered after completion")
+	}
+}
+
+// countingClient counts inner friend-page fetches.
+type countingClient struct {
+	crawler.Client
+	friendCalls int
+}
+
+func (cc *countingClient) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
+	cc.friendCalls++
+	return cc.Client.FriendPage(acct, id, page)
+}
+
+// recordingClient tallies every inner platform fetch by key and fires an
+// optional hook after each one (used to cancel a crawl mid-run).
+type recordingClient struct {
+	crawler.Client
+	mu       sync.Mutex
+	profiles map[osn.PublicID]int
+	friends  map[string]int
+	onFetch  func()
+}
+
+func newRecordingClient(inner crawler.Client) *recordingClient {
+	return &recordingClient{
+		Client:   inner,
+		profiles: make(map[osn.PublicID]int),
+		friends:  make(map[string]int),
+	}
+}
+
+func (rc *recordingClient) record(tally map[string]int, key string) {
+	rc.mu.Lock()
+	tally[key]++
+	hook := rc.onFetch
+	rc.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+func (rc *recordingClient) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error) {
+	rc.mu.Lock()
+	rc.profiles[id]++
+	hook := rc.onFetch
+	rc.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return rc.Client.Profile(acct, id)
+}
+
+func (rc *recordingClient) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
+	rc.record(rc.friends, fmt.Sprintf("%s/%d", id, page))
+	return rc.Client.FriendPage(acct, id, page)
+}
+
+// TestRunResumesFromCheckpoint is the checkpoint/resume acceptance test: a
+// profiling run killed mid-crawl by context cancellation, restarted against
+// the serialized store, must not re-fetch any profile or friend page the
+// first run archived, and must end with the same result as an uninterrupted
+// run.
+func TestRunResumesFromCheckpoint(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{
+		SchoolName:   w.Schools[0].Name,
+		CurrentYear:  2012,
+		Mode:         core.Enhanced,
+		MaxThreshold: 90,
+	}
+	newDirect := func() crawler.Client {
+		p := osn.NewPlatform(w, osn.Facebook(), osn.Config{FriendPageSize: 20})
+		d, err := crawler.NewDirect(p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	// Reference: an uninterrupted run.
+	ref, err := core.Run(crawler.NewSession(NewCachedClient(newDirect(), New())), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFetches := ref.Effort.ProfileRequests + ref.Effort.FriendListRequests
+
+	// First run: cancelled roughly halfway through its fetches.
+	rec := newRecordingClient(newDirect())
+	st1 := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fetches int
+	var fetchMu sync.Mutex
+	rec.onFetch = func() {
+		fetchMu.Lock()
+		fetches++
+		kill := fetches == refFetches/2
+		fetchMu.Unlock()
+		if kill {
+			cancel()
+		}
+	}
+	_, err = core.RunContext(ctx, crawler.NewSession(NewCachedClient(rec, st1)), params)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: got %v, want context.Canceled", err)
+	}
+	if st1.Stats().Profiles == 0 {
+		t.Fatal("cancelled run checkpointed nothing; cancellation fired too early to test resume")
+	}
+
+	// Snapshot what the first run fetched, then resume from the serialized
+	// checkpoint with the same recorder still counting.
+	rec.mu.Lock()
+	rec.onFetch = nil
+	run1Profiles := make(map[osn.PublicID]int, len(rec.profiles))
+	for id, n := range rec.profiles {
+		run1Profiles[id] = n
+	}
+	run1Friends := make(map[string]int, len(rec.friends))
+	for k, n := range rec.friends {
+		run1Friends[k] = n
+	}
+	rec.mu.Unlock()
+	var buf bytes.Buffer
+	if err := st1.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(crawler.NewSession(NewCachedClient(rec, st2)), params)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	// Nothing archived by run 1 was fetched again by run 2.
+	rec.mu.Lock()
+	for id, n := range run1Profiles {
+		if rec.profiles[id] != n {
+			t.Errorf("profile %s re-fetched on resume (%d -> %d)", id, n, rec.profiles[id])
+		}
+	}
+	for key, n := range run1Friends {
+		if rec.friends[key] != n {
+			t.Errorf("friend page %s re-fetched on resume (%d -> %d)", key, n, rec.friends[key])
+		}
+	}
+	rec.mu.Unlock()
+
+	// The resumed run reaches the same verdicts as the uninterrupted one.
+	if len(res.Ranked) != len(ref.Ranked) {
+		t.Fatalf("resumed ranking has %d candidates, reference %d", len(res.Ranked), len(ref.Ranked))
+	}
+	for i := range res.Ranked {
+		a, b := res.Ranked[i], ref.Ranked[i]
+		if a.ID != b.ID || a.Score != b.Score || a.PredGradYear != b.PredGradYear {
+			t.Fatalf("ranked[%d] differs: %+v vs %+v", i, a, b)
+		}
+	}
+	gotH := res.Select(90, true)
+	wantH := ref.Select(90, true)
+	if len(gotH) != len(wantH) {
+		t.Fatalf("selected set differs: %d vs %d", len(gotH), len(wantH))
+	}
+	for i := range gotH {
+		if gotH[i] != wantH[i] {
+			t.Fatalf("selected[%d] differs: %+v vs %+v", i, gotH[i], wantH[i])
+		}
+	}
 }
 
 func TestPageOfBounds(t *testing.T) {
