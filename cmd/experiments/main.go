@@ -41,7 +41,11 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			e, ok := experiments.Lookup(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", id)
+				valid := make([]string, len(registry))
+				for i, r := range registry {
+					valid[i] = r.ID
+				}
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q; valid ids: %s\n", id, strings.Join(valid, ", "))
 				os.Exit(2)
 			}
 			selected = append(selected, e)

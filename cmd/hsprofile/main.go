@@ -26,6 +26,7 @@ import (
 	"hsprofiler/internal/core"
 	"hsprofiler/internal/crawler"
 	"hsprofiler/internal/extend"
+	"hsprofiler/internal/obs"
 	"hsprofiler/internal/osnhttp"
 	"hsprofiler/internal/store"
 )
@@ -44,6 +45,10 @@ func main() {
 	archive := flag.String("archive", "", "write the crawl archive (profiles + friend lists) as JSON to this file")
 	resume := flag.String("resume", "", "resume from a crawl archive written by a previous (possibly interrupted) run")
 	failureBudget := flag.Int("failure-budget", 0, "how many per-item fetch failures to absorb before aborting (0 = fail fast)")
+	workers := flag.Int("workers", 1, "parallel fetch workers for the Section 6 dossier crawl (1 = sequential)")
+	reqTimeout := flag.Duration("req-timeout", 0, "per-request timeout; overrunning requests are abandoned and retried (0 = unbounded)")
+	traceOut := flag.String("trace-out", "", "write the run's span tree to this file (\"-\" for stderr) and show live phase progress")
+	manifestOut := flag.String("manifest-out", "", "write a JSON run manifest (params, git describe, phase timings, effort counters) to this file")
 	flag.Parse()
 
 	if *school == "" {
@@ -77,12 +82,46 @@ func main() {
 			st.Profiles, st.FriendLists+st.HiddenLists, st.PartialLists)
 	}
 	cached := store.NewCachedClient(client, crawlStore)
-	sess := crawler.NewSession(cached)
+	// Metrics and the trace exist whenever either output wants them; a nil
+	// registry/trace keeps the whole obs layer a no-op otherwise.
+	var reg *obs.Registry
+	if *manifestOut != "" {
+		reg = obs.NewRegistry()
+	}
+	sess := crawler.NewSession(cached).Instrument(reg)
+	sess.Timeout = *reqTimeout
 
 	// SIGINT cancels the crawl between requests; the archive below is
 	// written either way, so the next -resume run continues from here.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var tr *obs.Trace
+	if *traceOut != "" || *manifestOut != "" {
+		tr = obs.NewTrace("hsprofile")
+		if *traceOut != "" {
+			tr.OnStart = func(s *obs.Span) {
+				if s.Depth() == 1 { // methodology steps, not per-request spans
+					fmt.Fprintf(os.Stderr, "hsprofile: ▶ %s\n", s.Name())
+				}
+			}
+		}
+		ctx = tr.Context(ctx)
+	}
+
+	var manifest *obs.Manifest
+	if *manifestOut != "" {
+		manifest = obs.NewManifest("hsprofile")
+		manifest.Scenario = *school
+		for k, v := range map[string]any{
+			"url": *url, "school": *school, "year": *year, "accounts": *accounts,
+			"mode": *mode, "t": *threshold, "epsilon": *epsilon, "filter": *filtering,
+			"pace": pace.String(), "failure-budget": *failureBudget,
+			"workers": *workers, "req-timeout": reqTimeout.String(),
+		} {
+			manifest.SetParam(k, v)
+		}
+	}
 
 	m := core.Basic
 	if *mode == "enhanced" {
@@ -139,7 +178,16 @@ func main() {
 	}
 
 	if *dossiers {
-		d, err := extend.Build(sess, sel)
+		var d *extend.Dossier
+		dctx, span := obs.StartSpan(ctx, "build-dossiers")
+		if *workers > 1 {
+			fetcher := crawler.NewFetcher(cached, *workers).Instrument(reg)
+			fetcher.Timeout = *reqTimeout
+			d, err = extend.BuildParallel(dctx, fetcher, sel)
+		} else {
+			d, err = extend.Build(sess, sel)
+		}
+		span.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -153,6 +201,46 @@ func main() {
 	}
 
 	writeArchive(*archive, crawlStore)
+	writeObservability(*traceOut, *manifestOut, tr, manifest, reg)
+}
+
+// writeObservability dumps the span tree and the run manifest, as asked.
+func writeObservability(tracePath, manifestPath string, tr *obs.Trace, manifest *obs.Manifest, reg *obs.Registry) {
+	if tr != nil {
+		tr.Finish()
+	}
+	if tracePath != "" {
+		out := os.Stderr
+		if tracePath != "-" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		tr.WriteTree(out)
+		if tracePath != "-" {
+			fmt.Printf("trace: span tree -> %s\n", tracePath)
+		}
+	}
+	if manifestPath != "" {
+		manifest.AddTrace(tr)
+		manifest.AddCounters(reg)
+		manifest.Finish()
+		f, err := os.Create(manifestPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := manifest.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("manifest: %s\n", manifestPath)
+	}
 }
 
 // writeArchive exports the crawl store to path (no-op when path is empty).

@@ -6,6 +6,7 @@
 //	osnd -scenario hs1 -addr :8080 -policy googleplus
 //	osnd -scenario hs1 -no-reverse-lookup   # the §8 countermeasure
 //	osnd -scenario hs1 -faults 0.1          # serve a hostile platform
+//	osnd -scenario hs1 -metrics-addr :9090  # Prometheus /metrics + pprof
 package main
 
 import (
@@ -13,12 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"hsprofiler/internal/faults"
+	"hsprofiler/internal/obs"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/osnhttp"
 	"hsprofiler/internal/worldgen"
@@ -38,6 +41,7 @@ func main() {
 	faultRate := flag.Float64("faults", 0, "composite fault-injection rate in [0,1], split evenly across 5xx, spurious throttles, connection resets, truncated and garbled pages (0 = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (same seed + same request sequence = same faults)")
 	faultLatency := flag.Duration("fault-latency", 0, "max injected latency; applied to roughly a quarter of requests (0 = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /healthz and net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	var w *worldgen.World
@@ -96,7 +100,14 @@ func main() {
 	}
 	fmt.Printf("osnd: %s policy on %s\n", pol.Name, *addr)
 
-	var handler http.Handler = osnhttp.NewServer(platform)
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	// The injector's middleware wraps outside the instrumented server, so
+	// injected 503s land in faults_injected_total, not in the platform's
+	// own throttle series.
+	var handler http.Handler = osnhttp.NewServer(platform).Instrument(reg)
 	var injector *faults.Injector
 	if *faultRate > 0 || *faultLatency > 0 {
 		cfg := faults.Composite(*faultRate, *faultSeed)
@@ -104,7 +115,7 @@ func main() {
 			cfg.Latency = 0.25
 			cfg.MaxLatency = *faultLatency
 		}
-		injector = faults.New(cfg)
+		injector = faults.New(cfg).Instrument(reg)
 		handler = injector.Middleware(handler)
 		rate := cfg.ServerError + cfg.Throttle + cfg.Reset + cfg.Truncate + cfg.Garble
 		fmt.Printf("osnd: injecting faults at rate %.2f (seed %d)\n", rate, *faultSeed)
@@ -119,7 +130,23 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	// Graceful shutdown on SIGINT/SIGTERM.
+	var metricsSrv *http.Server
+	if reg != nil {
+		metricsSrv = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           metricsMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "osnd: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Printf("osnd: metrics on %s (/metrics, /healthz, /debug/pprof/)\n", *metricsAddr)
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM; the metrics server drains with
+	// the platform so a final scrape can still land during shutdown.
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
@@ -137,10 +164,34 @@ func main() {
 			fatal(err)
 		}
 	}
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		metricsSrv.Shutdown(ctx)
+	}
 	if injector != nil {
 		fmt.Printf("osnd: %s\n", injector.Stats())
 	}
 }
+
+// metricsMux assembles the observability endpoint: Prometheus exposition,
+// a JSON health probe, and the standard pprof handlers.
+func metricsMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.0f}\n", time.Since(startTime).Seconds())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var startTime = time.Now()
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "osnd: %v\n", err)

@@ -1,20 +1,27 @@
 // Quickstart: generate a small synthetic world, stand up the simulated OSN,
 // run the paper's high-school profiling attack against it, and score the
 // result against ground truth — the whole pipeline in ~40 lines of API use.
+// With -metrics, the crawl's Prometheus exposition is printed afterwards.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"hsprofiler/internal/core"
 	"hsprofiler/internal/crawler"
 	"hsprofiler/internal/eval"
+	"hsprofiler/internal/obs"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/worldgen"
 )
 
 func main() {
+	metrics := flag.Bool("metrics", false, "dump the crawl's Prometheus metrics to stdout after the run")
+	flag.Parse()
+
 	// A small town: one 80-student high school, alumni, parents, teachers
 	// and an outside population, with the paper's age-lying behaviour.
 	world, err := worldgen.Generate(worldgen.TinyConfig(), 7)
@@ -32,7 +39,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Run(crawler.NewSession(client), core.Params{
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	res, err := core.Run(crawler.NewSession(client).Instrument(reg), core.Params{
 		SchoolName:   world.Schools[0].Name,
 		CurrentYear:  2012,
 		Mode:         core.Enhanced,
@@ -55,4 +66,11 @@ func main() {
 	fmt.Printf("students found:  %d of %d (%.0f%%), %0.f%% in the correct year, %d false positives\n",
 		outcome.Found, outcome.M, 100*outcome.FoundFrac(),
 		100*outcome.CorrectYearFrac(), outcome.FalsePositives)
+
+	if *metrics {
+		fmt.Println("\n# crawl metrics (Prometheus exposition)")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

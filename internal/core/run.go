@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/obs"
 	"hsprofiler/internal/osn"
 )
 
@@ -33,13 +34,21 @@ func Run(sess *crawler.Session, p Params) (*Result, error) {
 // Per-item fetch failures (after the session's own retries) are absorbed up
 // to Params.FailureBudget, so a run against a flaky platform degrades item
 // by item instead of dying whole.
+//
+// When ctx carries an obs trace (obs.NewTrace + Trace.Context), every
+// methodology step runs under its own span — lookup-school,
+// collect-seeds, extract-core, harvest-and-score, enhanced-promote,
+// re-harvest, window-profiles — so a finished run can dump per-phase wall
+// time without having been sampled.
 func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, error) {
 	p = p.withDefaults()
 	if err := validateParams(p); err != nil {
 		return nil, err
 	}
 	sess.WithContext(ctx)
+	_, span := obs.StartSpan(ctx, "lookup-school")
 	school, err := sess.LookupSchool(p.SchoolName)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: looking up target school: %w", err)
 	}
@@ -56,12 +65,15 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 	if accounts == nil {
 		accounts = sess.AllAccounts()
 	}
+	_, span = obs.StartSpan(ctx, "collect-seeds")
 	r.Seeds, err = sess.CollectSeeds(school.ID, accounts)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 2: C′ and C from seed profiles.
+	_, span = obs.StartSpan(ctx, "extract-core")
 	var core []CoreUser
 	for _, seed := range r.Seeds {
 		pp, err := sess.FetchProfile(seed.ID)
@@ -69,6 +81,7 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 			if r.absorb(err) {
 				continue // skip this seed
 			}
+			span.End()
 			return nil, fmt.Errorf("core: seed profile %s: %w", seed.ID, err)
 		}
 		if !IndicatesCurrentStudent(pp, school.Name, p.CurrentYear) {
@@ -85,13 +98,17 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 			})
 		}
 	}
+	span.End()
 	r.SeedCoreSize = len(core)
 	if len(core) == 0 {
 		return nil, fmt.Errorf("core: no core users found for %q: the school search yielded no current students with visible friend lists", p.SchoolName)
 	}
 
 	// Steps 3-6.
-	if err := r.harvestAndScore(sess, core); err != nil {
+	_, span = obs.StartSpan(ctx, "harvest-and-score")
+	err = r.harvestAndScore(sess, core)
+	span.End()
+	if err != nil {
 		return nil, err
 	}
 
@@ -100,21 +117,32 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 		// §4.3: download the top-(1+ε)t profiles, promote self-declared
 		// current students to the core, recompute from step 3 with the
 		// augmented core, and re-apply the window to the new ranking.
+		_, span = obs.StartSpan(ctx, "enhanced-promote")
 		promoted, err := r.fetchWindowProfiles(sess, window, true)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
 		if len(promoted) > 0 {
 			core = append(core, promoted...)
-			if err := r.harvestAndScore(sess, core); err != nil {
+			_, span = obs.StartSpan(ctx, "re-harvest")
+			err = r.harvestAndScore(sess, core)
+			span.End()
+			if err != nil {
 				return nil, err
 			}
 		}
-		if _, err := r.fetchWindowProfiles(sess, window, false); err != nil {
+		_, span = obs.StartSpan(ctx, "window-profiles")
+		_, err = r.fetchWindowProfiles(sess, window, false)
+		span.End()
+		if err != nil {
 			return nil, err
 		}
 	} else if p.FetchProfiles {
-		if _, err := r.fetchWindowProfiles(sess, window, false); err != nil {
+		_, span = obs.StartSpan(ctx, "window-profiles")
+		_, err = r.fetchWindowProfiles(sess, window, false)
+		span.End()
+		if err != nil {
 			return nil, err
 		}
 	}

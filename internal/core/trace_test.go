@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hsprofiler/internal/obs"
+	"hsprofiler/internal/osn"
+)
+
+// TestRunContextSpans runs the enhanced methodology under a trace and
+// checks that every step appears as a span, in methodology order, ended.
+func TestRunContextSpans(t *testing.T) {
+	p, sess := testRig(t, 1, 2, osn.Config{})
+	tr := obs.NewTrace("run")
+	ctx := tr.Context(context.Background())
+	_, err := RunContext(ctx, sess, Params{
+		SchoolName:   p.Schools()[0].Name,
+		CurrentYear:  2012,
+		Mode:         Enhanced,
+		MaxThreshold: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+
+	var names []string
+	for _, s := range tr.Root().Children() {
+		names = append(names, s.Name())
+		if s.Duration() < 0 {
+			t.Errorf("span %s has negative duration", s.Name())
+		}
+	}
+	// re-harvest only appears when the enhanced pass promotes someone, so
+	// assert order over the steps that always run.
+	wantOrder := []string{"lookup-school", "collect-seeds", "extract-core", "harvest-and-score", "enhanced-promote", "window-profiles"}
+	pos := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := pos[n]; !dup {
+			pos[n] = i
+		}
+	}
+	last := -1
+	for _, want := range wantOrder {
+		at, ok := pos[want]
+		if !ok {
+			t.Fatalf("step %q missing from trace: %v", want, names)
+		}
+		if at < last {
+			t.Fatalf("step %q out of order: %v", want, names)
+		}
+		last = at
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("trace dropped %d spans", tr.Dropped())
+	}
+	if !strings.Contains(tr.String(), "collect-seeds") {
+		t.Error("rendered tree missing collect-seeds")
+	}
+}
+
+// TestRunTracedMatchesUntraced checks tracing is observation only: the same
+// seed yields identical effort and selection with and without a trace.
+func TestRunTracedMatchesUntraced(t *testing.T) {
+	_, plain := runTiny(t, 5, Basic)
+	p, sess := testRig(t, 5, 2, osn.Config{})
+	ctx := obs.NewTrace("run").Context(context.Background())
+	res, err := RunContext(ctx, sess, Params{
+		SchoolName:   p.Schools()[0].Name,
+		CurrentYear:  2012,
+		Mode:         Basic,
+		MaxThreshold: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Effort != plain.Effort {
+		t.Fatalf("effort diverged under trace: %+v vs %+v", res.Effort, plain.Effort)
+	}
+	if len(res.Ranked) != len(plain.Ranked) {
+		t.Fatalf("ranking diverged under trace: %d vs %d", len(res.Ranked), len(plain.Ranked))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"hsprofiler/internal/obs"
 	"hsprofiler/internal/osn"
 )
 
@@ -35,11 +36,9 @@ func IsTransient(err error) bool {
 	return true
 }
 
-// Effort bucket selectors, used to attribute retries and failures to the
-// same categories as the requests themselves.
-func seedBucket(e *Effort) *int    { return &e.SeedRequests }
-func profileBucket(e *Effort) *int { return &e.ProfileRequests }
-func friendBucket(e *Effort) *int  { return &e.FriendListRequests }
+// Request categories live in metrics.go: the category type selects both
+// the Effort field and the obs counter label, keeping the struct tallies
+// and the exported metrics in lockstep.
 
 // Client is the stranger-visible platform surface available to a third
 // party: school lookup, Find-Friends search, public profile pages, and
@@ -107,10 +106,15 @@ type Session struct {
 	Backoff func(attempt int)
 	// MaxRetries bounds throttle/transient retries per request (default 12).
 	MaxRetries int
+	// Timeout bounds each client call (0 = unbounded). A call that
+	// overruns is abandoned on its goroutine and retried like any other
+	// transient failure; the abandoned call's result is discarded.
+	Timeout time.Duration
 
 	ctx       context.Context
 	rot       int
 	suspended map[int]bool
+	m         *crawlMetrics
 }
 
 // NewSession wraps a client.
@@ -122,6 +126,17 @@ func NewSession(c Client) *Session {
 		ctx:        context.Background(),
 		suspended:  make(map[int]bool),
 	}
+}
+
+// Instrument publishes the session's effort accounting to the registry:
+// crawl_requests_total, crawl_retries_total, crawl_failures_total,
+// crawl_request_seconds and crawl_backoff_seconds_total. The obs counters
+// are incremented at the same points as the Effort tallies, so they match
+// the Table 3 accounting exactly. A nil registry leaves the session
+// uninstrumented (no-op). Returns the session for chaining.
+func (s *Session) Instrument(reg *obs.Registry) *Session {
+	s.m = newCrawlMetrics(reg)
+	return s
 }
 
 // WithContext sets the context consulted between attempts: once it is
@@ -145,34 +160,63 @@ func DefaultBackoff(attempt int) {
 	time.Sleep(d)
 }
 
+// countRequest tallies one logical request in both the Effort struct and
+// the obs counters — a single increment point so they cannot diverge.
+func (s *Session) countRequest(c category) {
+	*c.bucket(&s.Effort)++
+	s.m.request(c)
+}
+
+// do runs one client call under the session's per-call Timeout. An
+// overrunning call is abandoned: it finishes on its own goroutine and its
+// outcome is discarded.
+func (s *Session) do(fn func() error) error {
+	if s.Timeout <= 0 {
+		return fn()
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	timer := time.NewTimer(s.Timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("%w after %v", ErrTimeout, s.Timeout)
+	}
+}
+
 // retryTransient runs fn, backing off and retrying while it reports a
-// transient error (throttling, 5xx, resets, malformed pages), up to
-// MaxRetries attempts. Retries and terminal failures are tallied into the
-// bucket-selected category; the session's context is consulted before every
-// attempt so a cancelled crawl stops mid-list rather than at the next
-// phase boundary.
-func (s *Session) retryTransient(bucket func(*Effort) *int, fn func() error) error {
+// transient error (throttling, 5xx, resets, malformed pages, timeouts), up
+// to MaxRetries attempts. Retries and terminal failures are tallied into
+// the category (struct fields and obs counters alike); the session's
+// context is consulted before every attempt so a cancelled crawl stops
+// mid-list rather than at the next phase boundary.
+func (s *Session) retryTransient(c category, fn func() error) error {
 	for attempt := 0; ; attempt++ {
 		if err := s.ctx.Err(); err != nil {
 			return err
 		}
-		err := fn()
+		err := s.m.timed(func() error { return s.do(fn) })
 		if err == nil {
 			return nil
 		}
 		if !IsTransient(err) {
 			if !errors.Is(err, osn.ErrSuspended) && !errors.Is(err, osn.ErrHidden) &&
 				!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-				*bucket(&s.Failures)++
+				*c.bucket(&s.Failures)++
+				s.m.failure(c)
 			}
 			return err
 		}
 		if attempt >= s.MaxRetries {
-			*bucket(&s.Failures)++
+			*c.bucket(&s.Failures)++
+			s.m.failure(c)
 			return err
 		}
-		*bucket(&s.Retries)++
-		s.Backoff(attempt)
+		*c.bucket(&s.Retries)++
+		s.m.retry(c, err)
+		s.m.timedSleep(func() { s.Backoff(attempt) })
 	}
 }
 
@@ -195,7 +239,7 @@ func (s *Session) nextAccount() (int, error) {
 // LookupSchool resolves the target school, retrying transient failures.
 func (s *Session) LookupSchool(name string) (osn.SchoolRef, error) {
 	var ref osn.SchoolRef
-	err := s.retryTransient(seedBucket, func() error {
+	err := s.retryTransient(catSeed, func() error {
 		var err error
 		ref, err = s.client.LookupSchool(name)
 		return err
@@ -214,10 +258,10 @@ func (s *Session) CollectSeeds(schoolID int, accounts []int) ([]osn.SearchResult
 			continue
 		}
 		for page := 0; ; page++ {
-			s.Effort.SeedRequests++
+			s.countRequest(catSeed)
 			var results []osn.SearchResult
 			var more bool
-			err := s.retryTransient(seedBucket, func() error {
+			err := s.retryTransient(catSeed, func() error {
 				var err error
 				results, more, err = s.client.Search(acct, schoolID, page)
 				return err
@@ -261,9 +305,9 @@ func (s *Session) FetchProfile(id osn.PublicID) (*osn.PublicProfile, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Effort.ProfileRequests++
+		s.countRequest(catProfile)
 		var pp *osn.PublicProfile
-		err = s.retryTransient(profileBucket, func() error {
+		err = s.retryTransient(catProfile, func() error {
 			var err error
 			pp, err = s.client.Profile(acct, id)
 			return err
@@ -289,10 +333,10 @@ func (s *Session) FetchFriends(id osn.PublicID) ([]osn.FriendRef, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Effort.FriendListRequests++
+		s.countRequest(catFriend)
 		var friends []osn.FriendRef
 		var more bool
-		err = s.retryTransient(friendBucket, func() error {
+		err = s.retryTransient(catFriend, func() error {
 			var err error
 			friends, more, err = s.client.FriendPage(acct, id, page)
 			return err

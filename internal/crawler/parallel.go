@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"hsprofiler/internal/obs"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/sim"
 )
@@ -65,6 +67,7 @@ type Fetcher struct {
 	failures  Effort
 	suspended map[int]bool
 	next      int
+	m         *crawlMetrics
 }
 
 // NewFetcher wraps a client with a worker pool of the given size (minimum 1).
@@ -73,6 +76,19 @@ func NewFetcher(c Client, workers int) *Fetcher {
 		workers = 1
 	}
 	return &Fetcher{client: c, workers: workers, suspended: make(map[int]bool)}
+}
+
+// Workers reports the pool size.
+func (f *Fetcher) Workers() int { return f.workers }
+
+// Instrument publishes the fetcher's accounting to the registry: the same
+// crawl_* series as Session (note the fetcher counts every attempt issued,
+// not logical requests) plus the crawl_queue_depth gauge tracking batch
+// items fed to the pool and not yet completed. A nil registry is a no-op.
+// Returns the fetcher for chaining.
+func (f *Fetcher) Instrument(reg *obs.Registry) *Fetcher {
+	f.m = newCrawlMetrics(reg)
+	return f
 }
 
 // Effort returns the accumulated request tally. Unlike Session, the fetcher
@@ -188,10 +204,14 @@ func (f *Fetcher) withTimeout(ctx context.Context, fn func() error) error {
 }
 
 // call issues one logical request: it rotates accounts on suspension,
-// counts every attempt in the effort tally, and retries transient failures
-// with backoff. Terminal platform verdicts (ErrHidden, ErrNotFound, ...)
+// counts every attempt in the effort tally (and the obs counters when
+// instrumented), and retries transient failures with backoff. When the
+// context carries a trace, each logical request gets its own span under
+// the batch span. Terminal platform verdicts (ErrHidden, ErrNotFound, ...)
 // are returned unwrapped for callers to branch on.
-func (f *Fetcher) call(ctx context.Context, key string, bucket func(*Effort) *int, fn func(acct int) error) error {
+func (f *Fetcher) call(ctx context.Context, key string, c category, fn func(acct int) error) error {
+	_, span := obs.StartSpan(ctx, key)
+	defer span.End()
 	attempt := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -202,9 +222,12 @@ func (f *Fetcher) call(ctx context.Context, key string, bucket func(*Effort) *in
 			return err
 		}
 		f.mu.Lock()
-		*bucket(&f.effort)++
+		*c.bucket(&f.effort)++
 		f.mu.Unlock()
-		err = f.withTimeout(ctx, func() error { return fn(acct) })
+		f.m.request(c)
+		err = f.m.timed(func() error {
+			return f.withTimeout(ctx, func() error { return fn(acct) })
+		})
 		if err == nil {
 			return nil
 		}
@@ -219,14 +242,16 @@ func (f *Fetcher) call(ctx context.Context, key string, bucket func(*Effort) *in
 		}
 		if attempt >= f.maxRetries() {
 			f.mu.Lock()
-			*bucket(&f.failures)++
+			*c.bucket(&f.failures)++
 			f.mu.Unlock()
+			f.m.failure(c)
 			return err
 		}
 		f.mu.Lock()
-		*bucket(&f.retries)++
+		*c.bucket(&f.retries)++
 		f.mu.Unlock()
-		f.sleep(f.backoffDelay(key, attempt))
+		f.m.retry(c, err)
+		f.m.timedSleep(func() { f.sleep(f.backoffDelay(key, attempt)) })
 		attempt++
 	}
 }
@@ -243,12 +268,25 @@ func (f *Fetcher) forEach(outer context.Context, n int, fn func(ctx context.Cont
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var errs []error
+	// Queue-depth gauge: +1 as an item is fed to the pool, -1 as its work
+	// finishes. Items stranded in the channel by an abort are settled after
+	// the pool drains, so the gauge always returns to its pre-batch level.
+	var fed, done atomic.Int64
+	defer func() {
+		if f.m != nil {
+			f.m.queue.Add(float64(done.Load() - fed.Load()))
+		}
+	}()
 	for w := 0; w < f.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				err := fn(ctx, i)
+				done.Add(1)
+				if f.m != nil {
+					f.m.queue.Dec()
+				}
 				if err == nil {
 					continue
 				}
@@ -270,6 +308,10 @@ func (f *Fetcher) forEach(outer context.Context, n int, fn func(ctx context.Cont
 	}
 feed:
 	for i := 0; i < n; i++ {
+		if f.m != nil {
+			f.m.queue.Inc()
+		}
+		fed.Add(1)
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -299,11 +341,14 @@ func (f *Fetcher) Profiles(ids []osn.PublicID) ([]*osn.PublicProfile, error) {
 }
 
 // ProfilesContext is Profiles under a caller context; cancelling it stops
-// the crawl between requests.
+// the crawl between requests. When the context carries an obs trace, the
+// batch runs under a "profiles-batch" span with per-request child spans.
 func (f *Fetcher) ProfilesContext(ctx context.Context, ids []osn.PublicID) ([]*osn.PublicProfile, error) {
+	ctx, span := obs.StartSpan(ctx, "profiles-batch")
+	defer span.End()
 	out := make([]*osn.PublicProfile, len(ids))
 	err := f.forEach(ctx, len(ids), func(ctx context.Context, i int) error {
-		return f.call(ctx, "profile/"+string(ids[i]), profileBucket, func(acct int) error {
+		return f.call(ctx, "profile/"+string(ids[i]), catProfile, func(acct int) error {
 			pp, err := f.client.Profile(acct, ids[i])
 			if err != nil {
 				return fmt.Errorf("crawler: profile %s: %w", ids[i], err)
@@ -326,15 +371,19 @@ func (f *Fetcher) FriendLists(ids []osn.PublicID) ([][]osn.FriendRef, error) {
 	return f.FriendListsContext(context.Background(), ids)
 }
 
-// FriendListsContext is FriendLists under a caller context.
+// FriendListsContext is FriendLists under a caller context. When the
+// context carries an obs trace, the batch runs under a
+// "friendlists-batch" span with per-request child spans.
 func (f *Fetcher) FriendListsContext(ctx context.Context, ids []osn.PublicID) ([][]osn.FriendRef, error) {
+	ctx, span := obs.StartSpan(ctx, "friendlists-batch")
+	defer span.End()
 	out := make([][]osn.FriendRef, len(ids))
 	err := f.forEach(ctx, len(ids), func(ctx context.Context, i int) error {
 		var friends []osn.FriendRef
 		for page := 0; ; page++ {
 			var batch []osn.FriendRef
 			var more bool
-			err := f.call(ctx, fmt.Sprintf("friends/%s/%d", ids[i], page), friendBucket, func(acct int) error {
+			err := f.call(ctx, fmt.Sprintf("friends/%s/%d", ids[i], page), catFriend, func(acct int) error {
 				var err error
 				batch, more, err = f.client.FriendPage(acct, ids[i], page)
 				return err

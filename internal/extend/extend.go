@@ -9,6 +9,7 @@
 package extend
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -38,6 +39,74 @@ type Dossier struct {
 // and performs reverse lookup for the hidden ones. The per-request effort
 // lands on the session's tally, as in the paper's §6 crawl.
 func Build(sess *crawler.Session, sel []core.Inferred) (*Dossier, error) {
+	profiles := make([]*osn.PublicProfile, len(sel))
+	lists := make([][]osn.FriendRef, len(sel))
+	for i, s := range sel {
+		pp, err := sess.FetchProfile(s.ID)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = pp
+		if !pp.FriendListVisible {
+			continue
+		}
+		friends, err := sess.FetchFriends(s.ID)
+		if errors.Is(err, osn.ErrHidden) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		lists[i] = friends
+		if friends == nil {
+			lists[i] = []osn.FriendRef{} // visible but empty: keep the entry
+		}
+	}
+	return assemble(sel, profiles, lists), nil
+}
+
+// BuildParallel is Build over a worker pool: profiles in one batch, then
+// the visible friend lists in a second. The dossier is identical to the
+// sequential one — batch order does not leak into the result — so the
+// paper's §6 crawl can be compressed wall-clock-wise without changing what
+// the third party learns. Effort lands on the fetcher's tally.
+func BuildParallel(ctx context.Context, f *crawler.Fetcher, sel []core.Inferred) (*Dossier, error) {
+	ids := make([]osn.PublicID, len(sel))
+	for i, s := range sel {
+		ids[i] = s.ID
+	}
+	profiles, err := f.ProfilesContext(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	var visIdx []int
+	var visIDs []osn.PublicID
+	for i, pp := range profiles {
+		if pp.FriendListVisible {
+			visIdx = append(visIdx, i)
+			visIDs = append(visIDs, ids[i])
+		}
+	}
+	visLists, err := f.FriendListsContext(ctx, visIDs)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]osn.FriendRef, len(sel))
+	for k, i := range visIdx {
+		// A nil slot means the list went hidden between the profile fetch
+		// and the list fetch; treat it like the sequential ErrHidden skip.
+		if visLists[k] != nil {
+			lists[i] = visLists[k]
+		}
+	}
+	return assemble(sel, profiles, lists), nil
+}
+
+// assemble builds the dossier from downloads aligned with sel: profiles[i]
+// belongs to sel[i], and lists[i] is its visible friend list (nil when the
+// list is hidden or was never fetched). The reverse-lookup pass is pure
+// computation, shared by the sequential and parallel builders.
+func assemble(sel []core.Inferred, profiles []*osn.PublicProfile, lists [][]osn.FriendRef) *Dossier {
 	d := &Dossier{
 		Profiles:         make(map[osn.PublicID]*osn.PublicProfile, len(sel)),
 		PublicFriends:    make(map[osn.PublicID][]osn.PublicID),
@@ -49,25 +118,14 @@ func Build(sess *crawler.Session, sel []core.Inferred) (*Dossier, error) {
 		inH[s.ID] = true
 	}
 	recovered := make(map[osn.PublicID]map[osn.PublicID]bool)
-	for _, s := range sel {
-		pp, err := sess.FetchProfile(s.ID)
-		if err != nil {
-			return nil, err
-		}
-		d.Profiles[s.ID] = pp
-		if !pp.FriendListVisible {
+	for i, s := range sel {
+		d.Profiles[s.ID] = profiles[i]
+		if lists[i] == nil {
 			continue
 		}
-		friends, err := sess.FetchFriends(s.ID)
-		if errors.Is(err, osn.ErrHidden) {
-			continue
-		}
-		if err != nil {
-			return nil, err
-		}
-		ids := make([]osn.PublicID, len(friends))
-		for i, f := range friends {
-			ids[i] = f.ID
+		ids := make([]osn.PublicID, len(lists[i]))
+		for j, f := range lists[i] {
+			ids[j] = f.ID
 			d.FriendNames[f.ID] = f.Name
 		}
 		d.PublicFriends[s.ID] = ids
@@ -95,7 +153,7 @@ func Build(sess *crawler.Session, sel []core.Inferred) (*Dossier, error) {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		d.RecoveredFriends[id] = ids
 	}
-	return d, nil
+	return d
 }
 
 // MinorProfile is the §6.1 result for one registered minor: everything the

@@ -1,0 +1,39 @@
+package extend
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"hsprofiler/internal/crawler"
+)
+
+// TestBuildParallelMatchesSequential: the parallel dossier builder must be
+// a pure wall-clock optimisation — same dossier, same total effort, no
+// dependence on batch interleaving.
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	f := buildFixture(t)
+	fetcher := crawler.NewFetcher(f.sess.Client(), 8)
+	par, err := BuildParallel(context.Background(), fetcher, f.sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.PublicFriends, f.dossier.PublicFriends) {
+		t.Error("PublicFriends diverged from sequential build")
+	}
+	if !reflect.DeepEqual(par.RecoveredFriends, f.dossier.RecoveredFriends) {
+		t.Error("RecoveredFriends diverged from sequential build")
+	}
+	if !reflect.DeepEqual(par.FriendNames, f.dossier.FriendNames) {
+		t.Error("FriendNames diverged from sequential build")
+	}
+	if len(par.Profiles) != len(f.dossier.Profiles) {
+		t.Errorf("profiles: %d vs %d", len(par.Profiles), len(f.dossier.Profiles))
+	}
+	for id, pp := range f.dossier.Profiles {
+		got := par.Profiles[id]
+		if got == nil || got.ID != pp.ID || got.FriendListVisible != pp.FriendListVisible {
+			t.Errorf("profile %s diverged", id)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"hsprofiler/internal/obs"
 	"hsprofiler/internal/sim"
 )
 
@@ -162,6 +163,11 @@ type Injector struct {
 	mu       sync.Mutex
 	attempts map[string]int
 	stats    Stats
+
+	// kinds[k] counts injections of kind k; nil when uninstrumented.
+	kinds     [numKinds + 1]*obs.Counter
+	delays    *obs.Counter
+	decisions *obs.Counter
 }
 
 // New returns an injector for the config.
@@ -174,6 +180,25 @@ func New(cfg Config) *Injector {
 		root:     sim.New(cfg.Seed),
 		attempts: make(map[string]int),
 	}
+}
+
+// Instrument publishes the injector's tally to the registry as
+// faults_injected_total{kind=...}, faults_delays_total and
+// faults_decisions_total, pre-registering every kind at zero so chaos
+// tests (and scrapes of an idle osnd) can assert on the series before the
+// first fault fires. A nil registry is a no-op. Returns the injector for
+// chaining.
+func (in *Injector) Instrument(reg *obs.Registry) *Injector {
+	if reg == nil {
+		return in
+	}
+	for k := ServerError; k <= Garble; k++ {
+		in.kinds[k] = reg.Counter("faults_injected_total",
+			"Faults injected into the serving path, by kind.", obs.L("kind", k.String()))
+	}
+	in.delays = reg.Counter("faults_delays_total", "Requests served with injected latency.")
+	in.decisions = reg.Counter("faults_decisions_total", "Fault decisions taken (one per request attempt).")
+	return in
 }
 
 // Stats returns the running fault tally.
@@ -199,35 +224,41 @@ func (in *Injector) Decide(key string) (Kind, time.Duration) {
 	in.attempts[key] = attempt + 1
 	in.stats.Requests++
 	in.mu.Unlock()
+	in.decisions.Inc()
 
 	var delay time.Duration
 	r := in.stream(key, attempt)
 	if in.cfg.MaxLatency > 0 && in.cfg.Latency > 0 && r.Float64() < in.cfg.Latency {
 		delay = time.Duration(r.Float64() * float64(in.cfg.MaxLatency))
 		in.count(func(s *Stats) { s.Delays++ })
+		in.delays.Inc()
 	}
 	if attempt >= in.cfg.MaxConsecutive {
 		return None, delay
 	}
 	p := r.Float64()
+	kind := None
 	switch {
 	case p < in.cfg.ServerError:
 		in.count(func(s *Stats) { s.ServerErrors++ })
-		return ServerError, delay
+		kind = ServerError
 	case p < in.cfg.ServerError+in.cfg.Throttle:
 		in.count(func(s *Stats) { s.Throttles++ })
-		return Throttle, delay
+		kind = Throttle
 	case p < in.cfg.ServerError+in.cfg.Throttle+in.cfg.Reset:
 		in.count(func(s *Stats) { s.Resets++ })
-		return Reset, delay
+		kind = Reset
 	case p < in.cfg.ServerError+in.cfg.Throttle+in.cfg.Reset+in.cfg.Truncate:
 		in.count(func(s *Stats) { s.Truncates++ })
-		return Truncate, delay
+		kind = Truncate
 	case p < in.cfg.total():
 		in.count(func(s *Stats) { s.Garbles++ })
-		return Garble, delay
+		kind = Garble
 	}
-	return None, delay
+	if kind != None {
+		in.kinds[kind].Inc()
+	}
+	return kind, delay
 }
 
 func (in *Injector) count(f func(*Stats)) {

@@ -1,0 +1,70 @@
+package faults
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"hsprofiler/internal/obs"
+)
+
+// TestInjectorMetricsMatchStats hammers an instrumented injector and checks
+// the exported counters agree exactly with the Stats tally — the same
+// invariant the crawl metrics uphold for Effort.
+func TestInjectorMetricsMatchStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Config{
+		Seed:        42,
+		ServerError: 0.1,
+		Throttle:    0.1,
+		Reset:       0.1,
+		Truncate:    0.1,
+		Garble:      0.1,
+		Latency:     0.3,
+		MaxLatency:  50 * time.Millisecond,
+	}).Instrument(reg)
+	for i := 0; i < 500; i++ {
+		in.Decide("req-" + strconv.Itoa(i))
+	}
+	st := in.Stats()
+	if st.Total() == 0 || st.Delays == 0 {
+		t.Fatalf("fault rates produced nothing: %+v", st)
+	}
+	snap := reg.Counters()
+	for kind, want := range map[string]int{
+		"server-error": st.ServerErrors,
+		"throttle":     st.Throttles,
+		"reset":        st.Resets,
+		"truncate":     st.Truncates,
+		"garble":       st.Garbles,
+	} {
+		key := `faults_injected_total{kind="` + kind + `"}`
+		if got := snap[key]; got != float64(want) {
+			t.Errorf("%s = %v, Stats says %d", key, got, want)
+		}
+	}
+	if got := snap["faults_decisions_total"]; got != float64(st.Requests) {
+		t.Errorf("decisions = %v, Stats says %d", got, st.Requests)
+	}
+	if got := snap["faults_delays_total"]; got != float64(st.Delays) {
+		t.Errorf("delays = %v, Stats says %d", got, st.Delays)
+	}
+}
+
+// TestUninstrumentedInjectorDecides checks the nil-counter path: an
+// injector that was never instrumented must behave identically.
+func TestUninstrumentedInjectorDecides(t *testing.T) {
+	a := New(Composite(0.3, 7))
+	b := New(Composite(0.3, 7)).Instrument(nil)
+	for i := 0; i < 100; i++ {
+		key := "k" + strconv.Itoa(i)
+		ka, _ := a.Decide(key)
+		kb, _ := b.Decide(key)
+		if ka != kb {
+			t.Fatalf("decision diverged at %s: %v vs %v", key, ka, kb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkDisabledPath guards the tentpole's no-op promise: with no
+// registry and no trace installed, every obs call must compile down to a
+// couple of nil checks — no allocation, no atomics, no clock reads.
+func BenchmarkDisabledPath(b *testing.B) {
+	b.Run("counter-inc", func(b *testing.B) {
+		var c *Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge-set", func(b *testing.B) {
+		var g *Gauge
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(1)
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		var h *Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.5)
+		}
+	})
+	b.Run("startspan-no-trace", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, span := StartSpan(ctx, "noop")
+			span.End()
+		}
+	})
+}
+
+// BenchmarkEnabledPath is the price when metrics are on.
+func BenchmarkEnabledPath(b *testing.B) {
+	reg := NewRegistry()
+	b.Run("counter-inc", func(b *testing.B) {
+		c := reg.Counter("bench_total", "bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := reg.Histogram("bench_seconds", "bench", nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.003)
+		}
+	})
+	b.Run("startspan", func(b *testing.B) {
+		tr := NewTrace("bench")
+		tr.MaxSpans = 1 << 30
+		ctx := tr.Context(context.Background())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, span := StartSpan(ctx, "step")
+			span.End()
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime/debug"
+	"time"
+)
+
+// Phase is one span of a finished trace, flattened for the manifest.
+type Phase struct {
+	Name string `json:"name"`
+	// StartMS is the offset from the root span's start, in milliseconds.
+	StartMS float64 `json:"start_ms"`
+	// DurationMS is the span's wall time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	Children   []Phase `json:"children,omitempty"`
+}
+
+// Manifest is the per-run record emitted as JSON next to a run's results:
+// what ran (tool, build), on what (seed, scenario, parameters), how long
+// each phase took, and what it cost (the counter snapshot, which for a
+// crawl is exactly the Table 3 effort accounting).
+type Manifest struct {
+	Tool        string         `json:"tool"`
+	GitDescribe string         `json:"git_describe"`
+	StartedAt   time.Time      `json:"started_at"`
+	FinishedAt  time.Time      `json:"finished_at,omitempty"`
+	Seed        uint64         `json:"seed,omitempty"`
+	Scenario    string         `json:"scenario,omitempty"`
+	Params      map[string]any `json:"params,omitempty"`
+	Phases      []Phase        `json:"phases,omitempty"`
+	// Counters snapshots every counter series ("name{labels}" → value).
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// DroppedSpans is how many spans the trace discarded over its cap.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, stamping the build
+// identity and start time.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{
+		Tool:        tool,
+		GitDescribe: GitDescribe(),
+		StartedAt:   time.Now(),
+		Params:      make(map[string]any),
+	}
+}
+
+// SetParam records one run parameter.
+func (m *Manifest) SetParam(key string, value any) {
+	if m.Params == nil {
+		m.Params = make(map[string]any)
+	}
+	m.Params[key] = value
+}
+
+// AddTrace copies a trace's span tree into the manifest as phase timings.
+// Call it after the trace is finished; open spans are timed as of now.
+func (m *Manifest) AddTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	root := phaseFromSpan(t.root, t.root.start, t.now)
+	m.DroppedSpans = t.dropped
+	t.mu.Unlock()
+	m.Phases = root.Children
+	if len(m.Phases) == 0 {
+		// A trace with no child spans still contributes its root timing.
+		m.Phases = []Phase{root}
+	}
+}
+
+// phaseFromSpan converts a span subtree; caller holds the trace lock.
+func phaseFromSpan(s *Span, origin time.Time, now func() time.Time) Phase {
+	end := s.end
+	if end.IsZero() {
+		end = now()
+	}
+	p := Phase{
+		Name:       s.name,
+		StartMS:    float64(s.start.Sub(origin).Microseconds()) / 1000,
+		DurationMS: float64(end.Sub(s.start).Microseconds()) / 1000,
+	}
+	for _, c := range s.children {
+		p.Children = append(p.Children, phaseFromSpan(c, origin, now))
+	}
+	return p
+}
+
+// AddCounters snapshots the registry's counters into the manifest.
+func (m *Manifest) AddCounters(r *Registry) {
+	if cs := r.Counters(); len(cs) > 0 {
+		m.Counters = cs
+	}
+}
+
+// Finish stamps the end time.
+func (m *Manifest) Finish() { m.FinishedAt = time.Now() }
+
+// WriteJSON emits the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// GitDescribe reports the build's VCS identity from the embedded build
+// info: "<revision[:12]>" plus "-dirty" when built from a modified tree,
+// or "unknown" outside a VCS-stamped build (go test, go run).
+func GitDescribe() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestManifestJSON(t *testing.T) {
+	tr := NewTrace("run")
+	tr.now = fakeClock()
+	tr.root.start = tr.now()
+	ctx := tr.Context(context.Background())
+	ctx1, seeds := StartSpan(ctx, "collect-seeds")
+	_, batch := StartSpan(ctx1, "fetch-batch")
+	batch.End()
+	seeds.End()
+	tr.Finish()
+
+	r := NewRegistry()
+	r.Counter("crawl_requests_total", "", L("category", "seed")).Add(42)
+
+	m := NewManifest("hsprofile")
+	m.Seed = 2013
+	m.Scenario = "hs1"
+	m.SetParam("school", "Oakfield High School")
+	m.SetParam("workers", 8)
+	m.AddTrace(tr)
+	m.AddCounters(r)
+	m.Finish()
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Tool != "hsprofile" || back.Seed != 2013 || back.Scenario != "hs1" {
+		t.Errorf("identity fields lost: %+v", back)
+	}
+	if back.GitDescribe == "" {
+		t.Error("git_describe must never be empty")
+	}
+	if got := back.Counters[`crawl_requests_total{category="seed"}`]; got != 42 {
+		t.Errorf("counter snapshot = %v, want 42", got)
+	}
+	if len(back.Phases) != 1 || back.Phases[0].Name != "collect-seeds" {
+		t.Fatalf("phases = %+v", back.Phases)
+	}
+	ph := back.Phases[0]
+	// Fake clock: seeds spans calls 2..5 → 30ms; batch spans 3..4 → 10ms.
+	if ph.DurationMS != 30 {
+		t.Errorf("collect-seeds duration = %vms, want 30", ph.DurationMS)
+	}
+	if len(ph.Children) != 1 || ph.Children[0].Name != "fetch-batch" || ph.Children[0].DurationMS != 10 {
+		t.Errorf("children = %+v", ph.Children)
+	}
+	if ph.Children[0].StartMS <= ph.StartMS {
+		t.Errorf("child start %v must follow parent start %v", ph.Children[0].StartMS, ph.StartMS)
+	}
+}
+
+func TestManifestRootOnlyTrace(t *testing.T) {
+	tr := NewTrace("bare")
+	tr.Finish()
+	m := NewManifest("t")
+	m.AddTrace(tr)
+	if len(m.Phases) != 1 || m.Phases[0].Name != "bare" {
+		t.Errorf("phases = %+v", m.Phases)
+	}
+}
+
+func TestManifestNilTrace(t *testing.T) {
+	m := NewManifest("t")
+	m.AddTrace(nil)
+	m.AddCounters(nil)
+	if len(m.Phases) != 0 || m.Counters != nil {
+		t.Errorf("nil inputs must leave manifest empty: %+v", m)
+	}
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenRegistry builds the deterministic registry behind the golden-file
+// exposition test: one of each metric type, labelled and unlabelled.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("crawl_requests_total", "Logical crawl requests by category.", L("category", "seed")).Add(37)
+	r.Counter("crawl_requests_total", "Logical crawl requests by category.", L("category", "profile")).Add(120)
+	r.Counter("crawl_requests_total", "Logical crawl requests by category.", L("category", "friendlist")).Add(85)
+	r.Counter("faults_injected_total", "Injected faults by kind.", L("kind", "throttle")).Inc()
+	r.Gauge("crawl_queue_depth", "Items queued or in flight in the fetcher.").Set(4)
+	h := r.Histogram("osn_http_request_seconds", "Server-side request latency.", []float64{0.01, 0.1, 1}, L("endpoint", "profile"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "metrics.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestExpositionParses(t *testing.T) {
+	// Minimal structural validation of the text format: every non-comment
+	// line is "name{labels} value" with a parseable value, and every family
+	// has exactly one TYPE line before its samples.
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if typed[f[2]] {
+				t.Fatalf("duplicate TYPE for %s", f[2])
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if !typed[name] && !typed[base] {
+			t.Errorf("sample %q precedes its TYPE line", line)
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("sample line %q has no value", line)
+		}
+	}
+}
+
+func TestHistogramBucketMath(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 8, 100} {
+		h.Observe(v)
+	}
+	// Buckets are cumulative and boundary-inclusive (le semantics):
+	// le=1 ← {0.5, 1}; le=2 ← +{1.5, 2}; le=4 ← +{3, 4}; +Inf ← +{8, 100}.
+	wantCum := []int64{2, 4, 6, 8}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum != wantCum[i] {
+			t.Errorf("bucket %d: cumulative %d, want %d", i, cum, wantCum[i])
+		}
+	}
+	if got := h.Count(); got != 8 {
+		t.Errorf("count = %d, want 8", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+4+8+100; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 4`,
+		`lat_bucket{le="4"} 6`,
+		`lat_bucket{le="+Inf"} 8`,
+		`lat_count 8`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestConcurrentIncObserve(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix of pre-created and per-iteration lookups, so the registry
+			// maps race against the atomics and the scraper below.
+			c := r.Counter("hits_total", "")
+			g := r.Gauge("depth", "")
+			h := r.Histogram("lat", "", []float64{0.5})
+			for i := 0; i < per; i++ {
+				c.Inc()
+				r.Counter("by_worker_total", "", L("w", string(rune('a'+w%4)))).Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%2) * 0.75)
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race the writers.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "").Value(); got != workers*per {
+		t.Errorf("hits_total = %v, want %d", got, workers*per)
+	}
+	var byWorker float64
+	for _, v := range r.Counters() {
+		byWorker += v
+	}
+	if byWorker != 2*workers*per {
+		t.Errorf("counter snapshot sums to %v, want %d", byWorker, 2*workers*per)
+	}
+	if got := r.Histogram("lat", "", []float64{0.5}).Count(); got != workers*per {
+		t.Errorf("lat count = %v, want %d", got, workers*per)
+	}
+	if got := r.Gauge("depth", "").Value(); got != 0 {
+		t.Errorf("depth = %v, want 0", got)
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil metrics must read zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	if r.Counters() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	c.Add(2)
+	c.Add(-5)
+	if got := c.Value(); got != 2 {
+		t.Errorf("negative Add must be ignored; value = %v", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", L("q", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `c{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition %q missing %q", b.String(), want)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on counter/gauge name collision")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.Gauge("m", "")
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := goldenRegistry()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `crawl_requests_total{category="seed"} 37`) {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}

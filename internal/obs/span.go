@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace collects a tree of spans for one run. Create one with NewTrace,
+// install it on a context with its Context method, and every StartSpan
+// below that context nests under the current span. Safe for concurrent
+// use: parallel fetch batches can open sibling spans from worker
+// goroutines.
+type Trace struct {
+	// OnStart, when set, is called as each span starts — hsprofile uses it
+	// for a live progress line. Called outside the trace lock.
+	OnStart func(s *Span)
+	// OnEnd, when set, is called as each span ends.
+	OnEnd func(s *Span)
+	// MaxSpans caps the tree size; spans started beyond the cap are
+	// dropped (StartSpan returns a nil, no-op span) and counted in
+	// Dropped. Zero means the default of 10000.
+	MaxSpans int
+
+	mu      sync.Mutex
+	root    *Span
+	spans   int
+	dropped int
+	now     func() time.Time // test hook
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{now: time.Now, MaxSpans: 10000}
+	t.root = &Span{trace: t, name: name, start: t.now()}
+	t.spans = 1
+	return t
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Dropped reports how many spans were discarded over MaxSpans.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Finish ends the root span (and with it the trace's wall-clock).
+func (t *Trace) Finish() {
+	if t != nil {
+		t.root.End()
+	}
+}
+
+// Span is one timed region. A nil *Span is a valid no-op, so callers never
+// guard their End calls.
+type Span struct {
+	trace    *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	depth    int
+	parent   *Span
+	children []*Span
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Depth is the span's distance from the root (root = 0).
+func (s *Span) Depth() int {
+	if s == nil {
+		return 0
+	}
+	return s.depth
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.trace
+	t.mu.Lock()
+	if s.end.IsZero() {
+		s.end = t.now()
+	}
+	t.mu.Unlock()
+	if t.OnEnd != nil {
+		t.OnEnd(s)
+	}
+}
+
+// Duration is the span's wall time; for a still-open span, time so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.end.IsZero() {
+		return t.now().Sub(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Children returns the span's direct children in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+type ctxKey struct{}
+
+// Context installs the trace's root span on ctx.
+func (t *Trace) Context(ctx context.Context) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t.root)
+}
+
+// SpanFromContext returns the current span, or nil when the context
+// carries no trace.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// derived context carrying it. On a context without a trace (or past the
+// trace's span cap) it returns ctx unchanged and a nil span, making
+// instrumentation free when tracing is off.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	t := parent.trace
+	t.mu.Lock()
+	if t.spans >= t.MaxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return ctx, nil
+	}
+	s := &Span{trace: t, name: name, start: t.now(), depth: parent.depth + 1, parent: parent}
+	parent.children = append(parent.children, s)
+	t.spans++
+	t.mu.Unlock()
+	if t.OnStart != nil {
+		t.OnStart(s)
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// WriteTree renders the span tree with durations, e.g.
+//
+//	run                                 412.1ms
+//	├─ collect-seeds                     85.3ms
+//	│  └─ fetch-batch                    71.0ms
+//	└─ harvest-and-score                204.9ms
+func (t *Trace) WriteTree(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.writeSpan(w, t.root, "", "")
+}
+
+// String renders the tree to a string.
+func (t *Trace) String() string {
+	var b strings.Builder
+	t.WriteTree(&b)
+	return b.String()
+}
+
+// writeSpan renders one node; caller holds t.mu.
+func (t *Trace) writeSpan(w io.Writer, s *Span, prefix, childPrefix string) {
+	d := s.end.Sub(s.start)
+	if s.end.IsZero() {
+		d = t.now().Sub(s.start)
+	}
+	label := prefix + s.name
+	pad := 44 - len(label)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%s%s%s\n", label, strings.Repeat(" ", pad), fmtDuration(d))
+	for i, c := range s.children {
+		if i == len(s.children)-1 {
+			t.writeSpan(w, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			t.writeSpan(w, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// fmtDuration keeps tree output compact and stable-width-ish.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

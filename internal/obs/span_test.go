@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps 10ms per call, making span durations deterministic.
+func fakeClock() func() time.Time {
+	t0 := time.Date(2013, 10, 23, 0, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * 10 * time.Millisecond)
+	}
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := NewTrace("run")
+	ctx := tr.Context(context.Background())
+
+	ctx1, seeds := StartSpan(ctx, "collect-seeds")
+	_, batch := StartSpan(ctx1, "fetch-batch")
+	batch.End()
+	seeds.End()
+	_, harvest := StartSpan(ctx, "harvest-and-score")
+	harvest.End()
+	tr.Finish()
+
+	root := tr.Root()
+	if root.Name() != "run" || root.Depth() != 0 {
+		t.Fatalf("root = %q depth %d", root.Name(), root.Depth())
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "collect-seeds" || kids[1].Name() != "harvest-and-score" {
+		t.Fatalf("children = %v", names(kids))
+	}
+	grand := kids[0].Children()
+	if len(grand) != 1 || grand[0].Name() != "fetch-batch" || grand[0].Depth() != 2 {
+		t.Fatalf("grandchildren = %v", names(grand))
+	}
+	if len(kids[1].Children()) != 0 {
+		t.Fatal("harvest-and-score must have no children")
+	}
+}
+
+func names(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+func TestSpanWithoutTraceIsNoop(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("expected nil span without a trace")
+	}
+	sp.End() // must not panic
+	if sp.Duration() != 0 || sp.Name() != "" || sp.Depth() != 0 {
+		t.Error("nil span accessors must return zero values")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Error("context must stay trace-free")
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	tr := NewTrace("run")
+	tr.now = fakeClock()
+	tr.root.start = tr.now() // rebase the root onto the fake clock
+	ctx := tr.Context(context.Background())
+	_, a := StartSpan(ctx, "a") // start t=10ms
+	a.End()                     // end t=20ms
+	if d := a.Duration(); d != 10*time.Millisecond {
+		t.Errorf("a duration = %v, want 10ms", d)
+	}
+	// Ending twice keeps the first timestamp.
+	a.End()
+	if d := a.Duration(); d != 10*time.Millisecond {
+		t.Errorf("after double End, duration = %v", d)
+	}
+}
+
+func TestSpanCapDropsNotPanics(t *testing.T) {
+	tr := NewTrace("run")
+	tr.MaxSpans = 3 // root + 2
+	ctx := tr.Context(context.Background())
+	_, a := StartSpan(ctx, "a")
+	_, b := StartSpan(ctx, "b")
+	_, c := StartSpan(ctx, "c")
+	if a == nil || b == nil {
+		t.Fatal("spans under the cap must be recorded")
+	}
+	if c != nil {
+		t.Fatal("span over the cap must be dropped")
+	}
+	c.End()
+	if tr.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", tr.Dropped())
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTrace("run")
+	ctx := tr.Context(context.Background())
+	_, phase := StartSpan(ctx, "fetch-batch")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, s := StartSpan(ctx, "req")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	phase.End()
+	tr.Finish()
+	if got := len(tr.Root().Children()); got != 401 {
+		// 1 explicit phase + 400 request spans, all siblings under root
+		// because the workers shared the pre-phase context.
+		t.Errorf("root has %d children, want 401", got)
+	}
+}
+
+func TestLiveHooks(t *testing.T) {
+	tr := NewTrace("run")
+	var mu sync.Mutex
+	var started, ended []string
+	tr.OnStart = func(s *Span) { mu.Lock(); started = append(started, s.Name()); mu.Unlock() }
+	tr.OnEnd = func(s *Span) { mu.Lock(); ended = append(ended, s.Name()); mu.Unlock() }
+	ctx := tr.Context(context.Background())
+	_, a := StartSpan(ctx, "a")
+	a.End()
+	if len(started) != 1 || started[0] != "a" || len(ended) != 1 || ended[0] != "a" {
+		t.Errorf("hooks saw start=%v end=%v", started, ended)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := NewTrace("run")
+	tr.now = fakeClock()
+	tr.root.start = tr.now()
+	ctx := tr.Context(context.Background())
+	ctx1, seeds := StartSpan(ctx, "collect-seeds")
+	_, batch := StartSpan(ctx1, "fetch-batch")
+	batch.End()
+	seeds.End()
+	_, h := StartSpan(ctx, "harvest-and-score")
+	h.End()
+	tr.Finish()
+
+	out := tr.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("tree has %d lines:\n%s", len(lines), out)
+	}
+	for i, prefix := range []string{"run", "├─ collect-seeds", "│  └─ fetch-batch", "└─ harvest-and-score"} {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
+	}
+	if !strings.Contains(lines[2], "ms") {
+		t.Errorf("durations missing from %q", lines[2])
+	}
+}

@@ -24,6 +24,10 @@ var (
 	ErrNotFound     = errors.New("osn: no such user")
 	ErrHidden       = errors.New("osn: friend list not visible to strangers")
 	ErrNoSchool     = errors.New("osn: no such school")
+	// ErrMalformed reports a page that failed structural validation on the
+	// client side. It lives here (rather than in osnhttp, which aliases it)
+	// so the crawler can classify it without importing the HTTP layer.
+	ErrMalformed = errors.New("osnhttp: malformed page")
 )
 
 // Config tunes the platform's serving behaviour. Zero values get defaults

@@ -1,10 +1,11 @@
 package osnhttp
 
 import (
-	"errors"
 	"fmt"
 	"html"
 	"strings"
+
+	"hsprofiler/internal/osn"
 )
 
 // The crawler-side parser. The original study downloaded Facebook HTML and
@@ -16,8 +17,9 @@ import (
 // ErrMalformed reports a page that failed structural validation: truncated
 // mid-transfer, garbled, or missing the container its endpoint always
 // serves. Callers treat it as transient and refetch — a half-delivered
-// friend-list page must never be mistaken for a short friend list.
-var ErrMalformed = errors.New("osnhttp: malformed page")
+// friend-list page must never be mistaken for a short friend list. The
+// sentinel value lives in osn so non-HTTP layers can classify it.
+var ErrMalformed = osn.ErrMalformed
 
 // pageTrailer closes every page the server emits; its absence means the
 // body was cut off.

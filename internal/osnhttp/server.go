@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/sim"
@@ -25,6 +26,7 @@ import (
 type Server struct {
 	platform *osn.Platform
 	mux      *http.ServeMux
+	metrics  *serverMetrics
 }
 
 // NewServer returns a handler serving the platform.
@@ -42,7 +44,16 @@ func NewServer(p *osn.Platform) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.metrics == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	s.metrics.inflight.Inc()
+	defer s.metrics.inflight.Dec()
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	s.metrics.observe(endpointName(r.URL.Path), rec.code, time.Since(start))
 }
 
 // httpStatus maps platform errors onto wire status codes.
