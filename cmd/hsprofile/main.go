@@ -85,7 +85,7 @@ func main() {
 	// Metrics and the trace exist whenever either output wants them; a nil
 	// registry/trace keeps the whole obs layer a no-op otherwise.
 	var reg *obs.Registry
-	if *manifestOut != "" {
+	if *manifestOut != "" || *traceOut != "" {
 		reg = obs.NewRegistry()
 	}
 	sess := crawler.NewSession(cached).Instrument(reg)
@@ -179,13 +179,20 @@ func main() {
 
 	if *dossiers {
 		var d *extend.Dossier
+		// Dossier effort is reported either way: the parallel path tallies on
+		// the fetcher (attempts issued, merged into the same obs counters as
+		// the session when instrumented), the sequential path on the session.
+		var dossierEffort crawler.Effort
 		dctx, span := obs.StartSpan(ctx, "build-dossiers")
 		if *workers > 1 {
 			fetcher := crawler.NewFetcher(cached, *workers).Instrument(reg)
 			fetcher.Timeout = *reqTimeout
 			d, err = extend.BuildParallel(dctx, fetcher, sel)
+			dossierEffort = fetcher.Effort()
 		} else {
+			before := sess.Effort
 			d, err = extend.Build(sess, sel)
+			dossierEffort = sess.Effort.Sub(before)
 		}
 		span.End()
 		if err != nil {
@@ -198,6 +205,8 @@ func main() {
 			len(minors), d.AvgRecoveredFriends(sel))
 		fmt.Printf("  minors registered as adults: %d (%.0f%% public friend lists, %.0f%% messageable)\n",
 			st.Count, st.FriendListPublic*100, st.MessageLink*100)
+		fmt.Printf("  dossier effort: %d profile + %d friend-list = %d requests\n",
+			dossierEffort.ProfileRequests, dossierEffort.FriendListRequests, dossierEffort.Total())
 	}
 
 	writeArchive(*archive, crawlStore)

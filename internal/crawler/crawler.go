@@ -85,6 +85,16 @@ func (e Effort) Add(o Effort) Effort {
 	}
 }
 
+// Sub returns the tally minus o — the effort spent between two snapshots
+// of a monotone tally.
+func (e Effort) Sub(o Effort) Effort {
+	return Effort{
+		SeedRequests:       e.SeedRequests - o.SeedRequests,
+		ProfileRequests:    e.ProfileRequests - o.ProfileRequests,
+		FriendListRequests: e.FriendListRequests - o.FriendListRequests,
+	}
+}
+
 // Session layers effort accounting and account rotation over a Client. It
 // is the object the attack methodology drives. Not safe for concurrent use.
 type Session struct {
@@ -167,39 +177,55 @@ func (s *Session) countRequest(c category) {
 	s.m.request(c)
 }
 
-// do runs one client call under the session's per-call Timeout. An
-// overrunning call is abandoned: it finishes on its own goroutine and its
-// outcome is discarded.
-func (s *Session) do(fn func() error) error {
+// doValue runs one client call under the session's per-call Timeout. Each
+// call's result is attempt-local and delivered over the channel, so an
+// abandoned (timed-out) call that completes later discards its outcome
+// into an orphaned buffer instead of racing the retry attempt.
+func doValue[T any](s *Session, fn func() (T, error)) (T, error) {
 	if s.Timeout <= 0 {
 		return fn()
 	}
-	done := make(chan error, 1)
-	go func() { done <- fn() }()
+	type outcome struct {
+		v   T
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := fn()
+		done <- outcome{v: v, err: err}
+	}()
 	timer := time.NewTimer(s.Timeout)
 	defer timer.Stop()
 	select {
-	case err := <-done:
-		return err
+	case o := <-done:
+		return o.v, o.err
 	case <-timer.C:
-		return fmt.Errorf("%w after %v", ErrTimeout, s.Timeout)
+		var zero T
+		return zero, fmt.Errorf("%w after %v", ErrTimeout, s.Timeout)
 	}
 }
 
-// retryTransient runs fn, backing off and retrying while it reports a
+// retryValue runs fn, backing off and retrying while it reports a
 // transient error (throttling, 5xx, resets, malformed pages, timeouts), up
-// to MaxRetries attempts. Retries and terminal failures are tallied into
-// the category (struct fields and obs counters alike); the session's
-// context is consulted before every attempt so a cancelled crawl stops
-// mid-list rather than at the next phase boundary.
-func (s *Session) retryTransient(c category, fn func() error) error {
+// to MaxRetries attempts, and returns the value of the attempt that
+// actually concluded. Retries and terminal failures are tallied into the
+// category (struct fields and obs counters alike); the session's context
+// is consulted before every attempt so a cancelled crawl stops mid-list
+// rather than at the next phase boundary.
+func retryValue[T any](s *Session, c category, fn func() (T, error)) (T, error) {
+	var zero T
 	for attempt := 0; ; attempt++ {
 		if err := s.ctx.Err(); err != nil {
-			return err
+			return zero, err
 		}
-		err := s.m.timed(func() error { return s.do(fn) })
+		var v T
+		err := s.m.timed(func() error {
+			var err error
+			v, err = doValue(s, fn)
+			return err
+		})
 		if err == nil {
-			return nil
+			return v, nil
 		}
 		if !IsTransient(err) {
 			if !errors.Is(err, osn.ErrSuspended) && !errors.Is(err, osn.ErrHidden) &&
@@ -207,17 +233,24 @@ func (s *Session) retryTransient(c category, fn func() error) error {
 				*c.bucket(&s.Failures)++
 				s.m.failure(c)
 			}
-			return err
+			return zero, err
 		}
 		if attempt >= s.MaxRetries {
 			*c.bucket(&s.Failures)++
 			s.m.failure(c)
-			return err
+			return zero, err
 		}
 		*c.bucket(&s.Retries)++
 		s.m.retry(c, err)
 		s.m.timedSleep(func() { s.Backoff(attempt) })
 	}
+}
+
+// page carries one paginated client response through retryValue, keeping
+// the results and the has-more flag attempt-local as a unit.
+type page[T any] struct {
+	items []T
+	more  bool
 }
 
 // Client returns the underlying client.
@@ -238,13 +271,9 @@ func (s *Session) nextAccount() (int, error) {
 
 // LookupSchool resolves the target school, retrying transient failures.
 func (s *Session) LookupSchool(name string) (osn.SchoolRef, error) {
-	var ref osn.SchoolRef
-	err := s.retryTransient(catSeed, func() error {
-		var err error
-		ref, err = s.client.LookupSchool(name)
-		return err
+	return retryValue(s, catSeed, func() (osn.SchoolRef, error) {
+		return s.client.LookupSchool(name)
 	})
-	return ref, err
 }
 
 // CollectSeeds runs the school search on each of the given accounts,
@@ -257,29 +286,26 @@ func (s *Session) CollectSeeds(schoolID int, accounts []int) ([]osn.SearchResult
 		if s.suspended[acct] {
 			continue
 		}
-		for page := 0; ; page++ {
+		for pg := 0; ; pg++ {
 			s.countRequest(catSeed)
-			var results []osn.SearchResult
-			var more bool
-			err := s.retryTransient(catSeed, func() error {
-				var err error
-				results, more, err = s.client.Search(acct, schoolID, page)
-				return err
+			res, err := retryValue(s, catSeed, func() (page[osn.SearchResult], error) {
+				results, more, err := s.client.Search(acct, schoolID, pg)
+				return page[osn.SearchResult]{items: results, more: more}, err
 			})
 			if errors.Is(err, osn.ErrSuspended) {
 				s.suspended[acct] = true
 				break
 			}
 			if err != nil {
-				return nil, fmt.Errorf("crawler: seed search (account %d page %d): %w", acct, page, err)
+				return nil, fmt.Errorf("crawler: seed search (account %d page %d): %w", acct, pg, err)
 			}
-			for _, r := range results {
+			for _, r := range res.items {
 				if !seen[r.ID] {
 					seen[r.ID] = true
 					out = append(out, r)
 				}
 			}
-			if !more {
+			if !res.more {
 				break
 			}
 		}
@@ -306,11 +332,8 @@ func (s *Session) FetchProfile(id osn.PublicID) (*osn.PublicProfile, error) {
 			return nil, err
 		}
 		s.countRequest(catProfile)
-		var pp *osn.PublicProfile
-		err = s.retryTransient(catProfile, func() error {
-			var err error
-			pp, err = s.client.Profile(acct, id)
-			return err
+		pp, err := retryValue(s, catProfile, func() (*osn.PublicProfile, error) {
+			return s.client.Profile(acct, id)
 		})
 		if errors.Is(err, osn.ErrSuspended) {
 			s.suspended[acct] = true
@@ -328,29 +351,26 @@ func (s *Session) FetchProfile(id osn.PublicID) (*osn.PublicProfile, error) {
 // callers can branch on it.
 func (s *Session) FetchFriends(id osn.PublicID) ([]osn.FriendRef, error) {
 	var out []osn.FriendRef
-	for page := 0; ; page++ {
+	for pg := 0; ; pg++ {
 		acct, err := s.nextAccount()
 		if err != nil {
 			return nil, err
 		}
 		s.countRequest(catFriend)
-		var friends []osn.FriendRef
-		var more bool
-		err = s.retryTransient(catFriend, func() error {
-			var err error
-			friends, more, err = s.client.FriendPage(acct, id, page)
-			return err
+		res, err := retryValue(s, catFriend, func() (page[osn.FriendRef], error) {
+			friends, more, err := s.client.FriendPage(acct, id, pg)
+			return page[osn.FriendRef]{items: friends, more: more}, err
 		})
 		if errors.Is(err, osn.ErrSuspended) {
 			s.suspended[acct] = true
-			page-- // retry the same page on another account
+			pg-- // retry the same page on another account
 			continue
 		}
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, friends...)
-		if !more {
+		out = append(out, res.items...)
+		if !res.more {
 			return out, nil
 		}
 	}

@@ -179,57 +179,71 @@ func (f *Fetcher) backoffDelay(key string, attempt int) time.Duration {
 }
 
 // withTimeout runs fn under the per-request timeout and the batch context.
-// An overrunning call is abandoned: it finishes on its own goroutine and
-// its outcome is discarded.
-func (f *Fetcher) withTimeout(ctx context.Context, fn func() error) error {
+// An overrunning call is abandoned: it finishes on its own goroutine with
+// its result delivered into an orphaned attempt-local buffer, so a late
+// completion can never race the retry attempt or a returned batch slot.
+func withTimeout[T any](f *Fetcher, ctx context.Context, fn func() (T, error)) (T, error) {
 	if f.Timeout <= 0 && ctx.Done() == nil {
 		return fn()
 	}
-	done := make(chan error, 1)
-	go func() { done <- fn() }()
+	type outcome struct {
+		v   T
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := fn()
+		done <- outcome{v: v, err: err}
+	}()
 	var timeout <-chan time.Time
 	if f.Timeout > 0 {
 		timer := time.NewTimer(f.Timeout)
 		defer timer.Stop()
 		timeout = timer.C
 	}
+	var zero T
 	select {
-	case err := <-done:
-		return err
+	case o := <-done:
+		return o.v, o.err
 	case <-timeout:
-		return fmt.Errorf("%w after %v", ErrTimeout, f.Timeout)
+		return zero, fmt.Errorf("%w after %v", ErrTimeout, f.Timeout)
 	case <-ctx.Done():
-		return ctx.Err()
+		return zero, ctx.Err()
 	}
 }
 
 // call issues one logical request: it rotates accounts on suspension,
 // counts every attempt in the effort tally (and the obs counters when
-// instrumented), and retries transient failures with backoff. When the
-// context carries a trace, each logical request gets its own span under
-// the batch span. Terminal platform verdicts (ErrHidden, ErrNotFound, ...)
-// are returned unwrapped for callers to branch on.
-func (f *Fetcher) call(ctx context.Context, key string, c category, fn func(acct int) error) error {
+// instrumented), and retries transient failures with backoff. It returns
+// the value of the attempt that actually concluded. When the context
+// carries a trace, each logical request gets its own span under the batch
+// span. Terminal platform verdicts (ErrHidden, ErrNotFound, ...) are
+// returned unwrapped for callers to branch on.
+func call[T any](f *Fetcher, ctx context.Context, key string, c category, fn func(acct int) (T, error)) (T, error) {
 	_, span := obs.StartSpan(ctx, key)
 	defer span.End()
+	var zero T
 	attempt := 0
 	for {
 		if err := ctx.Err(); err != nil {
-			return err
+			return zero, err
 		}
 		acct, err := f.account()
 		if err != nil {
-			return err
+			return zero, err
 		}
 		f.mu.Lock()
 		*c.bucket(&f.effort)++
 		f.mu.Unlock()
 		f.m.request(c)
+		var v T
 		err = f.m.timed(func() error {
-			return f.withTimeout(ctx, func() error { return fn(acct) })
+			var err error
+			v, err = withTimeout(f, ctx, func() (T, error) { return fn(acct) })
+			return err
 		})
 		if err == nil {
-			return nil
+			return v, nil
 		}
 		if errors.Is(err, osn.ErrSuspended) {
 			// Account rotation, not a retry: the request itself is
@@ -238,14 +252,14 @@ func (f *Fetcher) call(ctx context.Context, key string, c category, fn func(acct
 			continue
 		}
 		if !IsTransient(err) {
-			return err
+			return zero, err
 		}
 		if attempt >= f.maxRetries() {
 			f.mu.Lock()
 			*c.bucket(&f.failures)++
 			f.mu.Unlock()
 			f.m.failure(c)
-			return err
+			return zero, err
 		}
 		f.mu.Lock()
 		*c.bucket(&f.retries)++
@@ -348,14 +362,14 @@ func (f *Fetcher) ProfilesContext(ctx context.Context, ids []osn.PublicID) ([]*o
 	defer span.End()
 	out := make([]*osn.PublicProfile, len(ids))
 	err := f.forEach(ctx, len(ids), func(ctx context.Context, i int) error {
-		return f.call(ctx, "profile/"+string(ids[i]), catProfile, func(acct int) error {
-			pp, err := f.client.Profile(acct, ids[i])
-			if err != nil {
-				return fmt.Errorf("crawler: profile %s: %w", ids[i], err)
-			}
-			out[i] = pp
-			return nil
+		pp, err := call(f, ctx, "profile/"+string(ids[i]), catProfile, func(acct int) (*osn.PublicProfile, error) {
+			return f.client.Profile(acct, ids[i])
 		})
+		if err != nil {
+			return fmt.Errorf("crawler: profile %s: %w", ids[i], err)
+		}
+		out[i] = pp // committed on the worker goroutine, never by an abandoned attempt
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -380,13 +394,10 @@ func (f *Fetcher) FriendListsContext(ctx context.Context, ids []osn.PublicID) ([
 	out := make([][]osn.FriendRef, len(ids))
 	err := f.forEach(ctx, len(ids), func(ctx context.Context, i int) error {
 		var friends []osn.FriendRef
-		for page := 0; ; page++ {
-			var batch []osn.FriendRef
-			var more bool
-			err := f.call(ctx, fmt.Sprintf("friends/%s/%d", ids[i], page), catFriend, func(acct int) error {
-				var err error
-				batch, more, err = f.client.FriendPage(acct, ids[i], page)
-				return err
+		for pg := 0; ; pg++ {
+			res, err := call(f, ctx, fmt.Sprintf("friends/%s/%d", ids[i], pg), catFriend, func(acct int) (page[osn.FriendRef], error) {
+				batch, more, err := f.client.FriendPage(acct, ids[i], pg)
+				return page[osn.FriendRef]{items: batch, more: more}, err
 			})
 			if errors.Is(err, osn.ErrHidden) {
 				return nil // nil entry
@@ -394,8 +405,8 @@ func (f *Fetcher) FriendListsContext(ctx context.Context, ids []osn.PublicID) ([
 			if err != nil {
 				return fmt.Errorf("crawler: friends of %s: %w", ids[i], err)
 			}
-			friends = append(friends, batch...)
-			if !more {
+			friends = append(friends, res.items...)
+			if !res.more {
 				if friends == nil {
 					// Distinguish "visible but empty" from "hidden".
 					friends = []osn.FriendRef{}

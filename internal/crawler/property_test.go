@@ -347,6 +347,35 @@ func TestFetcherTimeoutRetries(t *testing.T) {
 	}
 }
 
+// TestSessionTimeoutRetries: a session call that hangs past the per-request
+// timeout is abandoned and retried; the abandoned call's late completion
+// must not race the retry's result (each attempt's value travels over its
+// own channel, so run this under -race).
+func TestSessionTimeoutRetries(t *testing.T) {
+	m := newScriptClient(2)
+	release := make(chan struct{})
+	m.block["slow"] = release
+	s := NewSession(m)
+	s.Backoff = func(int) {}
+	s.Timeout = 20 * time.Millisecond
+	pp, err := s.FetchProfile("slow")
+	// Release the abandoned first attempt while the result is still live,
+	// so a shared-variable write would be caught by the race detector.
+	close(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp == nil || pp.ID != "slow" {
+		t.Fatalf("profile = %v, want slow", pp)
+	}
+	if s.Retries.ProfileRequests == 0 {
+		t.Fatal("timeout retry not tallied")
+	}
+	if s.Effort.ProfileRequests != 1 {
+		t.Fatalf("effort counts %d profile requests, want 1 logical request", s.Effort.ProfileRequests)
+	}
+}
+
 // TestFetcherContextCancellation: cancelling the batch context stops the
 // crawl and surfaces the cancellation.
 func TestFetcherContextCancellation(t *testing.T) {

@@ -82,7 +82,10 @@ func BuildParallel(ctx context.Context, f *crawler.Fetcher, sel []core.Inferred)
 	var visIdx []int
 	var visIDs []osn.PublicID
 	for i, pp := range profiles {
-		if pp.FriendListVisible {
+		// A nil profile is an item the fetcher's Tolerance absorbed; skip it
+		// so a tolerant crawl degrades per-item, like the sequential path
+		// under a failure budget.
+		if pp != nil && pp.FriendListVisible {
 			visIdx = append(visIdx, i)
 			visIDs = append(visIDs, ids[i])
 		}
@@ -119,6 +122,9 @@ func assemble(sel []core.Inferred, profiles []*osn.PublicProfile, lists [][]osn.
 	}
 	recovered := make(map[osn.PublicID]map[osn.PublicID]bool)
 	for i, s := range sel {
+		if profiles[i] == nil {
+			continue // absorbed by a tolerant fetcher: no profile, no list
+		}
 		d.Profiles[s.ID] = profiles[i]
 		if lists[i] == nil {
 			continue

@@ -253,12 +253,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	f := r.fam(name, help, "counter", nil)
-	m := f.get(labels)
-	if m.c == nil {
-		m.c = &Counter{}
-	}
-	return m.c
+	return r.fam(name, help, "counter", nil).get(labels).c
 }
 
 // Gauge returns the gauge for name+labels, creating it on first use.
@@ -266,12 +261,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	f := r.fam(name, help, "gauge", nil)
-	m := f.get(labels)
-	if m.g == nil {
-		m.g = &Gauge{}
-	}
-	return m.g
+	return r.fam(name, help, "gauge", nil).get(labels).g
 }
 
 // Histogram returns the histogram for name+labels, creating it on first
@@ -284,15 +274,12 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if bounds == nil {
 		bounds = DefLatencyBuckets
 	}
-	f := r.fam(name, help, "histogram", bounds)
-	m := f.get(labels)
-	if m.h == nil {
-		m.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
-	}
-	return m.h
+	return r.fam(name, help, "histogram", bounds).get(labels).h
 }
 
-// get returns the series for the labels, creating it under the family lock.
+// get returns the series for the labels, creating it — typed handle
+// included — under the family lock, so two goroutines racing to create
+// the same series always end up sharing one handle.
 func (f *family) get(labels []Label) *metric {
 	key := renderLabels(labels)
 	f.mu.Lock()
@@ -300,6 +287,14 @@ func (f *family) get(labels []Label) *metric {
 	m := f.series[key]
 	if m == nil {
 		m = &metric{labels: key}
+		switch f.typ {
+		case "counter":
+			m.c = &Counter{}
+		case "gauge":
+			m.g = &Gauge{}
+		case "histogram":
+			m.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		}
 		f.series[key] = m
 	}
 	return m

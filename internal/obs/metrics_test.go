@@ -176,6 +176,39 @@ func TestConcurrentIncObserve(t *testing.T) {
 	}
 }
 
+// TestConcurrentSeriesCreation stampedes many goroutines onto the same
+// brand-new series: every lookup must yield the one shared handle, so no
+// increment or observation may be lost. Guards the regression where typed
+// handles were allocated outside the family lock and racing creators each
+// got their own.
+func TestConcurrentSeriesCreation(t *testing.T) {
+	r := NewRegistry()
+	const workers = 32
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			r.Counter("stampede_total", "", L("k", "v")).Inc()
+			r.Gauge("stampede_depth", "").Add(1)
+			r.Histogram("stampede_seconds", "", []float64{1}).Observe(0.5)
+		}()
+	}
+	start.Done()
+	wg.Wait()
+	if got := r.Counter("stampede_total", "", L("k", "v")).Value(); got != workers {
+		t.Errorf("counter = %v, want %d (lost increments from racing creation)", got, workers)
+	}
+	if got := r.Gauge("stampede_depth", "").Value(); got != workers {
+		t.Errorf("gauge = %v, want %d", got, workers)
+	}
+	if got := r.Histogram("stampede_seconds", "", []float64{1}).Count(); got != workers {
+		t.Errorf("histogram count = %v, want %d", got, workers)
+	}
+}
+
 func TestNilRegistryAndMetricsAreNoops(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x", "")

@@ -163,7 +163,11 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	}
 	t := parent.trace
 	t.mu.Lock()
-	if t.spans >= t.MaxSpans {
+	max := t.MaxSpans
+	if max <= 0 {
+		max = 10000 // the documented default, resolved at use so literal Traces work too
+	}
+	if t.spans >= max {
 		t.dropped++
 		t.mu.Unlock()
 		return ctx, nil

@@ -105,6 +105,23 @@ func TestSpanCapDropsNotPanics(t *testing.T) {
 	}
 }
 
+// TestZeroMaxSpansMeansDefault: MaxSpans documents zero as "the default of
+// 10000", so a trace whose MaxSpans was reset to zero (or built as a
+// literal) must still record children rather than dropping every span.
+func TestZeroMaxSpansMeansDefault(t *testing.T) {
+	tr := NewTrace("run")
+	tr.MaxSpans = 0
+	ctx := tr.Context(context.Background())
+	_, s := StartSpan(ctx, "child")
+	if s == nil {
+		t.Fatal("span dropped with MaxSpans = 0; documented default not applied")
+	}
+	s.End()
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", tr.Dropped())
+	}
+}
+
 func TestConcurrentSpans(t *testing.T) {
 	tr := NewTrace("run")
 	ctx := tr.Context(context.Background())
