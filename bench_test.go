@@ -7,8 +7,10 @@
 package hsprofiler
 
 import (
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hsprofiler/internal/core"
@@ -17,6 +19,7 @@ import (
 	"hsprofiler/internal/experiments"
 	"hsprofiler/internal/extend"
 	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
 	"hsprofiler/internal/worldgen"
 )
 
@@ -414,6 +417,74 @@ func BenchmarkAblationFilterRules(b *testing.B) {
 			}
 			b.ReportMetric(fps, "fp@400")
 		})
+	}
+}
+
+// BenchmarkPlatformConcurrent measures aggregate read throughput of the
+// two-plane platform: each worker owns an account and replays a mixed
+// Profile / FriendPage / SchoolSearch workload against the frozen read
+// plane. Run with -cpu 1,4,8 to see the lock-free read path scale; the
+// control plane only takes the worker's own shard lock per request.
+func BenchmarkPlatformConcurrent(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	const workers = 64
+	toks := make([]string, workers)
+	for i := range toks {
+		tok, err := p.RegisterAccount(fmt.Sprintf("bench%d", i), sim.Date{Year: 1980, Month: 1, Day: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		toks[i] = tok
+	}
+	// Targets: searchable profiles with stranger-visible friend lists, so
+	// every request in the loop is a served read.
+	first, _, err := p.SchoolSearch(toks[0], 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var targets []osn.PublicID
+	for _, sr := range first {
+		pp, err := p.Profile(toks[0], sr.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pp.FriendListVisible {
+			targets = append(targets, sr.ID)
+		}
+	}
+	if len(targets) == 0 {
+		b.Fatal("no visible friend lists in world")
+	}
+	var next, failures atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tok := toks[int(next.Add(1)-1)%workers]
+		i := 0
+		for pb.Next() {
+			id := targets[i%len(targets)]
+			var err error
+			switch i % 3 {
+			case 0:
+				_, err = p.Profile(tok, id)
+			case 1:
+				_, _, err = p.FriendPage(tok, id, 0)
+			default:
+				_, _, err = p.SchoolSearch(tok, 0, i%4)
+			}
+			if err != nil {
+				failures.Add(1)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if failures.Load() != 0 {
+		b.Fatalf("%d requests failed", failures.Load())
 	}
 }
 

@@ -7,6 +7,7 @@
 //	osnd -scenario hs1 -no-reverse-lookup   # the §8 countermeasure
 //	osnd -scenario hs1 -faults 0.1          # serve a hostile platform
 //	osnd -scenario hs1 -metrics-addr :9090  # Prometheus /metrics + pprof
+//	osnd -scenario hs1 -manifest-out run.json  # provenance record on shutdown
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (same seed + same request sequence = same faults)")
 	faultLatency := flag.Duration("fault-latency", 0, "max injected latency; applied to roughly a quarter of requests (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /healthz and net/http/pprof on this address (empty = disabled)")
+	manifestOut := flag.String("manifest-out", "", "write a JSON run manifest (params, freeze-phase timing, request counters) to this file on shutdown")
 	flag.Parse()
 
 	var w *worldgen.World
@@ -89,21 +91,33 @@ func main() {
 		pol.HiddenListsInReverseLookup = false
 	}
 
-	platform := osn.NewPlatform(w, pol, osn.Config{
+	// The registry and trace exist whenever any observability output wants
+	// them; nil keeps the obs layer a no-op otherwise.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *manifestOut != "" {
+		reg = obs.NewRegistry()
+	}
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *manifestOut != "" {
+		tr = obs.NewTrace("osnd")
+		ctx = tr.Context(ctx)
+	}
+
+	// Building the platform under the trace records the construction-time
+	// freeze (the read-plane snapshot) as its own phase, so the manifest
+	// separates freeze cost from serving; Instrument registers the
+	// per-plane request and per-shard contention series on /metrics.
+	platform := osn.NewPlatformContext(ctx, w, pol, osn.Config{
 		SearchPerAccount: *searchCap,
 		RequestBudget:    *budget,
 		ThrottleLimit:    *throttleLimit,
 		ThrottleWindow:   *throttleWindow,
-	})
+	}).Instrument(reg)
 	for _, s := range platform.Schools() {
 		fmt.Printf("serving school %q (%s)\n", s.Name, s.City)
 	}
-	fmt.Printf("osnd: %s policy on %s\n", pol.Name, *addr)
-
-	var reg *obs.Registry
-	if *metricsAddr != "" {
-		reg = obs.NewRegistry()
-	}
+	fmt.Printf("osnd: %s policy on %s (read plane frozen in %s)\n", pol.Name, *addr, platform.FreezeDuration().Round(time.Millisecond))
 	// The injector's middleware wraps outside the instrumented server, so
 	// injected 503s land in faults_injected_total, not in the platform's
 	// own throttle series.
@@ -172,6 +186,40 @@ func main() {
 	if injector != nil {
 		fmt.Printf("osnd: %s\n", injector.Stats())
 	}
+	if *manifestOut != "" {
+		writeManifest(*manifestOut, tr, reg, map[string]any{
+			"addr": *addr, "policy": pol.Name, "scenario": *scenario, "world": *worldFile,
+			"search-cap": *searchCap, "request-budget": *budget,
+			"throttle-limit": *throttleLimit, "throttle-window": throttleWindow.String(),
+			"faults": *faultRate,
+		})
+	}
+}
+
+// writeManifest dumps the serve run's manifest: flags, the osn.freeze span
+// as a phase, and the final counter values (plane request totals, shard
+// contention, faults).
+func writeManifest(path string, tr *obs.Trace, reg *obs.Registry, params map[string]any) {
+	tr.Finish()
+	m := obs.NewManifest("osnd")
+	for k, v := range params {
+		m.SetParam(k, v)
+	}
+	m.AddTrace(tr)
+	m.AddCounters(reg)
+	m.Finish()
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("osnd: manifest -> %s\n", path)
 }
 
 // metricsMux assembles the observability endpoint: Prometheus exposition,

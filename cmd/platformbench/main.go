@@ -1,0 +1,188 @@
+// Command platformbench measures the platform's aggregate read throughput
+// at several GOMAXPROCS settings and writes the result as JSON, the CI
+// artefact that tracks how the two-plane refactor scales. Each setting
+// runs the same mixed Profile / FriendPage / SchoolSearch workload as the
+// root BenchmarkPlatformConcurrent, spread over per-worker accounts.
+//
+// Usage:
+//
+//	platformbench -out BENCH_platform.json
+//	platformbench -procs 1,4,8 -scenario tiny
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/worldgen"
+)
+
+// Result is one GOMAXPROCS point of the sweep.
+type Result struct {
+	Procs       int     `json:"procs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the full BENCH_platform.json document.
+type Report struct {
+	Scenario   string    `json:"scenario"`
+	Seed       uint64    `json:"seed"`
+	Workers    int       `json:"workers"`
+	NumCPU     int       `json:"num_cpu"`
+	GoVersion  string    `json:"go_version"`
+	Results    []Result  `json:"results"`
+	SpeedupMax float64   `json:"speedup_max_vs_1"`
+	FrozenIn   string    `json:"freeze_duration"`
+	Timestamp  time.Time `json:"timestamp"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_platform.json", "output JSON path (- for stdout)")
+	scenario := flag.String("scenario", "tiny", "world scenario: tiny, hs1, hs2, hs3")
+	seed := flag.Uint64("seed", 11, "world seed")
+	procsFlag := flag.String("procs", "1,4,8", "comma-separated GOMAXPROCS settings to sweep")
+	workers := flag.Int("workers", 64, "accounts hammering the platform")
+	flag.Parse()
+
+	var cfg worldgen.Config
+	switch *scenario {
+	case "tiny":
+		cfg = worldgen.TinyConfig()
+	case "hs1":
+		cfg = worldgen.HS1Config()
+	case "hs2":
+		cfg = worldgen.HS2Config()
+	case "hs3":
+		cfg = worldgen.HS3Config()
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+	var procs []int
+	for _, s := range strings.Split(*procsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -procs entry %q", s))
+		}
+		procs = append(procs, n)
+	}
+
+	w, err := worldgen.Generate(cfg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	toks := make([]string, *workers)
+	for i := range toks {
+		tok, err := p.RegisterAccount(fmt.Sprintf("bench%d", i), sim.Date{Year: 1980, Month: 1, Day: 1})
+		if err != nil {
+			fatal(err)
+		}
+		toks[i] = tok
+	}
+	first, _, err := p.SchoolSearch(toks[0], 0, 0)
+	if err != nil {
+		fatal(err)
+	}
+	var targets []osn.PublicID
+	for _, sr := range first {
+		pp, err := p.Profile(toks[0], sr.ID)
+		if err != nil {
+			fatal(err)
+		}
+		if pp.FriendListVisible {
+			targets = append(targets, sr.ID)
+		}
+	}
+	if len(targets) == 0 {
+		fatal(fmt.Errorf("no visible friend lists in %s world", *scenario))
+	}
+
+	rep := Report{
+		Scenario:  *scenario,
+		Seed:      *seed,
+		Workers:   *workers,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		FrozenIn:  p.FreezeDuration().String(),
+		Timestamp: time.Now().UTC(),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, n := range procs {
+		runtime.GOMAXPROCS(n)
+		br := testing.Benchmark(func(b *testing.B) {
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				tok := toks[int(next.Add(1)-1)%len(toks)]
+				i := 0
+				for pb.Next() {
+					id := targets[i%len(targets)]
+					switch i % 3 {
+					case 0:
+						p.Profile(tok, id)
+					case 1:
+						p.FriendPage(tok, id, 0)
+					default:
+						p.SchoolSearch(tok, 0, i%4)
+					}
+					i++
+				}
+			})
+		})
+		nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+		rep.Results = append(rep.Results, Result{
+			Procs:       n,
+			NsPerOp:     nsPerOp,
+			OpsPerSec:   1e9 / nsPerOp,
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "platformbench: GOMAXPROCS=%d  %.0f ns/op  %.0f ops/sec  %d B/op\n",
+			n, nsPerOp, 1e9/nsPerOp, br.AllocedBytesPerOp())
+	}
+	if len(rep.Results) > 1 && rep.Results[0].Procs == 1 {
+		base := rep.Results[0].OpsPerSec
+		for _, r := range rep.Results[1:] {
+			if s := r.OpsPerSec / base; s > rep.SpeedupMax {
+				rep.SpeedupMax = s
+			}
+		}
+	}
+
+	f := os.Stdout
+	if *out != "-" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "platformbench: wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "platformbench: %v\n", err)
+	os.Exit(1)
+}

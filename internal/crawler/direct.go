@@ -11,6 +11,13 @@ import (
 // issues the same logical requests as the HTTP client, one platform call
 // per would-be HTTP GET, so effort accounting is identical; tests and
 // benchmarks use it to run the full attack without a network stack.
+//
+// Direct is safe for concurrent use by multiple goroutines once
+// registration is done: every read goes to the platform's immutable read
+// plane, and the per-account control state is locked inside the platform
+// (token-sharded). Results returned through the Client interface are
+// shared views — callers must treat them as read-only, which Session
+// already does (it copies what it keeps).
 type Direct struct {
 	platform *osn.Platform
 	tokens   []string

@@ -60,12 +60,13 @@ func AuxHiddenLinks(l *Lab, sc Scenario) ([]HiddenLinkPoint, *report.Table, erro
 	for id := range dossier.RecoveredFriends {
 		hiddenIDs = append(hiddenIDs, id)
 	}
+	frozen := world.Frozen()
 	trueLinks := 0
 	for i := 0; i < len(hiddenIDs); i++ {
 		ui, _ := platform.UserIDOf(hiddenIDs[i])
 		for j := i + 1; j < len(hiddenIDs); j++ {
 			uj, _ := platform.UserIDOf(hiddenIDs[j])
-			if world.Graph.AreFriends(ui, uj) {
+			if frozen.AreFriends(ui, uj) {
 				trueLinks++
 			}
 		}
@@ -82,7 +83,7 @@ func AuxHiddenLinks(l *Lab, sc Scenario) ([]HiddenLinkPoint, *report.Table, erro
 		for _, lk := range links {
 			a, _ := platform.UserIDOf(lk.A)
 			b, _ := platform.UserIDOf(lk.B)
-			if world.Graph.AreFriends(a, b) {
+			if frozen.AreFriends(a, b) {
 				correct++
 			}
 		}

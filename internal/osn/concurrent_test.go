@@ -1,0 +1,327 @@
+package osn
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/worldgen"
+)
+
+// concurrentWorld is shared by the serving-equivalence tests (generation is
+// the expensive part; the platforms under test are built fresh each time).
+var (
+	concurrentWorldOnce sync.Once
+	concurrentWorld     *worldgen.World
+)
+
+func testWorld(t testing.TB) *worldgen.World {
+	t.Helper()
+	concurrentWorldOnce.Do(func() {
+		w, err := worldgen.Generate(worldgen.TinyConfig(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		concurrentWorld = w
+	})
+	return concurrentWorld
+}
+
+// servingScript replays a fixed mixed read workload for one account and
+// records every observable output. The platform is deterministic per
+// (token, request), so the transcript must be identical no matter how many
+// other accounts are hammering the platform at the same time.
+func servingScript(p *Platform, tok string) []string {
+	var out []string
+	note := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+
+	var firstPage []SearchResult
+	for page := 0; page < 4; page++ {
+		results, more, err := p.SchoolSearch(tok, 0, page)
+		note("search p%d: %v more=%v err=%v", page, results, more, err)
+		if page == 0 {
+			firstPage = results
+		}
+	}
+	city := p.Schools()[0].City
+	cres, cmore, cerr := p.CitySearch(tok, city, 0)
+	note("city: %v more=%v err=%v", cres, cmore, cerr)
+	gres, gmore, gerr := p.GraphSearch(tok, GraphQuery{SchoolID: 0, CurrentStudents: true}, 0)
+	note("graph: %v more=%v err=%v", gres, gmore, gerr)
+
+	n := len(firstPage)
+	if n > 8 {
+		n = 8
+	}
+	for _, sr := range firstPage[:n] {
+		pp, err := p.Profile(tok, sr.ID)
+		if err != nil {
+			note("profile %s: err=%v", sr.ID, err)
+			continue
+		}
+		note("profile %s: name=%s hs=%s gy=%d flv=%v searchable=%v",
+			pp.ID, pp.Name, pp.HighSchool, pp.GradYear, pp.FriendListVisible, pp.Searchable)
+		for page := 0; page < 2; page++ {
+			friends, more, err := p.FriendPage(tok, sr.ID, page)
+			note("friends %s p%d: %v more=%v err=%v", sr.ID, page, friends, more, err)
+		}
+	}
+	return out
+}
+
+// TestConcurrentServingMatchesSequential is the read-plane correctness
+// property: N accounts hammering Search/Profile/FriendPage in parallel
+// observe exactly what a sequential replay observes. Run under -race this
+// also proves the two-plane split has no data races.
+func TestConcurrentServingMatchesSequential(t *testing.T) {
+	w := testWorld(t)
+	const accounts = 8
+	build := func() (*Platform, []string) {
+		p := NewPlatform(w, Facebook(), Config{SearchPerAccount: 60})
+		toks := make([]string, accounts)
+		for i := range toks {
+			tok, err := p.RegisterAccount(fmt.Sprintf("acct%d", i), sim.Date{Year: 1980, Month: 2, Day: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			toks[i] = tok
+		}
+		return p, toks
+	}
+
+	seqP, seqToks := build()
+	want := make([][]string, accounts)
+	for i, tok := range seqToks {
+		want[i] = servingScript(seqP, tok)
+	}
+
+	// Tokens are assigned from a sequence, so a fresh platform registered
+	// in the same order hands out the same tokens — and therefore the same
+	// per-account views.
+	conP, conToks := build()
+	if !reflect.DeepEqual(seqToks, conToks) {
+		t.Fatalf("token assignment not deterministic: %v vs %v", seqToks, conToks)
+	}
+	got := make([][]string, accounts)
+	var wg sync.WaitGroup
+	for i, tok := range conToks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Two passes: the second hits the cached search views.
+			got[i] = servingScript(conP, tok)
+			if rerun := servingScript(conP, tok); !reflect.DeepEqual(rerun, got[i]) {
+				t.Errorf("account %d: second pass diverged", i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("account %d: concurrent transcript diverged from sequential replay:\nseq: %v\ncon: %v",
+				i, want[i], got[i])
+		}
+	}
+}
+
+// TestShardBudgetUnderContention proves the control plane counts exactly:
+// with a request budget of B, exactly B requests succeed no matter how
+// many goroutines race on the account, and every later request reports
+// suspension.
+func TestShardBudgetUnderContention(t *testing.T) {
+	const budget = 100
+	p := testPlatform(t, Config{RequestBudget: budget})
+	tok := attacker(t, p)
+	id := someVisibleProfile(t, p)
+
+	var served, suspended, other atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ { // 320 attempts total
+				_, err := p.Profile(tok, id)
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrSuspended):
+					suspended.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if served.Load() != budget {
+		t.Fatalf("served %d requests, budget is %d", served.Load(), budget)
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d unexpected errors", other.Load())
+	}
+	if _, err := p.Profile(tok, id); !errors.Is(err, ErrSuspended) {
+		t.Fatalf("account not suspended after budget: %v", err)
+	}
+}
+
+// TestShardThrottleUnderContention: with a fixed clock and limit L, exactly
+// L concurrent requests pass the throttle.
+func TestShardThrottleUnderContention(t *testing.T) {
+	const limit = 50
+	p := testPlatform(t, Config{ThrottleLimit: limit, ThrottleWindow: time.Minute})
+	now := time.Unix(5000, 0)
+	p.SetClock(func() time.Time { return now })
+	tok := attacker(t, p)
+	id := someVisibleProfile(t, p)
+
+	var served, throttled atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ { // 160 attempts
+				_, err := p.Profile(tok, id)
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrThrottled):
+					throttled.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if served.Load() != limit {
+		t.Fatalf("served %d, limit %d", served.Load(), limit)
+	}
+	if throttled.Load() != 160-limit {
+		t.Fatalf("throttled %d, want %d", throttled.Load(), 160-limit)
+	}
+}
+
+// TestConcurrentRegistration: racing registrations all get distinct,
+// immediately usable tokens.
+func TestConcurrentRegistration(t *testing.T) {
+	p := testPlatform(t, Config{})
+	const n = 64
+	toks := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tok, err := p.RegisterAccount(fmt.Sprintf("r%d", i), sim.Date{Year: 1980, Month: 1, Day: 1})
+			if err != nil {
+				t.Errorf("register %d: %v", i, err)
+				return
+			}
+			if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+				t.Errorf("fresh token %q rejected: %v", tok, err)
+			}
+			toks[i] = tok
+		}()
+	}
+	wg.Wait()
+	seen := make(map[string]bool, n)
+	for _, tok := range toks {
+		if seen[tok] {
+			t.Fatalf("duplicate token %q", tok)
+		}
+		seen[tok] = true
+	}
+}
+
+// someVisibleProfile returns the public ID of an account holder with a
+// stranger-visible friend list.
+func someVisibleProfile(t testing.TB, p *Platform) PublicID {
+	t.Helper()
+	for _, person := range p.world.People {
+		if person.HasAccount && p.read.friendVisible[person.ID] {
+			return p.pub[person.ID]
+		}
+	}
+	t.Fatal("no visible profile in world")
+	return ""
+}
+
+// TestReadPlaneZeroAlloc guards the satellite fix for the allocating
+// Graph.Friends hot path: profile renders and friend pages are served
+// entirely from the frozen read plane — zero allocations per request.
+func TestReadPlaneZeroAlloc(t *testing.T) {
+	p := testPlatform(t, Config{})
+	tok := attacker(t, p)
+	id := someVisibleProfile(t, p)
+	if _, err := p.Profile(tok, id); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.Profile(tok, id); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.FriendPage(tok, id, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("read plane allocates %v allocs per request pair, want 0", allocs)
+	}
+}
+
+// TestConfigThrottleWindowDefault covers the withDefaults fix: a positive
+// limit with a zero window used to yield a cutoff of "now", so the window
+// never held any request and the limiter silently never fired.
+func TestConfigThrottleWindowDefault(t *testing.T) {
+	p := testPlatform(t, Config{ThrottleLimit: 2}) // no window given
+	now := time.Unix(1000, 0)
+	p.SetClock(func() time.Time { return now })
+	tok := attacker(t, p)
+	for i := 0; i < 2; i++ {
+		if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if _, _, err := p.SchoolSearch(tok, 0, 0); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("limiter did not fire with defaulted window: %v", err)
+	}
+	// The default window must actually drain.
+	now = now.Add(DefaultConfig().ThrottleWindow + time.Second)
+	if _, _, err := p.SchoolSearch(tok, 0, 0); err != nil {
+		t.Fatalf("window did not drain: %v", err)
+	}
+}
+
+// TestConfigNegativeValuesNormalized: negative knobs cannot smuggle in
+// broken behaviour.
+func TestConfigNegativeValuesNormalized(t *testing.T) {
+	c := Config{
+		SearchPerAccount: -1,
+		SearchPageSize:   -2,
+		FriendPageSize:   -3,
+		RequestBudget:    -4,
+		ThrottleLimit:    -5,
+		ThrottleWindow:   -time.Second,
+	}.withDefaults()
+	d := DefaultConfig()
+	if c.SearchPerAccount != d.SearchPerAccount || c.SearchPageSize != d.SearchPageSize ||
+		c.FriendPageSize != d.FriendPageSize {
+		t.Fatalf("negative sizes not defaulted: %+v", c)
+	}
+	if c.RequestBudget != 0 {
+		t.Fatalf("negative budget not normalized to unlimited: %d", c.RequestBudget)
+	}
+	if c.ThrottleLimit != 0 {
+		t.Fatalf("negative throttle limit not normalized to disabled: %d", c.ThrottleLimit)
+	}
+	if c.ThrottleWindow != d.ThrottleWindow {
+		t.Fatalf("negative window not defaulted: %v", c.ThrottleWindow)
+	}
+}

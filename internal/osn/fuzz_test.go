@@ -11,13 +11,17 @@ import (
 // property, tested by mutation: no matter how a registered minor's privacy
 // switches are flipped, the stranger view stays minimal; and for adults,
 // every shown field corresponds to an enabled setting.
+//
+// The platform freezes profiles at construction, so the mutation loop
+// exercises renderProfile — the exact resolution step the freeze runs per
+// user — rather than rebuilding a platform per trial.
 func TestPolicyCapUnderSettingMutation(t *testing.T) {
 	w, err := worldgen.Generate(worldgen.TinyConfig(), 99)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := NewPlatform(w, Facebook(), Config{})
-	tok := attacker(t, p)
+	pol := Facebook()
+	p := NewPlatform(w, pol, Config{})
 	rng := sim.New(77)
 
 	var holders []*worldgen.Person
@@ -45,11 +49,7 @@ func TestPolicyCapUnderSettingMutation(t *testing.T) {
 		person.ListsCity = rng.Bool(0.5)
 		person.ListsGradSchool = rng.Bool(0.5)
 
-		id, _ := p.PublicIDOf(person.ID)
-		pp, err := p.Profile(tok, id)
-		if err != nil {
-			t.Fatal(err)
-		}
+		pp := renderProfile(w, pol, p.pub, person.ID, person.RegisteredMinorAt(w.Now))
 		if person.RegisteredMinorAt(w.Now) {
 			if !pp.Minimal() {
 				t.Fatalf("trial %d: registered minor escaped the cap: %+v (settings %+v)",
@@ -92,7 +92,6 @@ func TestGooglePlusCapUnderMutation(t *testing.T) {
 	}
 	pol := GooglePlus()
 	p := NewPlatform(w, pol, Config{})
-	tok := attacker(t, p)
 	rng := sim.New(88)
 
 	var minors []*worldgen.Person
@@ -111,11 +110,7 @@ func TestGooglePlusCapUnderMutation(t *testing.T) {
 		person.Privacy.ShowBirthday = rng.Bool(0.5)
 		person.ListsSchool = rng.Bool(0.5)
 
-		id, _ := p.PublicIDOf(person.ID)
-		pp, err := p.Profile(tok, id)
-		if err != nil {
-			t.Fatal(err)
-		}
+		pp := renderProfile(w, pol, p.pub, person.ID, person.RegisteredMinorAt(w.Now))
 		// Relationship and contact are outside the G+ minor cap.
 		if pp.Relationship || pp.ContactInfo {
 			t.Fatalf("trial %d: G+ minor exposed capped field: %+v", trial, pp)

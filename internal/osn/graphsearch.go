@@ -54,6 +54,7 @@ func (p *Platform) GraphSearch(token string, q GraphQuery, page int) (results []
 	if err := p.charge(token); err != nil {
 		return nil, false, err
 	}
+	p.readReq.Inc()
 	if q.SchoolID < 0 || q.SchoolID >= len(p.searchIndex) {
 		return nil, false, ErrNoSchool
 	}
@@ -65,7 +66,9 @@ func (p *Platform) GraphSearch(token string, q GraphQuery, page int) (results []
 	view := p.accountView(token, q.SchoolID)
 	var matched []SearchResult
 	for _, u := range view {
-		pp := p.renderProfile(u)
+		// The read plane pre-resolved every stranger view at freeze time;
+		// Graph Search filters over those immutable profiles lock-free.
+		pp := p.read.profiles[u]
 		if q.matches(pp, school.Name, currentYear) {
 			matched = append(matched, SearchResult{ID: pp.ID, Name: pp.Name})
 		}

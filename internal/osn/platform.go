@@ -1,14 +1,15 @@
 package osn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
+	"hsprofiler/internal/obs"
 	"hsprofiler/internal/sim"
 	"hsprofiler/internal/socialgraph"
 	"hsprofiler/internal/worldgen"
@@ -31,7 +32,8 @@ var (
 )
 
 // Config tunes the platform's serving behaviour. Zero values get defaults
-// from DefaultConfig.
+// from DefaultConfig; negative values are normalized (counts to their
+// defaults or "disabled", the window to the default window).
 type Config struct {
 	// SearchPerAccount caps how many distinct results one account can pull
 	// out of a school search by scrolling (the paper's "few hundred").
@@ -47,7 +49,9 @@ type Config struct {
 	// limiting: more than ThrottleLimit requests from one account within
 	// ThrottleWindow yields ErrThrottled until the window drains. This is
 	// the behaviour the paper's crawlers dodged with sleep functions.
-	// Zero ThrottleLimit disables throttling.
+	// Zero ThrottleLimit disables throttling. A positive ThrottleLimit
+	// with a zero ThrottleWindow gets the default window — a zero window
+	// would hold no requests and silently never throttle.
 	ThrottleLimit  int
 	ThrottleWindow time.Duration
 }
@@ -59,6 +63,9 @@ func DefaultConfig() Config {
 		SearchPageSize:   40,
 		FriendPageSize:   20,
 		RequestBudget:    0,
+		// ThrottleWindow only takes effect when ThrottleLimit > 0; it is
+		// the window a limit-only Config gets.
+		ThrottleWindow: time.Minute,
 	}
 }
 
@@ -73,16 +80,19 @@ func (c Config) withDefaults() Config {
 	if c.FriendPageSize <= 0 {
 		c.FriendPageSize = d.FriendPageSize
 	}
+	if c.RequestBudget < 0 {
+		c.RequestBudget = 0 // negative makes no sense; treat as unlimited
+	}
+	if c.ThrottleLimit < 0 {
+		c.ThrottleLimit = 0 // reject negatives: throttling disabled
+	}
+	if c.ThrottleWindow <= 0 {
+		// A zero (or negative) window with a positive limit would make the
+		// cutoff "now": the window never holds any request and the limiter
+		// silently misbehaves. Default it like the other fields.
+		c.ThrottleWindow = d.ThrottleWindow
+	}
 	return c
-}
-
-type account struct {
-	token     string
-	requests  int
-	suspended bool
-	// recent holds the timestamps of requests inside the throttle window
-	// (a sliding-window ring, oldest first).
-	recent []time.Time
 }
 
 // SchoolRef is the public handle of a school, as discoverable through the
@@ -106,8 +116,19 @@ type FriendRef struct {
 	Name string
 }
 
-// Platform serves a world under a policy. All exported methods are safe for
-// concurrent use (the HTTP front end calls them from many goroutines).
+// Platform serves a world under a policy. It is split into two planes:
+//
+//   - The read plane (pub/byPub, the search indexes, and the readPlane's
+//     pre-resolved profiles, friend lists and policy gates) is immutable
+//     after construction. Search, Profile, FriendPage and GraphSearch read
+//     it with no lock at all, so read throughput scales with cores.
+//   - The control plane holds the only mutable state — per-account
+//     throttle windows, request budgets, suspensions and cached search
+//     views — sharded by token hash with per-shard locks, so accounts
+//     never contend with each other.
+//
+// All exported methods are safe for concurrent use (the HTTP front end
+// calls them from many goroutines).
 type Platform struct {
 	world  *worldgen.World
 	policy *Policy
@@ -122,26 +143,43 @@ type Platform struct {
 	// cityIndex lists discoverable account holders by the current city
 	// their profile shows (lowercased key).
 	cityIndex map[string][]socialgraph.UserID
+	// read is the pre-resolved immutable serving state (the freeze step).
+	read *readPlane
+	// freezeDur is how long the freeze step took (exposed via Instrument).
+	freezeDur time.Duration
 
-	mu       sync.Mutex
-	accounts map[string]*account
-	nextAcct int
-	clock    func() time.Time
+	ctl *controlPlane
+
+	// readReq/ctlReq count requests by plane; nil until Instrument, which
+	// must run before serving starts.
+	readReq, ctlReq *obs.Counter
 }
 
 // NewPlatform builds a platform over the world. The world must not be
 // structurally mutated while the platform serves it.
 func NewPlatform(w *worldgen.World, pol *Policy, cfg Config) *Platform {
+	return NewPlatformContext(context.Background(), w, pol, cfg)
+}
+
+// NewPlatformContext is NewPlatform with the construction wrapped in an
+// "osn.freeze" trace span (a no-op without a trace in ctx): the freeze
+// step is the one-time cost that buys the lock-free read plane, and run
+// manifests should show it as a phase of its own.
+func NewPlatformContext(ctx context.Context, w *worldgen.World, pol *Policy, cfg Config) *Platform {
+	_, span := obs.StartSpan(ctx, "osn.freeze")
+	defer span.End()
+	start := time.Now()
 	p := &Platform{
-		world:    w,
-		policy:   pol,
-		cfg:      cfg.withDefaults(),
-		byPub:    make(map[PublicID]socialgraph.UserID),
-		accounts: make(map[string]*account),
-		clock:    time.Now,
+		world:  w,
+		policy: pol,
+		cfg:    cfg.withDefaults(),
+		byPub:  make(map[PublicID]socialgraph.UserID),
+		ctl:    newControlPlane(),
 	}
 	p.assignPublicIDs()
 	p.buildSearchIndex()
+	p.read = buildReadPlane(w, pol, p.pub)
+	p.freezeDur = time.Since(start)
 	return p
 }
 
@@ -155,6 +193,38 @@ func (p *Platform) Policy() *Policy { return p.policy }
 // FriendPageSize reports the pagination constant p (paper: 20), which the
 // effort model A·R + |S| + |C|·f/p needs.
 func (p *Platform) FriendPageSize() int { return p.cfg.FriendPageSize }
+
+// FrozenGraph exposes the read plane's CSR snapshot of the friendship
+// graph, for evaluation and analysis code that would otherwise hash its
+// way through the mutable graph. Attack code must not touch it.
+func (p *Platform) FrozenGraph() *socialgraph.Frozen { return p.read.frozen }
+
+// FreezeDuration reports how long the construction-time freeze step took.
+func (p *Platform) FreezeDuration() time.Duration { return p.freezeDur }
+
+// Instrument registers the platform's metrics on reg and returns p:
+// requests by plane (read vs control), per-shard contention counters, and
+// freeze-step gauges. Call before serving begins; a nil registry leaves
+// the platform un-instrumented.
+func (p *Platform) Instrument(reg *obs.Registry) *Platform {
+	if reg == nil {
+		return p
+	}
+	const reqHelp = "Platform requests by plane (read = lock-free serving, control = account state)."
+	p.readReq = reg.Counter("osn_plane_requests_total", reqHelp, obs.L("plane", "read"))
+	p.ctlReq = reg.Counter("osn_plane_requests_total", reqHelp, obs.L("plane", "control"))
+	for i := range p.ctl.shards {
+		p.ctl.shards[i].contention = reg.Counter(
+			"osn_shard_contention_total",
+			"Control-plane shard lock acquisitions that had to wait.",
+			obs.L("shard", strconv.Itoa(i)),
+		)
+	}
+	reg.Gauge("osn_freeze_seconds", "Duration of the construction-time freeze step.").Set(p.freezeDur.Seconds())
+	reg.Gauge("osn_frozen_users", "Users in the frozen social graph.").Set(float64(p.read.frozen.NumUsers()))
+	reg.Gauge("osn_frozen_edges", "Friendships in the frozen social graph.").Set(float64(p.read.frozen.NumEdges()))
+	return p
+}
 
 func (p *Platform) assignPublicIDs() {
 	rng := sim.New(p.world.Seed).Stream("publicids")
@@ -206,11 +276,12 @@ func (p *Platform) CitySearch(token, city string, page int) (results []SearchRes
 	if err := p.charge(token); err != nil {
 		return nil, false, err
 	}
+	p.readReq.Inc()
 	if page < 0 {
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
-	idx := p.cityIndex[strings.ToLower(city)]
-	view := p.capView(token, "city:"+strings.ToLower(city), idx)
+	key := strings.ToLower(city)
+	view := p.cachedResults(token, "city:"+key, p.cityIndex[key])
 	start := page * p.cfg.SearchPageSize
 	if start >= len(view) {
 		return nil, false, nil
@@ -219,10 +290,7 @@ func (p *Platform) CitySearch(token, city string, page int) (results []SearchRes
 	if end > len(view) {
 		end = len(view)
 	}
-	for _, u := range view[start:end] {
-		results = append(results, SearchResult{ID: p.pub[u], Name: p.world.People[u].DisplayName()})
-	}
-	return results, end < len(view), nil
+	return view[start:end], end < len(view), nil
 }
 
 // PublicIDOf reports the public ID of a world user, for evaluation code
@@ -248,28 +316,33 @@ func (p *Platform) RegisterAccount(name string, birth sim.Date) (token string, e
 	if birth.AgeAt(p.world.Now) < 13 {
 		return "", ErrUnderage
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.nextAcct++
-	token = fmt.Sprintf("acct-%d-%s", p.nextAcct, name)
-	p.accounts[token] = &account{token: token}
+	p.ctlReq.Inc()
+	seq := p.ctl.nextAcct.Add(1)
+	token = fmt.Sprintf("acct-%d-%s", seq, name)
+	s := p.ctl.shardFor(token)
+	s.lock()
+	s.accounts[token] = &account{token: token}
+	s.mu.Unlock()
 	return token, nil
 }
 
 // charge authenticates the token and counts one request against its budget
-// and throttle window.
+// and throttle window. It is the control-plane half of every request; the
+// only lock it takes is the token's shard.
 func (p *Platform) charge(token string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[token]
-	if !ok {
+	p.ctlReq.Inc()
+	s := p.ctl.shardFor(token)
+	s.lock()
+	defer s.mu.Unlock()
+	a := s.lookup(token)
+	if a == nil {
 		return ErrUnauthorized
 	}
 	if a.suspended {
 		return ErrSuspended
 	}
 	if p.cfg.ThrottleLimit > 0 {
-		now := p.clock()
+		now := p.ctl.now()
 		cutoff := now.Add(-p.cfg.ThrottleWindow)
 		keep := a.recent[:0]
 		for _, ts := range a.recent {
@@ -296,17 +369,16 @@ func (p *Platform) charge(token string) error {
 // SetClock replaces the platform's time source (tests use a fake clock to
 // drive the throttle window deterministically).
 func (p *Platform) SetClock(clock func() time.Time) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.clock = clock
+	p.ctl.clock.Store(clock)
 }
 
 // RequestsServed reports how many requests the account has made
 // (anti-crawl bookkeeping; visible in tests).
 func (p *Platform) RequestsServed(token string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if a, ok := p.accounts[token]; ok {
+	s := p.ctl.shardFor(token)
+	s.lock()
+	defer s.mu.Unlock()
+	if a := s.lookup(token); a != nil {
 		return a.requests
 	}
 	return 0
@@ -331,10 +403,11 @@ func (p *Platform) LookupSchool(name string) (SchoolRef, error) {
 	return SchoolRef{}, ErrNoSchool
 }
 
-// capView returns the deterministic per-account slice of a search index:
+// capView computes the deterministic per-account slice of a search index:
 // the platform shows each searcher an (account-dependent) subset capped at
 // SearchPerAccount — which is why the paper used multiple fake accounts to
-// widen the seed set. Registered minors are excluded per policy.
+// widen the seed set. Registered minors are excluded per policy (the gate
+// is pre-resolved in the read plane).
 func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []socialgraph.UserID {
 	h := uint64(17)
 	for i := 0; i < len(token); i++ {
@@ -353,7 +426,7 @@ func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []soci
 	for _, k := range perm {
 		u := idx[k]
 		// Policy: registered minors never appear in search results.
-		if !p.policy.MinorsSearchable && p.world.People[u].RegisteredMinorAt(p.world.Now) {
+		if !p.read.searchEligible[u] {
 			continue
 		}
 		out = append(out, u)
@@ -364,9 +437,69 @@ func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []soci
 	return out
 }
 
-// accountView is capView over a school's index.
+// cachedView returns the account's capped view for a scope, computing and
+// caching it in the account's control-plane state on first use (the view
+// is deterministic per (token, scope), so a racing double-compute is
+// harmless). Unknown tokens — impossible after a successful charge — fall
+// back to an uncached compute.
+func (p *Platform) cachedView(token, scope string, idx []socialgraph.UserID) []socialgraph.UserID {
+	s := p.ctl.shardFor(token)
+	s.lock()
+	a := s.lookup(token)
+	if a != nil {
+		if v, ok := a.views[scope]; ok {
+			s.mu.Unlock()
+			return v
+		}
+	}
+	s.mu.Unlock()
+	v := p.capView(token, scope, idx) // O(index) work outside the lock
+	if a != nil {
+		s.lock()
+		if a.views == nil {
+			a.views = make(map[string][]socialgraph.UserID)
+		}
+		a.views[scope] = v
+		s.mu.Unlock()
+	}
+	return v
+}
+
+// accountView is the cached capped view over a school's index.
 func (p *Platform) accountView(token string, schoolID int) []socialgraph.UserID {
-	return p.capView(token, fmt.Sprintf("school:%d", schoolID), p.searchIndex[schoolID])
+	return p.cachedView(token, "school:"+strconv.Itoa(schoolID), p.searchIndex[schoolID])
+}
+
+// cachedResults returns the account's rendered search results for a scope:
+// the capped view resolved to SearchResults once, cached in the account's
+// shard state. The search endpoints page through this slice zero-copy, so
+// steady-state searches allocate nothing. Callers must not modify the
+// returned slice.
+func (p *Platform) cachedResults(token, scope string, idx []socialgraph.UserID) []SearchResult {
+	s := p.ctl.shardFor(token)
+	s.lock()
+	a := s.lookup(token)
+	if a != nil {
+		if r, ok := a.pages[scope]; ok {
+			s.mu.Unlock()
+			return r
+		}
+	}
+	s.mu.Unlock()
+	view := p.cachedView(token, scope, idx)
+	r := make([]SearchResult, len(view))
+	for i, u := range view {
+		r[i] = SearchResult{ID: p.pub[u], Name: p.read.names[u]}
+	}
+	if a != nil {
+		s.lock()
+		if a.pages == nil {
+			a.pages = make(map[string][]SearchResult)
+		}
+		a.pages[scope] = r
+		s.mu.Unlock()
+	}
+	return r
 }
 
 // SchoolSearch returns one page of the Find-Friends results for the school
@@ -376,13 +509,14 @@ func (p *Platform) SchoolSearch(token string, schoolID, page int) (results []Sea
 	if err := p.charge(token); err != nil {
 		return nil, false, err
 	}
+	p.readReq.Inc()
 	if schoolID < 0 || schoolID >= len(p.searchIndex) {
 		return nil, false, ErrNoSchool
 	}
 	if page < 0 {
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
-	view := p.accountView(token, schoolID)
+	view := p.cachedResults(token, "school:"+strconv.Itoa(schoolID), p.searchIndex[schoolID])
 	start := page * p.cfg.SearchPageSize
 	if start >= len(view) {
 		return nil, false, nil
@@ -391,99 +525,46 @@ func (p *Platform) SchoolSearch(token string, schoolID, page int) (results []Sea
 	if end > len(view) {
 		end = len(view)
 	}
-	for _, u := range view[start:end] {
-		results = append(results, SearchResult{ID: p.pub[u], Name: p.world.People[u].DisplayName()})
-	}
-	return results, end < len(view), nil
+	return view[start:end], end < len(view), nil
 }
 
-// Profile renders the stranger view of a public profile.
+// Profile renders the stranger view of a public profile. The returned
+// profile is the read plane's shared pre-resolved instance: do not modify
+// it.
 func (p *Platform) Profile(token string, id PublicID) (*PublicProfile, error) {
 	if err := p.charge(token); err != nil {
 		return nil, err
 	}
+	p.readReq.Inc()
 	u, ok := p.byPub[id]
 	if !ok {
 		return nil, ErrNotFound
 	}
-	return p.renderProfile(u), nil
-}
-
-func (p *Platform) renderProfile(u socialgraph.UserID) *PublicProfile {
-	person := p.world.People[u]
-	regMinor := person.RegisteredMinorAt(p.world.Now)
-	vis := func(a Attribute) bool { return visibleToStranger(p.policy, person, regMinor, a) }
-
-	pp := &PublicProfile{
-		ID:       p.pub[u],
-		Name:     person.DisplayName(),
-		HasPhoto: vis(AttrProfilePhoto),
-	}
-	if vis(AttrGender) {
-		pp.Gender = person.Gender.String()
-	}
-	if vis(AttrNetworks) && person.SchoolID >= 0 {
-		pp.Network = p.world.Schools[person.SchoolID].City + " network"
-	}
-	if vis(AttrHighSchool) && person.SchoolID >= 0 {
-		pp.HighSchool = p.world.Schools[person.SchoolID].Name
-		pp.GradYear = person.GradYear
-	}
-	pp.GradSchool = vis(AttrGradSchool)
-	pp.Relationship = vis(AttrRelationship)
-	pp.InterestedIn = vis(AttrInterestedIn)
-	if vis(AttrBirthday) {
-		b := person.RegisteredBirth
-		pp.Birthday = &b
-	}
-	if vis(AttrHometown) {
-		pp.Hometown = person.Hometown
-	}
-	if vis(AttrCurrentCity) {
-		pp.CurrentCity = person.CurrentCity
-	}
-	pp.FriendListVisible = vis(AttrFriendList)
-	if vis(AttrPhotos) {
-		pp.PhotoCount = person.PhotosShared
-	}
-	pp.ContactInfo = vis(AttrContact)
-	pp.CanMessage = person.Privacy.MessageLink && (!regMinor || p.policy.MinorsMessageable)
-	pp.Searchable = person.Privacy.PublicSearch && (!regMinor || p.policy.MinorsSearchable)
-	return pp
-}
-
-// friendListVisible reports whether u's friend list is stranger-visible.
-func (p *Platform) friendListVisible(u socialgraph.UserID) bool {
-	person := p.world.People[u]
-	return visibleToStranger(p.policy, person, person.RegisteredMinorAt(p.world.Now), AttrFriendList)
+	return p.read.profiles[u], nil
 }
 
 // FriendPage returns one page (FriendPageSize entries) of a user's friend
 // list, or ErrHidden if the list is not stranger-visible. When the policy's
 // HiddenListsInReverseLookup is false (the §8 countermeasure), entries whose
 // own friend lists are hidden are omitted — they become undiscoverable by
-// reverse lookup.
+// reverse lookup. The page is a subslice of the read plane's pre-paginated
+// view: zero-copy, and not to be modified by the caller.
 func (p *Platform) FriendPage(token string, id PublicID, page int) (friends []FriendRef, more bool, err error) {
 	if err := p.charge(token); err != nil {
 		return nil, false, err
+	}
+	p.readReq.Inc()
+	if page < 0 {
+		return nil, false, fmt.Errorf("osn: negative page")
 	}
 	u, ok := p.byPub[id]
 	if !ok {
 		return nil, false, ErrNotFound
 	}
-	if !p.friendListVisible(u) {
+	if !p.read.friendVisible[u] {
 		return nil, false, ErrHidden
 	}
-	all := p.world.Graph.Friends(u)
-	if !p.policy.HiddenListsInReverseLookup {
-		kept := all[:0]
-		for _, f := range all {
-			if p.friendListVisible(f) {
-				kept = append(kept, f)
-			}
-		}
-		all = kept
-	}
+	all := p.read.friendRefs[u]
 	start := page * p.cfg.FriendPageSize
 	if start >= len(all) {
 		return nil, false, nil
@@ -492,8 +573,5 @@ func (p *Platform) FriendPage(token string, id PublicID, page int) (friends []Fr
 	if end > len(all) {
 		end = len(all)
 	}
-	for _, f := range all[start:end] {
-		friends = append(friends, FriendRef{ID: p.pub[f], Name: p.world.People[f].DisplayName()})
-	}
-	return friends, end < len(all), nil
+	return all[start:end], end < len(all), nil
 }

@@ -1,0 +1,130 @@
+package osn
+
+import (
+	"hsprofiler/internal/socialgraph"
+	"hsprofiler/internal/worldgen"
+)
+
+// readPlane is the platform's immutable serving state: everything a
+// stranger-facing request needs, pre-resolved at construction time against
+// the Table 1/Table 6 policy matrix. After the freeze step nothing here is
+// ever written again, so Search/Profile/FriendPage serve from it with no
+// lock at all — any number of goroutines, zero contention. The mutable
+// remainder (throttle windows, budgets, suspensions, cached search views)
+// lives in the sharded control plane.
+type readPlane struct {
+	// frozen is the CSR snapshot of the friendship graph.
+	frozen *socialgraph.Frozen
+	// names[u] is the display name of account holder u ("" otherwise).
+	names []string
+	// regMinor[u] reports whether the OSN believes u is under 18 at the
+	// world's collection date — the class that selects the policy cap.
+	regMinor []bool
+	// searchEligible[u] pre-resolves the search-portal policy gate: the
+	// paper's platforms never return registered minors from school or city
+	// search.
+	searchEligible []bool
+	// friendVisible[u] pre-resolves AttrFriendList stranger-visibility.
+	friendVisible []bool
+	// profiles[u] is the fully rendered stranger view of u's profile (nil
+	// for people without accounts). Served by pointer; callers must treat
+	// it as read-only.
+	profiles []*PublicProfile
+	// friendRefs[u] is u's stranger-visible friend list, pre-resolved and
+	// pre-paginated: FriendPage serves subslices of it without copying.
+	// When the policy disables reverse lookup (§8), entries whose own
+	// lists are hidden are already filtered out. nil when u's list is
+	// hidden; empty non-nil when visible but empty.
+	friendRefs [][]FriendRef
+}
+
+// buildReadPlane runs the freeze step: it resolves the policy matrix once
+// per user and materializes every stranger-visible view the serving
+// endpoints need.
+func buildReadPlane(w *worldgen.World, pol *Policy, pub []PublicID) *readPlane {
+	n := len(w.People)
+	rp := &readPlane{
+		frozen:         w.Frozen(),
+		names:          make([]string, n),
+		regMinor:       make([]bool, n),
+		searchEligible: make([]bool, n),
+		friendVisible:  make([]bool, n),
+		profiles:       make([]*PublicProfile, n),
+		friendRefs:     make([][]FriendRef, n),
+	}
+	for _, person := range w.People {
+		if !person.HasAccount {
+			continue
+		}
+		u := person.ID
+		rp.names[u] = person.DisplayName()
+		rp.regMinor[u] = person.RegisteredMinorAt(w.Now)
+		rp.searchEligible[u] = pol.MinorsSearchable || !rp.regMinor[u]
+		rp.friendVisible[u] = visibleToStranger(pol, person, rp.regMinor[u], AttrFriendList)
+		rp.profiles[u] = renderProfile(w, pol, pub, u, rp.regMinor[u])
+	}
+	// Second pass: friend lists reference other users' visibility, which
+	// the first pass has now fully resolved.
+	for _, person := range w.People {
+		if !person.HasAccount || !rp.friendVisible[person.ID] {
+			continue
+		}
+		u := person.ID
+		refs := make([]FriendRef, 0, rp.frozen.Degree(u))
+		rp.frozen.ForEachFriend(u, func(f socialgraph.UserID) {
+			if !pol.HiddenListsInReverseLookup && !rp.friendVisible[f] {
+				// §8 countermeasure: hidden-list users never appear
+				// inside other users' visible lists.
+				return
+			}
+			refs = append(refs, FriendRef{ID: pub[f], Name: rp.names[f]})
+		})
+		rp.friendRefs[u] = refs
+	}
+	return rp
+}
+
+// renderProfile resolves the stranger view of u's profile under the policy.
+// It runs once per user during the freeze step; requests serve the result
+// by pointer.
+func renderProfile(w *worldgen.World, pol *Policy, pub []PublicID, u socialgraph.UserID, regMinor bool) *PublicProfile {
+	person := w.People[u]
+	vis := func(a Attribute) bool { return visibleToStranger(pol, person, regMinor, a) }
+
+	pp := &PublicProfile{
+		ID:       pub[u],
+		Name:     person.DisplayName(),
+		HasPhoto: vis(AttrProfilePhoto),
+	}
+	if vis(AttrGender) {
+		pp.Gender = person.Gender.String()
+	}
+	if vis(AttrNetworks) && person.SchoolID >= 0 {
+		pp.Network = w.Schools[person.SchoolID].City + " network"
+	}
+	if vis(AttrHighSchool) && person.SchoolID >= 0 {
+		pp.HighSchool = w.Schools[person.SchoolID].Name
+		pp.GradYear = person.GradYear
+	}
+	pp.GradSchool = vis(AttrGradSchool)
+	pp.Relationship = vis(AttrRelationship)
+	pp.InterestedIn = vis(AttrInterestedIn)
+	if vis(AttrBirthday) {
+		b := person.RegisteredBirth
+		pp.Birthday = &b
+	}
+	if vis(AttrHometown) {
+		pp.Hometown = person.Hometown
+	}
+	if vis(AttrCurrentCity) {
+		pp.CurrentCity = person.CurrentCity
+	}
+	pp.FriendListVisible = vis(AttrFriendList)
+	if vis(AttrPhotos) {
+		pp.PhotoCount = person.PhotosShared
+	}
+	pp.ContactInfo = vis(AttrContact)
+	pp.CanMessage = person.Privacy.MessageLink && (!regMinor || pol.MinorsMessageable)
+	pp.Searchable = person.Privacy.PublicSearch && (!regMinor || pol.MinorsSearchable)
+	return pp
+}

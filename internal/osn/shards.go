@@ -1,0 +1,101 @@
+package osn
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsprofiler/internal/obs"
+	"hsprofiler/internal/socialgraph"
+)
+
+// shardCount is the number of control-plane shards. A power of two so the
+// token hash maps with a mask; 64 is far above any realistic level of
+// per-shard account collision for the account counts the attack uses.
+const shardCount = 64
+
+// account is the mutable per-account control-plane state: the anti-crawl
+// bookkeeping (budget, suspension, throttle window) plus the account's
+// cached search views. It is only ever touched under its shard's lock.
+type account struct {
+	token     string
+	requests  int
+	suspended bool
+	// recent holds the timestamps of requests inside the throttle window
+	// (a sliding-window ring, oldest first).
+	recent []time.Time
+	// views caches the account's capped, deterministic search views by
+	// scope ("school:3", "city:x") — the account's search cursors. The
+	// slices are computed once and read-only afterwards.
+	views map[string][]socialgraph.UserID
+	// pages caches the rendered search results for each scope, so the
+	// search endpoints page through a pre-resolved slice zero-copy
+	// instead of re-rendering (and re-allocating) per request.
+	pages map[string][]SearchResult
+}
+
+// shard is one lock domain of the control plane. Padding keeps neighbouring
+// shards off the same cache line, so uncontended accounts really do not
+// interfere.
+type shard struct {
+	mu       sync.Mutex
+	accounts map[string]*account
+	// contention counts lock acquisitions that had to wait (set by
+	// Platform.Instrument; nil is a no-op).
+	contention *obs.Counter
+	// Pad the struct to a full cache line so adjacent shards never share
+	// one (mu 8 + accounts 8 + contention 8 + 40 = 64 bytes).
+	_ [40]byte
+}
+
+// lock acquires the shard lock, counting the acquisitions that block: the
+// per-shard contention signal that distinguishes "accounts sharing a
+// shard" from a genuinely idle control plane on /metrics.
+func (s *shard) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	s.contention.Inc()
+	s.mu.Lock()
+}
+
+// controlPlane is the mutable half of the platform: per-account state
+// sharded by token hash so accounts never contend with each other, plus
+// the registration sequence and the (test-replaceable) clock.
+type controlPlane struct {
+	shards   [shardCount]shard
+	nextAcct atomic.Int64
+	clock    atomic.Value // func() time.Time
+}
+
+func newControlPlane() *controlPlane {
+	c := &controlPlane{}
+	for i := range c.shards {
+		c.shards[i].accounts = make(map[string]*account)
+	}
+	c.clock.Store(time.Now)
+	return c
+}
+
+// now reads the current clock.
+func (c *controlPlane) now() time.Time {
+	return c.clock.Load().(func() time.Time)()
+}
+
+// shardFor maps a token to its shard (FNV-1a over the token bytes).
+func (c *controlPlane) shardFor(token string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(token); i++ {
+		h ^= uint64(token[i])
+		h *= prime64
+	}
+	return &c.shards[h&(shardCount-1)]
+}
+
+// lookup returns the account for token, or nil, under no lock of its own —
+// callers hold the shard lock.
+func (s *shard) lookup(token string) *account { return s.accounts[token] }

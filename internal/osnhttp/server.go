@@ -22,7 +22,11 @@ import (
 	"hsprofiler/internal/sim"
 )
 
-// Server wraps a Platform as an http.Handler.
+// Server wraps a Platform as an http.Handler. Handlers run on whatever
+// goroutine net/http dispatches them to: the platform serves every page
+// from its frozen read plane (profiles and friend pages are pre-resolved,
+// pre-paginated slices rendered zero-copy into the templates), so the
+// server needs no locking of its own.
 type Server struct {
 	platform *osn.Platform
 	mux      *http.ServeMux

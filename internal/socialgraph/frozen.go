@@ -1,0 +1,165 @@
+package socialgraph
+
+import "sort"
+
+// Frozen is an immutable compressed-sparse-row (CSR) snapshot of a Graph.
+// Adjacency lives in one flat, ID-sorted slice per row, so the read plane
+// of the platform can serve friend lookups with zero allocation, cache-
+// friendly scans and no locking: a Frozen is safe for unlimited concurrent
+// readers by construction, because nothing can mutate it.
+//
+// The mutable Graph remains the construction-time representation (worldgen
+// builds it edge by edge); Freeze is the hand-off point between the two.
+type Frozen struct {
+	// offsets[u]..offsets[u+1] indexes u's row in adj. len(offsets) is
+	// maxID+2 so the slice expression needs no bounds special-casing.
+	offsets []int64
+	// adj holds every directed adjacency entry (2 per friendship), each
+	// row sorted ascending.
+	adj []UserID
+	// present[u] reports whether u exists in the graph (a user can exist
+	// with no friends).
+	present []bool
+	users   int
+	edges   int
+}
+
+// Freeze snapshots the graph into CSR form. The graph may keep mutating
+// afterwards; the snapshot is unaffected. Rows are sorted ascending, so
+// Friends/ForEachFriend iterate in the same deterministic order that
+// Graph.Friends returns.
+func (g *Graph) Freeze() *Frozen {
+	maxID := -1
+	for u := range g.adj {
+		if int(u) > maxID {
+			maxID = int(u)
+		}
+	}
+	n := maxID + 1
+	f := &Frozen{
+		offsets: make([]int64, n+1),
+		present: make([]bool, n),
+		users:   len(g.adj),
+		edges:   g.edges,
+	}
+	for u, set := range g.adj {
+		f.present[u] = true
+		f.offsets[int(u)+1] = int64(len(set))
+	}
+	for i := 0; i < n; i++ {
+		f.offsets[i+1] += f.offsets[i]
+	}
+	f.adj = make([]UserID, f.offsets[n])
+	fill := make([]int64, n)
+	for u, set := range g.adj {
+		base := f.offsets[u]
+		for v := range set {
+			f.adj[base+fill[u]] = v
+			fill[u]++
+		}
+	}
+	for u := 0; u < n; u++ {
+		row := f.adj[f.offsets[u]:f.offsets[u+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	return f
+}
+
+// row returns u's adjacency slice, or nil for unknown IDs.
+func (f *Frozen) row(u UserID) []UserID {
+	if u < 0 || int(u) >= len(f.present) {
+		return nil
+	}
+	return f.adj[f.offsets[u]:f.offsets[u+1]]
+}
+
+// HasUser reports whether u exists in the snapshot.
+func (f *Frozen) HasUser(u UserID) bool {
+	return u >= 0 && int(u) < len(f.present) && f.present[u]
+}
+
+// Degree returns the number of friends of u.
+func (f *Frozen) Degree(u UserID) int { return len(f.row(u)) }
+
+// NumUsers returns the number of users.
+func (f *Frozen) NumUsers() int { return f.users }
+
+// NumEdges returns the number of friendships.
+func (f *Frozen) NumEdges() int { return f.edges }
+
+// Friends returns u's friends in ascending ID order. Unlike Graph.Friends
+// the slice is a view into the shared snapshot — allocation-free, but the
+// caller MUST NOT modify it.
+func (f *Frozen) Friends(u UserID) []UserID { return f.row(u) }
+
+// ForEachFriend calls fn for every friend of u in ascending ID order,
+// without allocating.
+func (f *Frozen) ForEachFriend(u UserID, fn func(UserID)) {
+	for _, v := range f.row(u) {
+		fn(v)
+	}
+}
+
+// AreFriends reports whether a and b share an edge, by binary search over
+// the shorter of the two rows.
+func (f *Frozen) AreFriends(a, b UserID) bool {
+	ra, rb := f.row(a), f.row(b)
+	if len(ra) > len(rb) {
+		ra, b = rb, a
+	}
+	i := sort.Search(len(ra), func(i int) bool { return ra[i] >= b })
+	return i < len(ra) && ra[i] == b
+}
+
+// MutualFriends returns the number of common friends of a and b via a
+// linear merge of the two sorted rows — flat-slice traversal, no hashing.
+func (f *Frozen) MutualFriends(a, b UserID) int {
+	ra, rb := f.row(a), f.row(b)
+	n, i, j := 0, 0, 0
+	for i < len(ra) && j < len(rb) {
+		switch {
+		case ra[i] < rb[j]:
+			i++
+		case ra[i] > rb[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Jaccard returns the Jaccard index of the two users' friend sets (see
+// Graph.Jaccard for the §6.1 role). Returns 0 when both sets are empty.
+func (f *Frozen) Jaccard(a, b UserID) float64 {
+	inter := f.MutualFriends(a, b)
+	union := f.Degree(a) + f.Degree(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Users returns all user IDs in ascending order. This allocates; iterate
+// offsets directly (or use ForEachUser) on hot paths.
+func (f *Frozen) Users() []UserID {
+	out := make([]UserID, 0, f.users)
+	for u := range f.present {
+		if f.present[u] {
+			out = append(out, UserID(u))
+		}
+	}
+	return out
+}
+
+// ForEachUser calls fn for every user in ascending ID order without
+// allocating.
+func (f *Frozen) ForEachUser(fn func(UserID)) {
+	for u := range f.present {
+		if f.present[u] {
+			fn(UserID(u))
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomGraph builds a deterministic pseudo-random graph for cross-checks.
+func randomGraph(t testing.TB, users, edges int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	for u := 0; u < users; u++ {
+		g.AddUser(UserID(u))
+	}
+	for i := 0; i < edges; i++ {
+		a := UserID(rng.Intn(users))
+		b := UserID(rng.Intn(users))
+		if a == b {
+			continue
+		}
+		if err := g.AddFriendship(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestFrozenMatchesGraph(t *testing.T) {
+	g := randomGraph(t, 80, 400, 7)
+	f := g.Freeze()
+
+	if f.NumUsers() != g.NumUsers() {
+		t.Fatalf("users: frozen %d, graph %d", f.NumUsers(), g.NumUsers())
+	}
+	if f.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges: frozen %d, graph %d", f.NumEdges(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(f.Users(), g.Users()) {
+		t.Fatal("user sets differ")
+	}
+	for u := UserID(0); int(u) < 80; u++ {
+		want := g.Friends(u)
+		got := f.Friends(u)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("friends of %d: frozen %v, graph %v", u, got, want)
+		}
+		if f.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree of %d differs", u)
+		}
+		var iterated []UserID
+		f.ForEachFriend(u, func(v UserID) { iterated = append(iterated, v) })
+		if !reflect.DeepEqual(iterated, want) {
+			t.Fatalf("ForEachFriend of %d out of order: %v", u, iterated)
+		}
+	}
+	for a := UserID(0); int(a) < 80; a++ {
+		for b := UserID(0); int(b) < 80; b++ {
+			if f.AreFriends(a, b) != g.AreFriends(a, b) {
+				t.Fatalf("AreFriends(%d,%d) differs", a, b)
+			}
+			if f.MutualFriends(a, b) != g.MutualFriends(a, b) {
+				t.Fatalf("MutualFriends(%d,%d) differs", a, b)
+			}
+			if f.Jaccard(a, b) != g.Jaccard(a, b) {
+				t.Fatalf("Jaccard(%d,%d) differs", a, b)
+			}
+		}
+	}
+}
+
+func TestFrozenUnknownAndIsolatedUsers(t *testing.T) {
+	g := New()
+	g.AddUser(3) // isolated
+	if err := g.AddFriendship(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	f := g.Freeze()
+
+	if !f.HasUser(3) || f.Degree(3) != 0 {
+		t.Fatal("isolated user lost")
+	}
+	if f.HasUser(0) || f.HasUser(2) || f.HasUser(99) || f.HasUser(-1) {
+		t.Fatal("phantom user present")
+	}
+	if f.Degree(99) != 0 || f.Friends(-1) != nil || f.AreFriends(99, 1) {
+		t.Fatal("out-of-range access not inert")
+	}
+	if !f.AreFriends(1, 5) || !f.AreFriends(5, 1) {
+		t.Fatal("edge lost")
+	}
+	if got := f.Users(); !reflect.DeepEqual(got, []UserID{1, 3, 5}) {
+		t.Fatalf("Users() = %v", got)
+	}
+}
+
+func TestFreezeIsSnapshot(t *testing.T) {
+	g := New()
+	if err := g.AddFriendship(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	f := g.Freeze()
+	if err := g.AddFriendship(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveFriendship(1, 2)
+	if !f.AreFriends(1, 2) || f.AreFriends(1, 3) {
+		t.Fatal("snapshot observed later mutation")
+	}
+	if f.NumEdges() != 1 {
+		t.Fatalf("edges = %d", f.NumEdges())
+	}
+}
+
+// TestFrozenReadsDoNotAllocate guards the allocation-free promise of the
+// hot read-plane accessors (the whole point of the CSR layout).
+func TestFrozenReadsDoNotAllocate(t *testing.T) {
+	g := randomGraph(t, 200, 2000, 11)
+	f := g.Freeze()
+	sink := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		f.ForEachFriend(50, func(v UserID) { sink += int(v) })
+		if f.AreFriends(50, 51) {
+			sink++
+		}
+		sink += f.MutualFriends(50, 52)
+		sink += len(f.Friends(53))
+	})
+	if allocs != 0 {
+		t.Fatalf("read path allocates: %v allocs/op", allocs)
+	}
+	_ = sink
+}
+
+// BenchmarkGraphFriends vs BenchmarkFrozenFriends quantify the satellite
+// fix: Graph.Friends allocates and sorts per call, the frozen view is a
+// zero-allocation slice.
+func BenchmarkGraphFriends(b *testing.B) {
+	g := randomGraph(b, 1000, 20000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += len(g.Friends(UserID(i % 1000)))
+	}
+	_ = n
+}
+
+func BenchmarkFrozenFriends(b *testing.B) {
+	f := randomGraph(b, 1000, 20000, 3).Freeze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += len(f.Friends(UserID(i % 1000)))
+	}
+	_ = n
+}
+
+func BenchmarkFrozenAreFriends(b *testing.B) {
+	f := randomGraph(b, 1000, 20000, 3).Freeze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if f.AreFriends(UserID(i%1000), UserID((i*7)%1000)) {
+			n++
+		}
+	}
+	_ = n
+}

@@ -43,6 +43,10 @@ func Generate(cfg Config, seed uint64) (*World, error) {
 	if err := b.w.CheckInvariants(); err != nil {
 		return nil, err
 	}
+	// Emit the frozen CSR snapshot as part of generation: the graph is
+	// structurally final here, and every consumer (platform read plane,
+	// stats, persistence) reads the immutable view from now on.
+	b.w.Frozen()
 	return b.w, nil
 }
 

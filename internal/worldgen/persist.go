@@ -32,13 +32,16 @@ func (w *World) WriteJSON(out io.Writer) error {
 		Schools: w.Schools,
 		People:  w.People,
 	}
-	for _, u := range w.Graph.Users() {
-		for _, v := range w.Graph.Friends(u) {
+	// Walk the frozen CSR view: same ascending (u, v) order as the mutable
+	// graph's Users/Friends, without an allocation-and-sort per user.
+	frozen := w.Frozen()
+	frozen.ForEachUser(func(u socialgraph.UserID) {
+		frozen.ForEachFriend(u, func(v socialgraph.UserID) {
 			if u < v { // each undirected edge once
 				snap.Edges = append(snap.Edges, [2]socialgraph.UserID{u, v})
 			}
-		}
-	}
+		})
+	})
 	enc := json.NewEncoder(out)
 	return enc.Encode(snap)
 }
@@ -73,5 +76,6 @@ func ReadJSON(in io.Reader) (*World, error) {
 	if err := w.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("worldgen: snapshot fails invariants: %w", err)
 	}
+	w.Frozen() // loaded worlds serve from the CSR snapshot too
 	return w, nil
 }

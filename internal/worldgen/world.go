@@ -2,6 +2,7 @@ package worldgen
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hsprofiler/internal/sim"
 	"hsprofiler/internal/socialgraph"
@@ -40,6 +41,25 @@ type World struct {
 	Schools []*School
 	People  []*Person
 	Graph   *socialgraph.Graph
+
+	// frozen caches the CSR snapshot of Graph; built once, on generation
+	// (the generator calls Frozen eagerly) or on first use.
+	frozen atomic.Pointer[socialgraph.Frozen]
+}
+
+// Frozen returns the immutable CSR snapshot of the friendship graph,
+// freezing it on first call. After worldgen the graph is structurally
+// immutable, so the snapshot and the live graph never diverge; all serving
+// and analysis paths read the snapshot, which is lock-free and
+// allocation-free for concurrent readers. Clones share an already-built
+// snapshot (Clone shares the graph). Racing first calls may both freeze;
+// the result is deterministic, so either snapshot is the snapshot.
+func (w *World) Frozen() *socialgraph.Frozen {
+	if f := w.frozen.Load(); f != nil {
+		return f
+	}
+	w.frozen.CompareAndSwap(nil, w.Graph.Freeze())
+	return w.frozen.Load()
 }
 
 // Person returns the person with the given ID, or nil if out of range.
@@ -150,6 +170,9 @@ func (w *World) CheckInvariants() error {
 // truthfully on such a clone without touching the original.
 func (w *World) Clone() *World {
 	c := &World{Seed: w.Seed, Now: w.Now, Schools: w.Schools, Graph: w.Graph}
+	if f := w.frozen.Load(); f != nil {
+		c.frozen.Store(f) // share the snapshot along with the graph
+	}
 	c.People = make([]*Person, len(w.People))
 	for i, p := range w.People {
 		cp := *p
@@ -178,6 +201,7 @@ type Stats struct {
 func (w *World) SchoolStats(schoolID int) Stats {
 	var st Stats
 	s := w.School(schoolID)
+	frozen := w.Frozen()
 	var degSum, inSum int
 	inSchool := make(map[socialgraph.UserID]bool)
 	for _, p := range w.People {
@@ -219,10 +243,10 @@ func (w *World) SchoolStats(schoolID int) Stats {
 			// the senior class.
 			st.MinorsRegAsAdults++
 		}
-		deg := w.Graph.Degree(p.ID)
+		deg := frozen.Degree(p.ID)
 		degSum += deg
 		in := 0
-		w.Graph.ForEachFriend(p.ID, func(f socialgraph.UserID) {
+		frozen.ForEachFriend(p.ID, func(f socialgraph.UserID) {
 			if inSchool[f] {
 				in++
 			}
