@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"io"
+)
+
+// report mirrors the fields of platformbench's Report that the diff needs;
+// unknown fields in the JSON are ignored, so the two commands can evolve
+// their schemas independently as long as these survive.
+type report struct {
+	Scenario string   `json:"scenario"`
+	Seed     uint64   `json:"seed"`
+	Workers  int      `json:"workers"`
+	Results  []result `json:"results"`
+}
+
+type result struct {
+	Procs       int     `json:"procs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// row is one GOMAXPROCS point of the diff.
+type row struct {
+	procs     int
+	oldOps    float64
+	newOps    float64
+	delta     float64 // fractional change in ops/sec; negative = slower
+	oldAllocs int64
+	newAllocs int64
+	// verdict flags
+	slower    bool // past the throughput threshold
+	newAllocd bool // allocation appeared on a previously allocation-free path
+	missing   bool // present in old, absent in new
+}
+
+// diff is the full comparison.
+type diff struct {
+	rows     []row
+	mismatch string // non-empty when the runs are not comparable
+}
+
+// compare matches results by GOMAXPROCS and flags regressions: a throughput
+// drop beyond threshold, or any allocation on a path that was allocation-free
+// in the baseline. Extra points in the candidate are ignored; points missing
+// from it are themselves a failure (the sweep shrank).
+func compare(oldRep, newRep *report, threshold float64) *diff {
+	d := &diff{}
+	if oldRep.Scenario != newRep.Scenario || oldRep.Seed != newRep.Seed || oldRep.Workers != newRep.Workers {
+		d.mismatch = fmt.Sprintf("baseline ran scenario=%s seed=%d workers=%d, candidate scenario=%s seed=%d workers=%d — comparing anyway, treat deltas with suspicion",
+			oldRep.Scenario, oldRep.Seed, oldRep.Workers, newRep.Scenario, newRep.Seed, newRep.Workers)
+	}
+	byProcs := map[int]result{}
+	for _, r := range newRep.Results {
+		byProcs[r.Procs] = r
+	}
+	for _, o := range oldRep.Results {
+		n, ok := byProcs[o.Procs]
+		if !ok {
+			d.rows = append(d.rows, row{procs: o.Procs, oldOps: o.OpsPerSec, oldAllocs: o.AllocsPerOp, missing: true})
+			continue
+		}
+		r := row{
+			procs:     o.Procs,
+			oldOps:    o.OpsPerSec,
+			newOps:    n.OpsPerSec,
+			oldAllocs: o.AllocsPerOp,
+			newAllocs: n.AllocsPerOp,
+		}
+		if o.OpsPerSec > 0 {
+			r.delta = (n.OpsPerSec - o.OpsPerSec) / o.OpsPerSec
+		}
+		r.slower = r.delta < -threshold
+		r.newAllocd = o.AllocsPerOp == 0 && n.AllocsPerOp > 0
+		d.rows = append(d.rows, r)
+	}
+	return d
+}
+
+func (d *diff) regressed() bool {
+	for _, r := range d.rows {
+		if r.slower || r.newAllocd || r.missing {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *diff) print(w io.Writer, oldPath, newPath string, threshold float64) {
+	fmt.Fprintf(w, "benchdiff: %s vs %s (threshold %.0f%%)\n", oldPath, newPath, threshold*100)
+	if d.mismatch != "" {
+		fmt.Fprintf(w, "  warning: %s\n", d.mismatch)
+	}
+	fmt.Fprintf(w, "  %5s %14s %14s %8s %12s\n", "procs", "old ops/s", "new ops/s", "delta", "allocs/op")
+	for _, r := range d.rows {
+		if r.missing {
+			fmt.Fprintf(w, "  %5d %14.0f %14s %8s %12s  REGRESSION: point missing from candidate\n",
+				r.procs, r.oldOps, "-", "-", "-")
+			continue
+		}
+		mark := ""
+		switch {
+		case r.slower && r.newAllocd:
+			mark = "  REGRESSION: slower and newly allocating"
+		case r.slower:
+			mark = "  REGRESSION: past threshold"
+		case r.newAllocd:
+			mark = "  REGRESSION: allocation-free path now allocates"
+		}
+		fmt.Fprintf(w, "  %5d %14.0f %14.0f %+7.1f%% %7d->%-4d%s\n",
+			r.procs, r.oldOps, r.newOps, r.delta*100, r.oldAllocs, r.newAllocs, mark)
+	}
+	if d.regressed() {
+		fmt.Fprintln(w, "  verdict: REGRESSED")
+	} else {
+		fmt.Fprintln(w, "  verdict: ok")
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baseline() *report {
+	return &report{
+		Scenario: "tiny", Seed: 11, Workers: 8,
+		Results: []result{
+			{Procs: 1, OpsPerSec: 1_000_000, NsPerOp: 1000, AllocsPerOp: 0},
+			{Procs: 4, OpsPerSec: 3_500_000, NsPerOp: 285, AllocsPerOp: 0},
+			{Procs: 8, OpsPerSec: 6_000_000, NsPerOp: 166, AllocsPerOp: 2},
+		},
+	}
+}
+
+func TestCompareOK(t *testing.T) {
+	oldRep, newRep := baseline(), baseline()
+	// Small wobble under the threshold, and an alloc drop, are both fine.
+	newRep.Results[0].OpsPerSec = 950_000
+	newRep.Results[2].AllocsPerOp = 1
+	d := compare(oldRep, newRep, 0.15)
+	if d.regressed() {
+		t.Fatalf("within-threshold wobble flagged as regression: %+v", d.rows)
+	}
+	var buf bytes.Buffer
+	d.print(&buf, "old.json", "new.json", 0.15)
+	if !strings.Contains(buf.String(), "verdict: ok") {
+		t.Fatalf("verdict line missing:\n%s", buf.String())
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	oldRep, newRep := baseline(), baseline()
+	newRep.Results[1].OpsPerSec = 2_000_000 // -43% at 4 procs
+	d := compare(oldRep, newRep, 0.15)
+	if !d.regressed() {
+		t.Fatal("43% throughput loss not flagged")
+	}
+	var buf bytes.Buffer
+	d.print(&buf, "old.json", "new.json", 0.15)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION: past threshold") || !strings.Contains(out, "verdict: REGRESSED") {
+		t.Fatalf("regression not reported:\n%s", out)
+	}
+}
+
+func TestCompareNewAllocation(t *testing.T) {
+	oldRep, newRep := baseline(), baseline()
+	newRep.Results[0].AllocsPerOp = 1 // 0 -> 1 on procs=1
+	d := compare(oldRep, newRep, 0.15)
+	if !d.regressed() {
+		t.Fatal("new allocation on allocation-free path not flagged")
+	}
+	// But allocations growing on an already-allocating path is tolerated.
+	oldRep2, newRep2 := baseline(), baseline()
+	newRep2.Results[2].AllocsPerOp = 5 // 2 -> 5 on procs=8
+	if compare(oldRep2, newRep2, 0.15).regressed() {
+		t.Fatal("alloc growth on already-allocating path should not gate")
+	}
+}
+
+func TestCompareMissingPoint(t *testing.T) {
+	oldRep, newRep := baseline(), baseline()
+	newRep.Results = newRep.Results[:2] // procs=8 vanished
+	d := compare(oldRep, newRep, 0.15)
+	if !d.regressed() {
+		t.Fatal("missing sweep point not flagged")
+	}
+	var buf bytes.Buffer
+	d.print(&buf, "old.json", "new.json", 0.15)
+	if !strings.Contains(buf.String(), "point missing from candidate") {
+		t.Fatalf("missing point not reported:\n%s", buf.String())
+	}
+}
+
+func TestCompareConfigMismatchWarns(t *testing.T) {
+	oldRep, newRep := baseline(), baseline()
+	newRep.Scenario = "hs1"
+	d := compare(oldRep, newRep, 0.15)
+	if d.mismatch == "" {
+		t.Fatal("scenario mismatch should produce a warning")
+	}
+	if d.regressed() {
+		t.Fatal("mismatch alone is a warning, not a regression")
+	}
+}

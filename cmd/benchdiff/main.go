@@ -1,0 +1,65 @@
+// Command benchdiff compares two BENCH_platform.json reports and fails —
+// exit status 1 — when the new one has regressed past a threshold. It is
+// the CI gate that keeps the platform's read-plane throughput honest: run
+// platformbench against the working tree, diff it against the committed
+// baseline, and a slowdown larger than -threshold (or any new allocation
+// on a previously allocation-free path) blocks the change.
+//
+// Usage:
+//
+//	platformbench -out BENCH_platform.json
+//	benchdiff -old BENCH_baseline.json -new BENCH_platform.json
+//	benchdiff -old BENCH_baseline.json -new BENCH_platform.json -threshold 0.3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline report JSON (required)")
+	newPath := flag.String("new", "", "candidate report JSON (required)")
+	threshold := flag.Float64("threshold", 0.15, "max tolerated throughput loss as a fraction (0.15 = 15%)")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are both required")
+		os.Exit(2)
+	}
+	oldRep, err := readReport(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := readReport(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	d := compare(oldRep, newRep, *threshold)
+	d.print(os.Stdout, *oldPath, *newPath, *threshold)
+	if d.regressed() {
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s has no results", path)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
+)
+
+// TestFlushOnInterrupt is the regression test for the SIGINT bug: an
+// interrupted run must still write the trace, the manifest and the event
+// log, exactly as a clean exit would. It drives runOutputs the way main's
+// interrupted branch does (flush(true)) and parses every artifact back.
+func TestFlushOnInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.txt")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+
+	out, err := newRunOutputs(tracePath, manifestPath, eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.tr == nil || out.manifest == nil || out.reg == nil || out.lg == nil {
+		t.Fatal("all artifacts should be armed when all outputs are requested")
+	}
+
+	// Simulate a run that gets partway through before the interrupt.
+	ctx := evlog.NewContext(out.tr.Context(context.Background()), out.lg)
+	stepCtx, span := obs.StartSpan(ctx, "collect-seeds")
+	out.lg.Info(stepCtx, "crawl", "request", evlog.Str("category", "seed"))
+	span.End()
+	out.reg.Counter("crawl_requests_total", "", obs.L("category", "seed")).Inc()
+	out.manifest.SetParam("school", "Test High")
+
+	out.flush(true) // the interrupted path
+	out.flush(true) // must be idempotent: main flushes before fatal too
+
+	var manifest obs.Manifest
+	mb, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest not written on interrupt: %v", err)
+	}
+	if err := json.Unmarshal(mb, &manifest); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if manifest.Tool != "hsprofile" || manifest.Params["school"] != "Test High" {
+		t.Fatalf("manifest content wrong: %+v", manifest)
+	}
+	if len(manifest.Phases) == 0 {
+		t.Fatal("interrupted manifest lost its phase timings")
+	}
+	if manifest.Counters[`crawl_requests_total{category="seed"}`] != 1 {
+		t.Fatalf("interrupted manifest lost its counters: %v", manifest.Counters)
+	}
+	if manifest.Metrics == nil {
+		t.Fatal("interrupted manifest lost its metrics snapshot")
+	}
+	if manifest.FinishedAt.IsZero() {
+		t.Fatal("manifest not finished")
+	}
+
+	tb, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written on interrupt: %v", err)
+	}
+	if !strings.Contains(string(tb), "collect-seeds") {
+		t.Fatalf("trace tree missing the open step:\n%s", tb)
+	}
+
+	eb, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatalf("event log not written on interrupt: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(eb)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d event lines, want 1:\n%s", len(lines), eb)
+	}
+	var e map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("event line is not valid JSON: %v", err)
+	}
+	if e["cat"] != "crawl" || e["span"] != float64(span.ID()) {
+		t.Fatalf("event not correlated to its step span: %v", e)
+	}
+}
+
+// TestFlushNothingRequested checks the all-defaults path stays inert.
+func TestFlushNothingRequested(t *testing.T) {
+	out, err := newRunOutputs("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.tr != nil || out.manifest != nil || out.reg != nil || out.lg != nil {
+		t.Fatal("no artifacts should be armed without output flags")
+	}
+	out.flush(true) // must not panic or write anything
+}

@@ -27,9 +27,115 @@ import (
 	"hsprofiler/internal/crawler"
 	"hsprofiler/internal/extend"
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osnhttp"
 	"hsprofiler/internal/store"
 )
+
+// runOutputs gathers every observability artifact of one run — the trace,
+// the manifest, the metrics registry and the event log — behind a single
+// idempotent flush, so the clean-exit, interrupted and fatal paths all write
+// the same files. Before this existed, SIGINT lost the trace and manifest.
+type runOutputs struct {
+	tracePath, manifestPath, eventsPath string
+
+	tr       *obs.Trace
+	manifest *obs.Manifest
+	reg      *obs.Registry
+	lg       *evlog.Logger
+	events   *os.File
+
+	flushed bool
+}
+
+// newRunOutputs wires up whichever artifacts were requested. Empty paths
+// leave their artifact nil (and the corresponding layers no-op).
+func newRunOutputs(tracePath, manifestPath, eventsPath string) (*runOutputs, error) {
+	o := &runOutputs{tracePath: tracePath, manifestPath: manifestPath, eventsPath: eventsPath}
+	if manifestPath != "" || tracePath != "" {
+		o.reg = obs.NewRegistry()
+	}
+	if tracePath != "" || manifestPath != "" {
+		o.tr = obs.NewTrace("hsprofile")
+	}
+	if manifestPath != "" {
+		o.manifest = obs.NewManifest("hsprofile")
+	}
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return nil, err
+		}
+		o.events = f
+		o.lg = evlog.New(evlog.Options{Sink: f})
+	}
+	return o, nil
+}
+
+// flush writes every requested artifact exactly once; later calls are
+// no-ops. With dumpRing set (the interrupted and fatal paths) the flight
+// recorder's last events are replayed to stderr first — the crash context.
+// Errors are reported to stderr rather than fatal, so a failing flush never
+// prevents the remaining artifacts from being written.
+func (o *runOutputs) flush(dumpRing bool) {
+	if o == nil || o.flushed {
+		return
+	}
+	o.flushed = true
+	if dumpRing && o.lg != nil && o.lg.RingLen() > 0 {
+		fmt.Fprintf(os.Stderr, "hsprofile: flight recorder (last %d events):\n", o.lg.RingLen())
+		if _, err := o.lg.DumpRing(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "hsprofile: ring dump: %v\n", err)
+		}
+	}
+	if o.tr != nil {
+		o.tr.Finish()
+	}
+	if o.tracePath != "" {
+		out := os.Stderr
+		if o.tracePath != "-" {
+			f, err := os.Create(o.tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hsprofile: trace: %v\n", err)
+				out = nil
+			} else {
+				defer f.Close()
+				out = f
+			}
+		}
+		if out != nil {
+			o.tr.WriteTree(out)
+			if o.tracePath != "-" {
+				fmt.Printf("trace: span tree -> %s\n", o.tracePath)
+			}
+		}
+	}
+	if o.manifestPath != "" {
+		o.manifest.AddTrace(o.tr)
+		o.manifest.AddCounters(o.reg)
+		o.manifest.AddMetrics(o.reg)
+		o.manifest.Finish()
+		if f, err := os.Create(o.manifestPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hsprofile: manifest: %v\n", err)
+		} else {
+			if err := o.manifest.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hsprofile: manifest: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "hsprofile: manifest: %v\n", err)
+			} else {
+				fmt.Printf("manifest: %s\n", o.manifestPath)
+			}
+		}
+	}
+	if o.events != nil {
+		if err := o.events.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hsprofile: event log: %v\n", err)
+		} else {
+			fmt.Printf("events: %d logged -> %s\n", o.lg.Events(), o.eventsPath)
+		}
+	}
+}
 
 func main() {
 	url := flag.String("url", "http://localhost:8080", "osnd base URL")
@@ -49,6 +155,7 @@ func main() {
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request timeout; overrunning requests are abandoned and retried (0 = unbounded)")
 	traceOut := flag.String("trace-out", "", "write the run's span tree to this file (\"-\" for stderr) and show live phase progress")
 	manifestOut := flag.String("manifest-out", "", "write a JSON run manifest (params, git describe, phase timings, effort counters) to this file")
+	eventsOut := flag.String("events-out", "", "write the structured event log (JSONL) to this file; also arms the flight recorder dumped to stderr on interrupt")
 	flag.Parse()
 
 	if *school == "" {
@@ -82,13 +189,14 @@ func main() {
 			st.Profiles, st.FriendLists+st.HiddenLists, st.PartialLists)
 	}
 	cached := store.NewCachedClient(client, crawlStore)
-	// Metrics and the trace exist whenever either output wants them; a nil
-	// registry/trace keeps the whole obs layer a no-op otherwise.
-	var reg *obs.Registry
-	if *manifestOut != "" || *traceOut != "" {
-		reg = obs.NewRegistry()
+	// Observability artifacts (metrics, trace, manifest, event log) exist
+	// whenever their outputs are asked for; nil handles keep every layer a
+	// no-op otherwise.
+	out, err := newRunOutputs(*traceOut, *manifestOut, *eventsOut)
+	if err != nil {
+		fatal(err)
 	}
-	sess := crawler.NewSession(cached).Instrument(reg)
+	sess := crawler.NewSession(cached).Instrument(out.reg).WithLog(out.lg)
 	sess.Timeout = *reqTimeout
 
 	// SIGINT cancels the crawl between requests; the archive below is
@@ -96,30 +204,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var tr *obs.Trace
-	if *traceOut != "" || *manifestOut != "" {
-		tr = obs.NewTrace("hsprofile")
+	if out.tr != nil {
 		if *traceOut != "" {
-			tr.OnStart = func(s *obs.Span) {
+			out.tr.OnStart = func(s *obs.Span) {
 				if s.Depth() == 1 { // methodology steps, not per-request spans
 					fmt.Fprintf(os.Stderr, "hsprofile: ▶ %s\n", s.Name())
 				}
 			}
 		}
-		ctx = tr.Context(ctx)
+		ctx = out.tr.Context(ctx)
 	}
+	ctx = evlog.NewContext(ctx, out.lg)
 
-	var manifest *obs.Manifest
-	if *manifestOut != "" {
-		manifest = obs.NewManifest("hsprofile")
-		manifest.Scenario = *school
+	if out.manifest != nil {
+		out.manifest.Scenario = *school
 		for k, v := range map[string]any{
 			"url": *url, "school": *school, "year": *year, "accounts": *accounts,
 			"mode": *mode, "t": *threshold, "epsilon": *epsilon, "filter": *filtering,
 			"pace": pace.String(), "failure-budget": *failureBudget,
 			"workers": *workers, "req-timeout": reqTimeout.String(),
 		} {
-			manifest.SetParam(k, v)
+			out.manifest.SetParam(k, v)
 		}
 	}
 
@@ -140,10 +245,14 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "hsprofile: interrupted; writing partial archive")
-			writeArchive(*archive, crawlStore)
+			writeArchive(*archive, crawlStore, out.lg)
+			// The trace, manifest and event log are flushed on interrupt
+			// too — a day-long crawl's observability must survive ^C.
+			out.flush(true)
 			os.Exit(130)
 		}
-		writeArchive(*archive, crawlStore)
+		writeArchive(*archive, crawlStore, out.lg)
+		out.flush(true)
 		fatal(err)
 	}
 	sel := res.Select(*threshold, *filtering)
@@ -185,17 +294,19 @@ func main() {
 		var dossierEffort crawler.Effort
 		dctx, span := obs.StartSpan(ctx, "build-dossiers")
 		if *workers > 1 {
-			fetcher := crawler.NewFetcher(cached, *workers).Instrument(reg)
+			fetcher := crawler.NewFetcher(cached, *workers).Instrument(out.reg).WithLog(out.lg)
 			fetcher.Timeout = *reqTimeout
 			d, err = extend.BuildParallel(dctx, fetcher, sel)
 			dossierEffort = fetcher.Effort()
 		} else {
 			before := sess.Effort
-			d, err = extend.Build(sess, sel)
+			d, err = extend.Build(sess.WithContext(dctx), sel)
+			sess.WithContext(ctx)
 			dossierEffort = sess.Effort.Sub(before)
 		}
 		span.End()
 		if err != nil {
+			out.flush(true)
 			fatal(err)
 		}
 		minors := d.MinorProfiles(sel, res.School)
@@ -209,53 +320,29 @@ func main() {
 			dossierEffort.ProfileRequests, dossierEffort.FriendListRequests, dossierEffort.Total())
 	}
 
-	writeArchive(*archive, crawlStore)
-	writeObservability(*traceOut, *manifestOut, tr, manifest, reg)
-}
+	// Result parameters land in the manifest so a run report can print the
+	// Table 2-4 summary without re-parsing stdout.
+	if out.manifest != nil {
+		out.manifest.SetParam("result_selected", len(sel))
+		byYearParam := make(map[string]int, len(byYear))
+		for y, n := range byYear {
+			byYearParam[fmt.Sprintf("%d", y)] = n
+		}
+		out.manifest.SetParam("result_by_year", byYearParam)
+		out.manifest.SetParam("result_seeds", len(res.Seeds))
+		out.manifest.SetParam("result_core", res.SeedCoreSize)
+		out.manifest.SetParam("result_extended_core", res.ExtendedCoreSize)
+		out.manifest.SetParam("result_candidates", res.CandidateCount())
+	}
 
-// writeObservability dumps the span tree and the run manifest, as asked.
-func writeObservability(tracePath, manifestPath string, tr *obs.Trace, manifest *obs.Manifest, reg *obs.Registry) {
-	if tr != nil {
-		tr.Finish()
-	}
-	if tracePath != "" {
-		out := os.Stderr
-		if tracePath != "-" {
-			f, err := os.Create(tracePath)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			out = f
-		}
-		tr.WriteTree(out)
-		if tracePath != "-" {
-			fmt.Printf("trace: span tree -> %s\n", tracePath)
-		}
-	}
-	if manifestPath != "" {
-		manifest.AddTrace(tr)
-		manifest.AddCounters(reg)
-		manifest.Finish()
-		f, err := os.Create(manifestPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := manifest.WriteJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("manifest: %s\n", manifestPath)
-	}
+	writeArchive(*archive, crawlStore, out.lg)
+	out.flush(false)
 }
 
 // writeArchive exports the crawl store to path (no-op when path is empty).
 // It is called on success, interruption, and failure alike: whatever was
-// fetched is never lost.
-func writeArchive(path string, crawlStore *store.Store) {
+// fetched is never lost. Each export is logged as a "checkpoint" event.
+func writeArchive(path string, crawlStore *store.Store, lg *evlog.Logger) {
 	if path == "" {
 		return
 	}
@@ -271,6 +358,10 @@ func writeArchive(path string, crawlStore *store.Store) {
 		fatal(err)
 	}
 	st := crawlStore.Stats()
+	lg.Info(context.Background(), "checkpoint", "archive written",
+		evlog.Str("path", path), evlog.Int("profiles", st.Profiles),
+		evlog.Int("friend_lists", st.FriendLists+st.HiddenLists),
+		evlog.Int("partial_lists", st.PartialLists))
 	fmt.Printf("\narchive: %d profiles, %d friend lists (%d hidden), %d partial -> %s\n",
 		st.Profiles, st.FriendLists, st.HiddenLists, st.PartialLists, path)
 }

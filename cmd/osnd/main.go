@@ -23,6 +23,7 @@ import (
 
 	"hsprofiler/internal/faults"
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/osnhttp"
 	"hsprofiler/internal/worldgen"
@@ -42,8 +43,9 @@ func main() {
 	faultRate := flag.Float64("faults", 0, "composite fault-injection rate in [0,1], split evenly across 5xx, spurious throttles, connection resets, truncated and garbled pages (0 = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed (same seed + same request sequence = same faults)")
 	faultLatency := flag.Duration("fault-latency", 0, "max injected latency; applied to roughly a quarter of requests (0 = off)")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /healthz and net/http/pprof on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metrics.json, /healthz and net/http/pprof on this address (empty = disabled)")
 	manifestOut := flag.String("manifest-out", "", "write a JSON run manifest (params, freeze-phase timing, request counters) to this file on shutdown")
+	eventsOut := flag.String("events-out", "", "write the structured event log (JSONL: access log, policy gates, account transitions, injected faults) to this file")
 	flag.Parse()
 
 	var w *worldgen.World
@@ -97,6 +99,20 @@ func main() {
 	if *metricsAddr != "" || *manifestOut != "" {
 		reg = obs.NewRegistry()
 	}
+	// The event log narrates the serving path: per-request access log,
+	// policy-gate denials, account throttle/suspension transitions, injected
+	// faults. Shard-contention debug events are sampled 1-in-100 — under a
+	// parallel crawl they would otherwise dominate the log.
+	var lg *evlog.Logger
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		eventsFile = f
+		lg = evlog.New(evlog.Options{Sink: f, Sample: map[string]int{"osn.shard": 100}})
+	}
 	ctx := context.Background()
 	var tr *obs.Trace
 	if *manifestOut != "" {
@@ -113,15 +129,18 @@ func main() {
 		RequestBudget:    *budget,
 		ThrottleLimit:    *throttleLimit,
 		ThrottleWindow:   *throttleWindow,
-	}).Instrument(reg)
+	}).Instrument(reg).WithLog(lg)
 	for _, s := range platform.Schools() {
 		fmt.Printf("serving school %q (%s)\n", s.Name, s.City)
 	}
 	fmt.Printf("osnd: %s policy on %s (read plane frozen in %s)\n", pol.Name, *addr, platform.FreezeDuration().Round(time.Millisecond))
+	if lg != nil {
+		fmt.Printf("osnd: event log -> %s\n", *eventsOut)
+	}
 	// The injector's middleware wraps outside the instrumented server, so
 	// injected 503s land in faults_injected_total, not in the platform's
 	// own throttle series.
-	var handler http.Handler = osnhttp.NewServer(platform).Instrument(reg)
+	var handler http.Handler = osnhttp.NewServer(platform).Instrument(reg).WithLog(lg)
 	var injector *faults.Injector
 	if *faultRate > 0 || *faultLatency > 0 {
 		cfg := faults.Composite(*faultRate, *faultSeed)
@@ -129,7 +148,7 @@ func main() {
 			cfg.Latency = 0.25
 			cfg.MaxLatency = *faultLatency
 		}
-		injector = faults.New(cfg).Instrument(reg)
+		injector = faults.New(cfg).Instrument(reg).WithLog(lg)
 		handler = injector.Middleware(handler)
 		rate := cfg.ServerError + cfg.Throttle + cfg.Reset + cfg.Truncate + cfg.Garble
 		fmt.Printf("osnd: injecting faults at rate %.2f (seed %d)\n", rate, *faultSeed)
@@ -156,7 +175,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "osnd: metrics server: %v\n", err)
 			}
 		}()
-		fmt.Printf("osnd: metrics on %s (/metrics, /healthz, /debug/pprof/)\n", *metricsAddr)
+		fmt.Printf("osnd: metrics on %s (/metrics, /metrics.json, /healthz, /debug/pprof/)\n", *metricsAddr)
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM; the metrics server drains with
@@ -185,6 +204,14 @@ func main() {
 	}
 	if injector != nil {
 		fmt.Printf("osnd: %s\n", injector.Stats())
+	}
+	if eventsFile != nil {
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "osnd: event log: %v\n", err)
+		} else {
+			fmt.Printf("osnd: %d events logged (%d sampled away) -> %s\n",
+				lg.Events(), lg.Sampled(), *eventsOut)
+		}
 	}
 	if *manifestOut != "" {
 		writeManifest(*manifestOut, tr, reg, map[string]any{
@@ -227,6 +254,7 @@ func writeManifest(path string, tr *obs.Trace, reg *obs.Registry, params map[str
 func metricsMux(reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/metrics.json", reg.JSONHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.0f}\n", time.Since(startTime).Seconds())

@@ -1,0 +1,48 @@
+// Command runreport merges a run's observability artifacts — the JSON
+// manifest (params, phase timings, counters, metrics snapshot) and the JSONL
+// event log — into one human-readable report: what ran, how long each
+// methodology phase took, latency quantiles, the fault/retry story, the
+// slowest requests with their event chains, and the paper-table summary.
+//
+// Usage:
+//
+//	hsprofile ... -manifest-out run.json -events-out events.jsonl
+//	runreport -manifest run.json -events events.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	manifestPath := flag.String("manifest", "", "run manifest JSON written by -manifest-out (required)")
+	eventsPath := flag.String("events", "", "event log JSONL written by -events-out (optional)")
+	topK := flag.Int("top", 10, "how many slowest requests to list")
+	flag.Parse()
+
+	if *manifestPath == "" {
+		fmt.Fprintln(os.Stderr, "runreport: -manifest is required")
+		os.Exit(2)
+	}
+	m, err := readManifest(*manifestPath)
+	if err != nil {
+		fatal(err)
+	}
+	var events []event
+	if *eventsPath != "" {
+		events, err = readEvents(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := report(os.Stdout, m, events, *topK); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "runreport: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hsprofiler/internal/obs"
+)
+
+const sampleLog = `{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"method","msg":"seeds collected","trace":"hsprofile","span":3,"seeds":41}
+
+{"t":"2026-01-01T00:00:01Z","lvl":"info","cat":"crawl","msg":"fetched","trace":"hsprofile","span":9,"key":"friends/u1/0","ms":7.5}
+{"t":"2026-01-01T00:00:01Z","lvl":"warn","cat":"crawl","msg":"retry","trace":"hsprofile","span":9,"class":"throttle","attempt":1}
+{"t":"2026-01-01T00:00:02Z","lvl":"info","cat":"crawl","msg":"fetched","trace":"hsprofile","span":10,"key":"friends/u2/0","ms":1.5}
+{"t":"2026-01-01T00:00:02Z","lvl":"warn","cat":"faults","msg":"fault injected","kind":"reset","key":"friends/u2/0"}
+`
+
+func TestParseEvents(t *testing.T) {
+	events, err := parseEvents(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 { // blank line skipped
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	e := events[0]
+	if e.Level != "info" || e.Cat != "method" || e.Msg != "seeds collected" || e.Span != 3 {
+		t.Fatalf("envelope not lifted: %+v", e)
+	}
+	if _, ok := e.Fields["cat"]; ok {
+		t.Fatal("envelope keys should be deleted from Fields")
+	}
+	if v, ok := e.f("seeds"); !ok || v != 41 {
+		t.Fatalf("field accessor broken: %v %v", v, ok)
+	}
+	if events[1].Line != 3 {
+		t.Fatalf("line numbers must count blank lines: %d", events[1].Line)
+	}
+}
+
+func TestParseEventsRejectsTornLine(t *testing.T) {
+	_, err := parseEvents(strings.NewReader("{\"lvl\":\"info\"}\n{\"lvl\":"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("torn line not named: %v", err)
+	}
+}
+
+func TestReportSections(t *testing.T) {
+	events, err := parseEvents(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewManifest("hsprofile")
+	m.SetParam("school", "Test High")
+	m.SetParam("result_selected", 73)
+	m.SetParam("result_seeds", 41)
+	m.Counters = map[string]float64{
+		`crawl_requests_total{category="seed"}`:       6,
+		`crawl_requests_total{category="profile"}`:    274,
+		`crawl_requests_total{category="friendlist"}`: 122,
+		`crawl_retries_total{class="throttle"}`:       1,
+	}
+	m.Phases = []obs.Phase{{Name: "collect-seeds", DurationMS: 1.8, SpanID: 3}}
+	m.FinishedAt = m.StartedAt.Add(time.Second)
+
+	var buf bytes.Buffer
+	if err := report(&buf, m, events, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"collect-seeds",                 // phase tree
+		"span 3",                        // span id surfaced
+		"slowest requests (top 1 of 2)", // only events with ms count
+		"friends/u1/0",                  // slowest first
+		"crawl/retry (throttle)",        // span-joined chain under it
+		"faults injected: reset 1",      // fault accounting
+		"inferred students |H| (Table 2/4): 73",
+		"effort (Table 3): 6 seed + 274 profile + 122 friend-list = 402 requests",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "friends/u2/0\n") && strings.Index(out, "friends/u2/0") < strings.Index(out, "friends/u1/0") {
+		t.Error("slowest requests not sorted by latency")
+	}
+}

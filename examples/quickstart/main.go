@@ -2,9 +2,11 @@
 // run the paper's high-school profiling attack against it, and score the
 // result against ground truth — the whole pipeline in ~40 lines of API use.
 // With -metrics, the crawl's Prometheus exposition is printed afterwards.
+// With -events, every layer's structured events land in a JSONL file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -14,12 +16,14 @@ import (
 	"hsprofiler/internal/crawler"
 	"hsprofiler/internal/eval"
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/worldgen"
 )
 
 func main() {
 	metrics := flag.Bool("metrics", false, "dump the crawl's Prometheus metrics to stdout after the run")
+	events := flag.String("events", "", "write the structured event log (JSONL) to this file")
 	flag.Parse()
 
 	// A small town: one 80-student high school, alumni, parents, teachers
@@ -29,10 +33,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// With -events, the attack runs under a structured event logger: the
+	// platform's policy gates, the crawler's requests and retries, and the
+	// methodology's step boundaries all narrate into one JSONL stream.
+	var lg *evlog.Logger
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		lg = evlog.New(evlog.Options{Sink: f})
+	}
+
 	// The platform enforces Facebook's 2012 minor-protection policy
 	// (Table 1): age gate at 13, minimal public profiles for registered
 	// minors, no minors in school search.
-	platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{})
+	platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{}).WithLog(lg)
 
 	// The third party registers two fake adult accounts and attacks.
 	client, err := crawler.NewDirect(platform, 2)
@@ -43,7 +60,8 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	res, err := core.Run(crawler.NewSession(client).Instrument(reg), core.Params{
+	ctx := evlog.NewContext(context.Background(), lg)
+	res, err := core.RunContext(ctx, crawler.NewSession(client).Instrument(reg), core.Params{
 		SchoolName:   world.Schools[0].Name,
 		CurrentYear:  2012,
 		Mode:         core.Enhanced,
@@ -72,5 +90,8 @@ func main() {
 		if err := reg.WritePrometheus(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if lg != nil {
+		fmt.Fprintf(os.Stderr, "events: %d logged -> %s\n", lg.Events(), *events)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"hsprofiler/internal/crawler"
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 )
 
@@ -45,13 +46,35 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 	if err := validateParams(p); err != nil {
 		return nil, err
 	}
+	// If the context carries an event logger and the session has none of its
+	// own, adopt it, so a single NewContext at the entry point wires the
+	// whole crawl.
+	lg := evlog.FromContext(ctx)
+	if sess.Log() == nil {
+		sess.WithLog(lg)
+	} else if lg == nil {
+		lg = sess.Log()
+	}
 	sess.WithContext(ctx)
-	_, span := obs.StartSpan(ctx, "lookup-school")
+	// step opens a span for one methodology step and points the session at
+	// its context, so crawl events inside the step carry the step's span id.
+	// The returned func closes the span and restores the run context.
+	step := func(name string) func() {
+		stepCtx, span := obs.StartSpan(ctx, name)
+		sess.WithContext(stepCtx)
+		return func() {
+			span.End()
+			sess.WithContext(ctx)
+		}
+	}
+	end := step("lookup-school")
 	school, err := sess.LookupSchool(p.SchoolName)
-	span.End()
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("core: looking up target school: %w", err)
 	}
+	lg.Info(ctx, "method", "school resolved",
+		evlog.Str("school", school.Name), evlog.Int("school_id", school.ID))
 	r := &Result{
 		Params:         p,
 		School:         school,
@@ -65,15 +88,17 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 	if accounts == nil {
 		accounts = sess.AllAccounts()
 	}
-	_, span = obs.StartSpan(ctx, "collect-seeds")
+	end = step("collect-seeds")
 	r.Seeds, err = sess.CollectSeeds(school.ID, accounts)
-	span.End()
+	end()
 	if err != nil {
 		return nil, err
 	}
+	lg.Info(ctx, "method", "seeds collected",
+		evlog.Int("seeds", len(r.Seeds)), evlog.Int("accounts", len(accounts)))
 
 	// Step 2: C′ and C from seed profiles.
-	_, span = obs.StartSpan(ctx, "extract-core")
+	end = step("extract-core")
 	var core []CoreUser
 	for _, seed := range r.Seeds {
 		pp, err := sess.FetchProfile(seed.ID)
@@ -81,7 +106,7 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 			if r.absorb(err) {
 				continue // skip this seed
 			}
-			span.End()
+			end()
 			return nil, fmt.Errorf("core: seed profile %s: %w", seed.ID, err)
 		}
 		if !IndicatesCurrentStudent(pp, school.Name, p.CurrentYear) {
@@ -98,50 +123,57 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 			})
 		}
 	}
-	span.End()
+	end()
 	r.SeedCoreSize = len(core)
+	lg.Info(ctx, "method", "core extracted",
+		evlog.Int("core", len(core)), evlog.Int("core_prime", len(r.CorePrime)))
 	if len(core) == 0 {
 		return nil, fmt.Errorf("core: no core users found for %q: the school search yielded no current students with visible friend lists", p.SchoolName)
 	}
 
 	// Steps 3-6.
-	_, span = obs.StartSpan(ctx, "harvest-and-score")
+	end = step("harvest-and-score")
 	err = r.harvestAndScore(sess, core)
-	span.End()
+	end()
 	if err != nil {
 		return nil, err
 	}
+	lg.Info(ctx, "method", "harvested and scored", evlog.Int("candidates", len(r.Ranked)))
 
 	window := int(float64(p.MaxThreshold) * (1 + p.Epsilon))
 	if p.Mode == Enhanced {
 		// §4.3: download the top-(1+ε)t profiles, promote self-declared
 		// current students to the core, recompute from step 3 with the
 		// augmented core, and re-apply the window to the new ranking.
-		_, span = obs.StartSpan(ctx, "enhanced-promote")
+		end = step("enhanced-promote")
 		promoted, err := r.fetchWindowProfiles(sess, window, true)
-		span.End()
+		end()
 		if err != nil {
 			return nil, err
 		}
+		lg.Info(ctx, "method", "enhanced promotion",
+			evlog.Int("promoted", len(promoted)), evlog.Int("window", window))
 		if len(promoted) > 0 {
 			core = append(core, promoted...)
-			_, span = obs.StartSpan(ctx, "re-harvest")
+			end = step("re-harvest")
 			err = r.harvestAndScore(sess, core)
-			span.End()
+			end()
 			if err != nil {
 				return nil, err
 			}
+			lg.Info(ctx, "method", "re-harvested with augmented core",
+				evlog.Int("core", len(core)), evlog.Int("candidates", len(r.Ranked)))
 		}
-		_, span = obs.StartSpan(ctx, "window-profiles")
+		end = step("window-profiles")
 		_, err = r.fetchWindowProfiles(sess, window, false)
-		span.End()
+		end()
 		if err != nil {
 			return nil, err
 		}
 	} else if p.FetchProfiles {
-		_, span = obs.StartSpan(ctx, "window-profiles")
+		end = step("window-profiles")
 		_, err = r.fetchWindowProfiles(sess, window, false)
-		span.End()
+		end()
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 )
 
@@ -125,6 +126,7 @@ type Session struct {
 	rot       int
 	suspended map[int]bool
 	m         *crawlMetrics
+	lg        *evlog.Logger
 }
 
 // NewSession wraps a client.
@@ -151,7 +153,9 @@ func (s *Session) Instrument(reg *obs.Registry) *Session {
 
 // WithContext sets the context consulted between attempts: once it is
 // cancelled, the session's fetch methods return its error instead of
-// issuing further requests. It returns the session for chaining.
+// issuing further requests. Events the session logs carry this context's
+// trace span, so per-step contexts correlate crawl events to their
+// methodology phase. It returns the session for chaining.
 func (s *Session) WithContext(ctx context.Context) *Session {
 	if ctx == nil {
 		ctx = context.Background()
@@ -159,6 +163,20 @@ func (s *Session) WithContext(ctx context.Context) *Session {
 	s.ctx = ctx
 	return s
 }
+
+// WithLog attaches an event logger: each logical request emits a "crawl"
+// debug event, each retry a warn event with its error class and attempt
+// number, and each terminal failure an error event. A nil logger keeps the
+// session silent. Returns the session for chaining.
+func (s *Session) WithLog(lg *evlog.Logger) *Session {
+	s.lg = lg
+	return s
+}
+
+// Log returns the session's event logger (nil if none) so higher layers
+// driving the session — the extend builder, the run orchestration — can
+// log into the same stream.
+func (s *Session) Log() *evlog.Logger { return s.lg }
 
 // DefaultBackoff sleeps 5ms·2^attempt, capped at 500ms — the polite-crawler
 // reaction to the platform's adaptive throttle.
@@ -175,6 +193,7 @@ func DefaultBackoff(attempt int) {
 func (s *Session) countRequest(c category) {
 	*c.bucket(&s.Effort)++
 	s.m.request(c)
+	s.lg.Debug(s.ctx, "crawl", "request", evlog.Str("category", c.String()))
 }
 
 // doValue runs one client call under the session's per-call Timeout. Each
@@ -232,16 +251,24 @@ func retryValue[T any](s *Session, c category, fn func() (T, error)) (T, error) 
 				!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 				*c.bucket(&s.Failures)++
 				s.m.failure(c)
+				s.lg.Error(s.ctx, "crawl", "permanent failure",
+					evlog.Str("category", c.String()), evlog.Err("err", err))
 			}
 			return zero, err
 		}
 		if attempt >= s.MaxRetries {
 			*c.bucket(&s.Failures)++
 			s.m.failure(c)
+			s.lg.Error(s.ctx, "crawl", "retries exhausted",
+				evlog.Str("category", c.String()), evlog.Int("attempts", attempt+1),
+				evlog.Str("class", ErrorClass(err)), evlog.Err("err", err))
 			return zero, err
 		}
 		*c.bucket(&s.Retries)++
 		s.m.retry(c, err)
+		s.lg.Warn(s.ctx, "crawl", "retry",
+			evlog.Str("category", c.String()), evlog.Str("class", ErrorClass(err)),
+			evlog.Int("attempt", attempt+1), evlog.Err("err", err))
 		s.m.timedSleep(func() { s.Backoff(attempt) })
 	}
 }
@@ -294,6 +321,8 @@ func (s *Session) CollectSeeds(schoolID int, accounts []int) ([]osn.SearchResult
 			})
 			if errors.Is(err, osn.ErrSuspended) {
 				s.suspended[acct] = true
+				s.lg.Warn(s.ctx, "crawl", "account suspended, rotating",
+					evlog.Int("account", acct), evlog.Str("category", catSeed.String()))
 				break
 			}
 			if err != nil {
@@ -337,6 +366,8 @@ func (s *Session) FetchProfile(id osn.PublicID) (*osn.PublicProfile, error) {
 		})
 		if errors.Is(err, osn.ErrSuspended) {
 			s.suspended[acct] = true
+			s.lg.Warn(s.ctx, "crawl", "account suspended, rotating",
+				evlog.Int("account", acct), evlog.Str("category", catProfile.String()))
 			continue
 		}
 		if err != nil {
@@ -363,6 +394,8 @@ func (s *Session) FetchFriends(id osn.PublicID) ([]osn.FriendRef, error) {
 		})
 		if errors.Is(err, osn.ErrSuspended) {
 			s.suspended[acct] = true
+			s.lg.Warn(s.ctx, "crawl", "account suspended, rotating",
+				evlog.Int("account", acct), evlog.Str("category", catFriend.String()))
 			pg-- // retry the same page on another account
 			continue
 		}

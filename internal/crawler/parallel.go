@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/sim"
 )
@@ -68,6 +69,7 @@ type Fetcher struct {
 	suspended map[int]bool
 	next      int
 	m         *crawlMetrics
+	lg        *evlog.Logger
 }
 
 // NewFetcher wraps a client with a worker pool of the given size (minimum 1).
@@ -88,6 +90,17 @@ func (f *Fetcher) Workers() int { return f.workers }
 // Returns the fetcher for chaining.
 func (f *Fetcher) Instrument(reg *obs.Registry) *Fetcher {
 	f.m = newCrawlMetrics(reg)
+	return f
+}
+
+// WithLog attaches an event logger: each completed logical request emits a
+// "crawl" info event carrying its key, attempt count and latency (the event
+// stream runreport mines for the slowest requests), with warn/error events
+// for retries, suspensions and exhausted retry budgets. Events carry the
+// per-request span when the batch context holds a trace. A nil logger keeps
+// the fetcher silent. Returns the fetcher for chaining.
+func (f *Fetcher) WithLog(lg *evlog.Logger) *Fetcher {
+	f.lg = lg
 	return f
 }
 
@@ -220,8 +233,15 @@ func withTimeout[T any](f *Fetcher, ctx context.Context, fn func() (T, error)) (
 // span. Terminal platform verdicts (ErrHidden, ErrNotFound, ...) are
 // returned unwrapped for callers to branch on.
 func call[T any](f *Fetcher, ctx context.Context, key string, c category, fn func(acct int) (T, error)) (T, error) {
-	_, span := obs.StartSpan(ctx, key)
+	spanCtx, span := obs.StartSpan(ctx, key)
 	defer span.End()
+	// The completion event carries wall time; only read the clock when a
+	// logger will consume it.
+	logOn := f.lg.On(evlog.Info)
+	var start time.Time
+	if logOn {
+		start = time.Now()
+	}
 	var zero T
 	attempt := 0
 	for {
@@ -243,12 +263,19 @@ func call[T any](f *Fetcher, ctx context.Context, key string, c category, fn fun
 			return err
 		})
 		if err == nil {
+			if logOn {
+				f.lg.Info(spanCtx, "crawl", "fetched",
+					evlog.Str("key", key), evlog.Str("category", c.String()),
+					evlog.Int("attempts", attempt+1), evlog.Dur("ms", time.Since(start)))
+			}
 			return v, nil
 		}
 		if errors.Is(err, osn.ErrSuspended) {
 			// Account rotation, not a retry: the request itself is
 			// fine, the credential is burned.
 			f.markSuspended(acct)
+			f.lg.Warn(spanCtx, "crawl", "account suspended, rotating",
+				evlog.Int("account", acct), evlog.Str("key", key))
 			continue
 		}
 		if !IsTransient(err) {
@@ -259,12 +286,20 @@ func call[T any](f *Fetcher, ctx context.Context, key string, c category, fn fun
 			*c.bucket(&f.failures)++
 			f.mu.Unlock()
 			f.m.failure(c)
+			f.lg.Error(spanCtx, "crawl", "retries exhausted",
+				evlog.Str("key", key), evlog.Str("category", c.String()),
+				evlog.Int("attempts", attempt+1), evlog.Str("class", ErrorClass(err)),
+				evlog.Err("err", err))
 			return zero, err
 		}
 		f.mu.Lock()
 		*c.bucket(&f.retries)++
 		f.mu.Unlock()
 		f.m.retry(c, err)
+		f.lg.Warn(spanCtx, "crawl", "retry",
+			evlog.Str("key", key), evlog.Str("category", c.String()),
+			evlog.Str("class", ErrorClass(err)), evlog.Int("attempt", attempt+1),
+			evlog.Err("err", err))
 		f.m.timedSleep(func() { f.sleep(f.backoffDelay(key, attempt)) })
 		attempt++
 	}

@@ -15,6 +15,7 @@ import (
 
 	"hsprofiler/internal/core"
 	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 )
 
@@ -39,6 +40,8 @@ type Dossier struct {
 // and performs reverse lookup for the hidden ones. The per-request effort
 // lands on the session's tally, as in the paper's §6 crawl.
 func Build(sess *crawler.Session, sel []core.Inferred) (*Dossier, error) {
+	sess.Log().Info(context.Background(), "extend", "dossier build started",
+		evlog.Int("students", len(sel)))
 	profiles := make([]*osn.PublicProfile, len(sel))
 	lists := make([][]osn.FriendRef, len(sel))
 	for i, s := range sel {
@@ -62,7 +65,12 @@ func Build(sess *crawler.Session, sel []core.Inferred) (*Dossier, error) {
 			lists[i] = []osn.FriendRef{} // visible but empty: keep the entry
 		}
 	}
-	return assemble(sel, profiles, lists), nil
+	d := assemble(sel, profiles, lists)
+	sess.Log().Info(context.Background(), "extend", "dossier assembled",
+		evlog.Int("profiles", len(d.Profiles)),
+		evlog.Int("public_lists", len(d.PublicFriends)),
+		evlog.Int("recovered_lists", len(d.RecoveredFriends)))
+	return d, nil
 }
 
 // BuildParallel is Build over a worker pool: profiles in one batch, then
@@ -71,6 +79,9 @@ func Build(sess *crawler.Session, sel []core.Inferred) (*Dossier, error) {
 // paper's §6 crawl can be compressed wall-clock-wise without changing what
 // the third party learns. Effort lands on the fetcher's tally.
 func BuildParallel(ctx context.Context, f *crawler.Fetcher, sel []core.Inferred) (*Dossier, error) {
+	lg := evlog.FromContext(ctx)
+	lg.Info(ctx, "extend", "parallel dossier build started",
+		evlog.Int("students", len(sel)), evlog.Int("workers", f.Workers()))
 	ids := make([]osn.PublicID, len(sel))
 	for i, s := range sel {
 		ids[i] = s.ID
@@ -102,7 +113,12 @@ func BuildParallel(ctx context.Context, f *crawler.Fetcher, sel []core.Inferred)
 			lists[i] = visLists[k]
 		}
 	}
-	return assemble(sel, profiles, lists), nil
+	d := assemble(sel, profiles, lists)
+	lg.Info(ctx, "extend", "dossier assembled",
+		evlog.Int("profiles", len(d.Profiles)),
+		evlog.Int("public_lists", len(d.PublicFriends)),
+		evlog.Int("recovered_lists", len(d.RecoveredFriends)))
+	return d, nil
 }
 
 // assemble builds the dossier from downloads aligned with sel: profiles[i]

@@ -16,6 +16,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/sim"
 )
 
@@ -168,6 +170,9 @@ type Injector struct {
 	kinds     [numKinds + 1]*obs.Counter
 	delays    *obs.Counter
 	decisions *obs.Counter
+
+	// lg records every injected fault as a "faults" event (nil = silent).
+	lg *evlog.Logger
 }
 
 // New returns an injector for the config.
@@ -198,6 +203,15 @@ func (in *Injector) Instrument(reg *obs.Registry) *Injector {
 	}
 	in.delays = reg.Counter("faults_delays_total", "Requests served with injected latency.")
 	in.decisions = reg.Counter("faults_decisions_total", "Fault decisions taken (one per request attempt).")
+	return in
+}
+
+// WithLog attaches an event logger: every injected fault and latency delay
+// emits a "faults" warn event with its kind, request key and attempt, so a
+// run report can line injected trouble up against the crawler's retries. A
+// nil logger keeps the injector silent. Returns the injector for chaining.
+func (in *Injector) WithLog(lg *evlog.Logger) *Injector {
+	in.lg = lg
 	return in
 }
 
@@ -232,6 +246,9 @@ func (in *Injector) Decide(key string) (Kind, time.Duration) {
 		delay = time.Duration(r.Float64() * float64(in.cfg.MaxLatency))
 		in.count(func(s *Stats) { s.Delays++ })
 		in.delays.Inc()
+		in.lg.Warn(context.Background(), "faults", "latency injected",
+			evlog.Str("key", key), evlog.Int("attempt", attempt),
+			evlog.Dur("delay_ms", delay))
 	}
 	if attempt >= in.cfg.MaxConsecutive {
 		return None, delay
@@ -257,6 +274,9 @@ func (in *Injector) Decide(key string) (Kind, time.Duration) {
 	}
 	if kind != None {
 		in.kinds[kind].Inc()
+		in.lg.Warn(context.Background(), "faults", "fault injected",
+			evlog.Str("kind", kind.String()), evlog.Str("key", key),
+			evlog.Int("attempt", attempt))
 	}
 	return kind, delay
 }

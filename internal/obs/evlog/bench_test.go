@@ -1,0 +1,53 @@
+package evlog
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabled proves the no-op promise the acceptance criteria bench:
+// a nil logger on a fully instrumented call site must be free — 0 allocs,
+// no clock reads, no encoding.
+func BenchmarkDisabled(b *testing.B) {
+	var l *Logger
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Info(ctx, "http", "request",
+			Str("endpoint", "profile"), Int("code", 200), Dur("ms", time.Millisecond))
+	}
+}
+
+// BenchmarkEnabled is the price of an event on the hot serving path
+// (acceptance ceiling: ≤ 1 alloc/op).
+func BenchmarkEnabled(b *testing.B) {
+	b.Run("ring-only", func(b *testing.B) {
+		l := New(Options{})
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.Info(ctx, "http", "request",
+				Str("endpoint", "profile"), Int("code", 200), Dur("ms", time.Millisecond))
+		}
+	})
+	b.Run("sink", func(b *testing.B) {
+		l := New(Options{Sink: io.Discard})
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.Info(ctx, "http", "request",
+				Str("endpoint", "profile"), Int("code", 200), Dur("ms", time.Millisecond))
+		}
+	})
+	b.Run("sampled-out", func(b *testing.B) {
+		l := New(Options{Sample: map[string]int{"http": 1 << 30}})
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.Info(ctx, "http", "request",
+				Str("endpoint", "profile"), Int("code", 200), Dur("ms", time.Millisecond))
+		}
+	})
+}

@@ -1,0 +1,287 @@
+package evlog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsprofiler/internal/obs"
+)
+
+// parseLines decodes a JSONL buffer, failing the test on any torn or
+// invalid line.
+func parseLines(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for i, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%q", i, err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// syncBuffer is a bytes.Buffer safe for the logger's concurrent Write calls.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}
+
+func TestEventSchema(t *testing.T) {
+	var buf syncBuffer
+	l := New(Options{Sink: &buf})
+	ctx := context.Background()
+	l.Info(ctx, "crawl", `retry "quoted"`,
+		Str("category", "profile"),
+		Int("attempt", 3),
+		Float("ratio", 0.25),
+		Bool("ok", true),
+		Dur("backoff_ms", 1500*time.Microsecond),
+		Err("err", errors.New("boom\nline2")),
+	)
+	events := parseLines(t, buf.Bytes())
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e["lvl"] != "info" || e["cat"] != "crawl" || e["msg"] != `retry "quoted"` {
+		t.Fatalf("bad envelope: %v", e)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, e["t"].(string)); err != nil {
+		t.Fatalf("bad timestamp %v: %v", e["t"], err)
+	}
+	if e["category"] != "profile" || e["attempt"] != 3.0 || e["ratio"] != 0.25 ||
+		e["ok"] != true || e["backoff_ms"] != 1.5 || e["err"] != "boom\nline2" {
+		t.Fatalf("bad fields: %v", e)
+	}
+	if _, has := e["span"]; has {
+		t.Fatalf("span id on a trace-less context: %v", e)
+	}
+}
+
+func TestSpanCorrelation(t *testing.T) {
+	var buf syncBuffer
+	l := New(Options{Sink: &buf})
+	tr := obs.NewTrace("run")
+	ctx := tr.Context(context.Background())
+	stepCtx, span := obs.StartSpan(ctx, "step-one")
+	l.Info(stepCtx, "method", "inside step")
+	l.Info(ctx, "method", "at root")
+	span.End()
+
+	events := parseLines(t, buf.Bytes())
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0]["trace"] != "run" || events[0]["span"] != float64(span.ID()) {
+		t.Fatalf("step event not correlated: %v (span id %d)", events[0], span.ID())
+	}
+	if events[1]["span"] != 1.0 {
+		t.Fatalf("root event should carry the root span id 1: %v", events[1])
+	}
+}
+
+func TestMinLevelAndSampling(t *testing.T) {
+	var buf syncBuffer
+	l := New(Options{Sink: &buf, MinLevel: Info, Sample: map[string]int{"noisy": 10}})
+	ctx := context.Background()
+	l.Debug(ctx, "crawl", "dropped by level")
+	for i := 0; i < 25; i++ {
+		l.Info(ctx, "noisy", "sampled")
+	}
+	l.Info(ctx, "quiet", "kept")
+	events := parseLines(t, buf.Bytes())
+	// 25 noisy events at 1-in-10 keep events 1, 11, 21 → 3, plus "quiet".
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4: %v", len(events), events)
+	}
+	if got := l.Sampled(); got != 22 {
+		t.Fatalf("Sampled() = %d, want 22", got)
+	}
+	if got := l.Events(); got != 4 {
+		t.Fatalf("Events() = %d, want 4", got)
+	}
+}
+
+// TestConcurrentWriters drives many goroutines through one sink and asserts
+// no line is torn or interleaved — every line must parse and carry one of
+// the writers' ids. Run under -race this is the concurrency guarantee.
+func TestConcurrentWriters(t *testing.T) {
+	var buf syncBuffer
+	l := New(Options{Sink: &buf})
+	const writers, perWriter = 16, 200
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Info(ctx, "http", "request",
+					Int("writer", w), Int("seq", i),
+					Str("path", "/friends/u123?page=4"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	events := parseLines(t, buf.Bytes())
+	if len(events) != writers*perWriter {
+		t.Fatalf("got %d events, want %d", len(events), writers*perWriter)
+	}
+	seen := make(map[[2]int]bool, len(events))
+	for _, e := range events {
+		key := [2]int{int(e["writer"].(float64)), int(e["seq"].(float64))}
+		if seen[key] {
+			t.Fatalf("duplicate event %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestRingWraparound fills the recorder past capacity and asserts the dump
+// is exactly the last N events, oldest first, all valid JSON.
+func TestRingWraparound(t *testing.T) {
+	const size = 8
+	l := New(Options{RingSize: size})
+	ctx := context.Background()
+	for i := 0; i < 3*size+5; i++ {
+		l.Info(ctx, "seq", "event", Int("i", i))
+	}
+	if got := l.RingLen(); got != size {
+		t.Fatalf("RingLen() = %d, want %d", got, size)
+	}
+	var buf bytes.Buffer
+	n, err := l.DumpRing(&buf)
+	if err != nil || n != size {
+		t.Fatalf("DumpRing = (%d, %v), want (%d, nil)", n, err, size)
+	}
+	events := parseLines(t, buf.Bytes())
+	for k, e := range events {
+		want := float64(3*size + 5 - size + k)
+		if e["i"] != want {
+			t.Fatalf("ring slot %d holds event %v, want i=%v", k, e["i"], want)
+		}
+	}
+}
+
+// TestRingOversizedEvent checks that an event longer than the slot capacity
+// is retained whole (the slot grows) rather than truncated into broken JSON.
+func TestRingOversizedEvent(t *testing.T) {
+	l := New(Options{RingSize: 4})
+	big := strings.Repeat("x", 4*ringSlotCap)
+	l.Info(context.Background(), "big", "oversized", Str("payload", big))
+	var buf bytes.Buffer
+	if _, err := l.DumpRing(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := parseLines(t, buf.Bytes())
+	if len(events) != 1 || events[0]["payload"] != big {
+		t.Fatalf("oversized event mangled (%d events)", len(events))
+	}
+}
+
+func TestRingSurvivesWithoutSink(t *testing.T) {
+	l := New(Options{}) // ring only
+	l.Warn(context.Background(), "osn.acct", "account suspended", Str("token", "acct-1"))
+	var buf bytes.Buffer
+	if n, _ := l.DumpRing(&buf); n != 1 {
+		t.Fatalf("ring-only logger retained %d events, want 1", n)
+	}
+}
+
+func TestRingDisabled(t *testing.T) {
+	var buf syncBuffer
+	l := New(Options{Sink: &buf, RingSize: -1})
+	l.Info(context.Background(), "a", "b")
+	var dump bytes.Buffer
+	if n, err := l.DumpRing(&dump); n != 0 || err != nil {
+		t.Fatalf("disabled ring dumped (%d, %v)", n, err)
+	}
+	if len(parseLines(t, buf.Bytes())) != 1 {
+		t.Fatal("sink should still receive events with the ring disabled")
+	}
+}
+
+// TestDisabledLoggerAllocs is the zero-byte guard for the disabled path: a
+// nil logger must cost nothing per event, fields included.
+func TestDisabledLoggerAllocs(t *testing.T) {
+	var l *Logger
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Info(ctx, "http", "request",
+			Str("endpoint", "profile"), Int("code", 200), Dur("ms", time.Millisecond))
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled logger allocates %.1f per event, want 0", allocs)
+	}
+	if l.On(Error) || l.Events() != 0 || l.RingLen() != 0 {
+		t.Fatal("nil logger must report itself off and empty")
+	}
+}
+
+// TestEnabledLoggerAllocs bounds the enabled hot path at ≤ 1 alloc/event
+// (the acceptance ceiling; steady-state pooled buffers usually make it 0).
+func TestEnabledLoggerAllocs(t *testing.T) {
+	l := New(Options{RingSize: 16}) // ring only: measure encode+record cost
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Info(ctx, "http", "request",
+			Str("endpoint", "profile"), Int("code", 200), Dur("ms", time.Millisecond))
+	})
+	if allocs > 1 {
+		t.Fatalf("enabled logger allocates %.1f per event, want ≤ 1", allocs)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should yield a nil logger")
+	}
+	l := New(Options{})
+	ctx := NewContext(context.Background(), l)
+	if FromContext(ctx) != l {
+		t.Fatal("logger did not round-trip through the context")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("NewContext(nil) should return ctx unchanged")
+	}
+	// FromContext's nil result must be safe to use directly.
+	FromContext(context.Background()).Info(context.Background(), "x", "y")
+}
+
+func TestJSONStringEscaping(t *testing.T) {
+	for _, v := range []string{
+		"plain", `back\slash`, `"quotes"`, "tab\tnewline\n", "ctrl\x01\x1f", "unicode → ✓",
+	} {
+		got := appendJSONString(nil, v)
+		var back string
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatalf("%q encoded to invalid JSON %q: %v", v, got, err)
+		}
+		if back != v {
+			t.Fatalf("%q round-tripped to %q", v, back)
+		}
+	}
+}

@@ -10,6 +10,9 @@ import (
 // Phase is one span of a finished trace, flattened for the manifest.
 type Phase struct {
 	Name string `json:"name"`
+	// SpanID is the span's sequence number within the trace — the join key
+	// for event-log lines, which carry the same id in their "span" field.
+	SpanID int `json:"span_id,omitempty"`
 	// StartMS is the offset from the root span's start, in milliseconds.
 	StartMS float64 `json:"start_ms"`
 	// DurationMS is the span's wall time in milliseconds.
@@ -32,6 +35,9 @@ type Manifest struct {
 	Phases      []Phase        `json:"phases,omitempty"`
 	// Counters snapshots every counter series ("name{labels}" → value).
 	Counters map[string]float64 `json:"counters,omitempty"`
+	// Metrics is the full registry snapshot — counters again, plus gauges
+	// and histogram buckets, which cmd/runreport turns into quantiles.
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
 	// DroppedSpans is how many spans the trace discarded over its cap.
 	DroppedSpans int `json:"dropped_spans,omitempty"`
 }
@@ -80,6 +86,7 @@ func phaseFromSpan(s *Span, origin time.Time, now func() time.Time) Phase {
 	}
 	p := Phase{
 		Name:       s.name,
+		SpanID:     s.id,
 		StartMS:    float64(s.start.Sub(origin).Microseconds()) / 1000,
 		DurationMS: float64(end.Sub(s.start).Microseconds()) / 1000,
 	}
@@ -93,6 +100,14 @@ func phaseFromSpan(s *Span, origin time.Time, now func() time.Time) Phase {
 func (m *Manifest) AddCounters(r *Registry) {
 	if cs := r.Counters(); len(cs) > 0 {
 		m.Counters = cs
+	}
+}
+
+// AddMetrics embeds the full registry snapshot (counters, gauges and
+// histogram buckets) so runreport can compute latency quantiles offline.
+func (m *Manifest) AddMetrics(r *Registry) {
+	if snap := r.Snapshot(); snap != nil {
+		m.Metrics = snap
 	}
 }
 

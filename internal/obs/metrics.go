@@ -11,6 +11,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -162,6 +163,65 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the fixed buckets by
+// linear interpolation inside the bucket holding the target rank, the same
+// estimator Prometheus's histogram_quantile applies. Values in the implicit
+// +Inf bucket are reported as the highest finite bound (there is no upper
+// edge to interpolate toward). Returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bucketQuantile(h.bounds, counts, q)
+}
+
+// bucketQuantile is the interpolation kernel shared by the live Histogram
+// and HistogramSnapshot: counts is per-bucket (not cumulative), one entry
+// longer than bounds for the +Inf bucket.
+func bucketQuantile(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Target rank lands in +Inf: the best point estimate the fixed
+			// buckets allow is the largest finite bound.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return bounds[len(bounds)-1]
 }
 
 // metric is one labelled series inside a family.
@@ -380,6 +440,86 @@ func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
+	})
+}
+
+// HistogramSnapshot is one histogram series frozen for JSON export. Counts
+// are per-bucket (not cumulative) with the +Inf bucket last, so the snapshot
+// carries everything Quantile needs.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets, same
+// estimator as Histogram.Quantile — this is what cmd/runreport runs over a
+// manifest's embedded metrics.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return bucketQuantile(s.Bounds, s.Counts, q)
+}
+
+// MetricsSnapshot freezes every series in a registry in JSON-friendly form:
+// the machine-readable sibling of the Prometheus text exposition, served by
+// osnd at /metrics.json and embedded in run manifests for cmd/runreport.
+type MetricsSnapshot struct {
+	Counters   map[string]float64           `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every family in the registry. Keys are "name{labels}",
+// matching Counters. Returns nil on a nil registry.
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	if r == nil {
+		return nil
+	}
+	snap := &MetricsSnapshot{
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, m := range f.series {
+			key := f.name + m.labels
+			switch f.typ {
+			case "counter":
+				snap.Counters[key] = m.c.Value()
+			case "gauge":
+				snap.Gauges[key] = m.g.Value()
+			case "histogram":
+				hs := HistogramSnapshot{
+					Bounds: m.h.bounds,
+					Counts: make([]int64, len(m.h.counts)),
+					Sum:    m.h.Sum(),
+					Count:  m.h.Count(),
+				}
+				for i := range m.h.counts {
+					hs.Counts[i] = m.h.counts[i].Load()
+				}
+				snap.Histograms[key] = hs
+			}
+		}
+		f.mu.Unlock()
+	}
+	return snap
+}
+
+// JSONHandler serves the registry as a /metrics.json endpoint.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
 	})
 }
 

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "quantile test", []float64{0.1, 0.2, 0.4, 0.8})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile(0.5) = %v, want 0", got)
+	}
+
+	// 10 observations in (0.1, 0.2]: ranks spread the bucket uniformly.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.15)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.15) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %v, want 0.15 (midpoint of the only populated bucket)", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("Quantile(1) = %v, want bucket upper bound 0.2", got)
+	}
+
+	// Add 10 more in (0.4, 0.8]: p25 stays in the first bucket, p75 moves.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.25); math.Abs(got-0.15) > 1e-9 {
+		t.Fatalf("Quantile(0.25) = %v, want 0.15", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-0.6) > 1e-9 {
+		// rank 15 of 20; bucket (0.4,0.8] holds ranks 11-20, so the
+		// interpolated point is 0.4 + 0.4*(15-10)/10 = 0.6.
+		t.Fatalf("Quantile(0.75) = %v, want 0.6", got)
+	}
+
+	// Out-of-range q clamps.
+	if got := h.Quantile(-1); math.Abs(got-h.Quantile(0)) > 1e-9 {
+		t.Fatalf("Quantile(-1) = %v, want Quantile(0) = %v", got, h.Quantile(0))
+	}
+
+	// Observations beyond the last bound land in +Inf and are reported as
+	// the largest finite bound (nothing to interpolate toward).
+	h2 := reg.Histogram("q2_seconds", "quantile test", []float64{0.1, 0.2, 0.4, 0.8})
+	h2.Observe(5)
+	if got := h2.Quantile(0.99); got != 0.8 {
+		t.Fatalf("+Inf-bucket Quantile = %v, want 0.8", got)
+	}
+
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs_total", "", L("endpoint", "profile")).Add(7)
+	reg.Gauge("depth", "").Set(3)
+	h := reg.Histogram("lat_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	snap := reg.Snapshot()
+	if snap.Counters[`reqs_total{endpoint="profile"}`] != 7 {
+		t.Fatalf("counter missing from snapshot: %v", snap.Counters)
+	}
+	if snap.Gauges["depth"] != 3 {
+		t.Fatalf("gauge missing from snapshot: %v", snap.Gauges)
+	}
+	hs, ok := snap.Histograms["lat_seconds"]
+	if !ok || hs.Count != 3 || hs.Sum != 2.55 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+	if want := []int64{1, 1, 1}; len(hs.Counts) != 3 || hs.Counts[0] != want[0] || hs.Counts[2] != want[2] {
+		t.Fatalf("bucket counts = %v, want %v", hs.Counts, want)
+	}
+
+	// The snapshot must survive JSON (what the manifest embeds and
+	// runreport reads back) with quantiles intact.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Histograms["lat_seconds"].Quantile(0.5), h.Quantile(0.5); got != want {
+		t.Fatalf("snapshot Quantile(0.5) = %v, live = %v", got, want)
+	}
+
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+}
+
+func TestJSONHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Inc()
+	rec := httptest.NewRecorder()
+	reg.JSONHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("body is not a snapshot: %v", err)
+	}
+	if snap.Counters["a_total"] != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

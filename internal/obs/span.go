@@ -35,9 +35,18 @@ type Trace struct {
 // NewTrace starts a trace whose root span has the given name.
 func NewTrace(name string) *Trace {
 	t := &Trace{now: time.Now, MaxSpans: 10000}
-	t.root = &Span{trace: t, name: name, start: t.now()}
+	t.root = &Span{trace: t, name: name, start: t.now(), id: 1}
 	t.spans = 1
 	return t
+}
+
+// Name returns the trace's name (the root span's name) — the trace
+// identifier event logs carry so events can be joined back to the tree.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.root.name
 }
 
 // Root returns the root span.
@@ -73,6 +82,7 @@ type Span struct {
 	start    time.Time
 	end      time.Time
 	depth    int
+	id       int
 	parent   *Span
 	children []*Span
 }
@@ -91,6 +101,25 @@ func (s *Span) Depth() int {
 		return 0
 	}
 	return s.depth
+}
+
+// ID is the span's start-order sequence number within its trace (root = 1).
+// It is the join key between event-log lines and manifest phases: an evlog
+// event stamped span=N belongs to the phase whose SpanID is N. A nil span
+// reports 0, which event logs render as "no span".
+func (s *Span) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceName reports the name of the trace the span belongs to ("" for nil).
+func (s *Span) TraceName() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace.Name()
 }
 
 // End closes the span. Ending twice keeps the first end time.
@@ -172,9 +201,9 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		t.mu.Unlock()
 		return ctx, nil
 	}
-	s := &Span{trace: t, name: name, start: t.now(), depth: parent.depth + 1, parent: parent}
-	parent.children = append(parent.children, s)
 	t.spans++
+	s := &Span{trace: t, name: name, start: t.now(), depth: parent.depth + 1, id: t.spans, parent: parent}
+	parent.children = append(parent.children, s)
 	t.mu.Unlock()
 	if t.OnStart != nil {
 		t.OnStart(s)

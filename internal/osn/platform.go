@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/sim"
 	"hsprofiler/internal/socialgraph"
 	"hsprofiler/internal/worldgen"
@@ -153,6 +154,9 @@ type Platform struct {
 	// readReq/ctlReq count requests by plane; nil until Instrument, which
 	// must run before serving starts.
 	readReq, ctlReq *obs.Counter
+
+	// lg is the event logger (nil = silent); set by WithLog before serving.
+	lg *evlog.Logger
 }
 
 // NewPlatform builds a platform over the world. The world must not be
@@ -223,6 +227,22 @@ func (p *Platform) Instrument(reg *obs.Registry) *Platform {
 	reg.Gauge("osn_freeze_seconds", "Duration of the construction-time freeze step.").Set(p.freezeDur.Seconds())
 	reg.Gauge("osn_frozen_users", "Users in the frozen social graph.").Set(float64(p.read.frozen.NumUsers()))
 	reg.Gauge("osn_frozen_edges", "Friendships in the frozen social graph.").Set(float64(p.read.frozen.NumEdges()))
+	return p
+}
+
+// WithLog attaches an event logger. The platform then narrates its policy
+// decisions and anti-crawl transitions: "osn.gate" events for every denial
+// the paper's attack ran into (underage registrations, hidden friend lists,
+// minors excluded from search views) and "osn.acct" events for the account
+// life cycle (registered, throttled, the suspension transition). Shard-lock
+// contention emits sampled "osn.shard" debug events. Call before serving
+// begins; a nil logger leaves the platform silent. Returns p for chaining.
+func (p *Platform) WithLog(lg *evlog.Logger) *Platform {
+	p.lg = lg
+	for i := range p.ctl.shards {
+		p.ctl.shards[i].lg = lg
+		p.ctl.shards[i].idx = i
+	}
 	return p
 }
 
@@ -314,6 +334,8 @@ func (p *Platform) UserIDOf(id PublicID) (socialgraph.UserID, bool) {
 // date is rejected — which is exactly why the paper's under-13 users lied.
 func (p *Platform) RegisterAccount(name string, birth sim.Date) (token string, err error) {
 	if birth.AgeAt(p.world.Now) < 13 {
+		p.lg.Warn(context.Background(), "osn.gate", "underage registration rejected",
+			evlog.Str("name", name), evlog.Int("age", birth.AgeAt(p.world.Now)))
 		return "", ErrUnderage
 	}
 	p.ctlReq.Inc()
@@ -323,6 +345,7 @@ func (p *Platform) RegisterAccount(name string, birth sim.Date) (token string, e
 	s.lock()
 	s.accounts[token] = &account{token: token}
 	s.mu.Unlock()
+	p.lg.Info(context.Background(), "osn.acct", "account registered", evlog.Str("token", token))
 	return token, nil
 }
 
@@ -336,6 +359,7 @@ func (p *Platform) charge(token string) error {
 	defer s.mu.Unlock()
 	a := s.lookup(token)
 	if a == nil {
+		p.lg.Warn(context.Background(), "osn.gate", "unknown account token", evlog.Str("token", token))
 		return ErrUnauthorized
 	}
 	if a.suspended {
@@ -354,6 +378,8 @@ func (p *Platform) charge(token string) error {
 		if len(a.recent) >= p.cfg.ThrottleLimit {
 			// A throttled request does not consume budget; the crawler is
 			// expected to back off and retry.
+			p.lg.Warn(context.Background(), "osn.acct", "request throttled",
+				evlog.Str("token", token), evlog.Int("in_window", len(a.recent)))
 			return ErrThrottled
 		}
 		a.recent = append(a.recent, now)
@@ -361,6 +387,9 @@ func (p *Platform) charge(token string) error {
 	a.requests++
 	if p.cfg.RequestBudget > 0 && a.requests > p.cfg.RequestBudget {
 		a.suspended = true
+		// The false→true transition — logged exactly once per account.
+		p.lg.Warn(context.Background(), "osn.acct", "account suspended",
+			evlog.Str("token", token), evlog.Int("requests", a.requests))
 		return ErrSuspended
 	}
 	return nil
@@ -422,11 +451,13 @@ func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []soci
 	if n > len(idx) {
 		n = len(idx)
 	}
+	excluded := 0
 	out := make([]socialgraph.UserID, 0, n)
 	for _, k := range perm {
 		u := idx[k]
 		// Policy: registered minors never appear in search results.
 		if !p.read.searchEligible[u] {
+			excluded++
 			continue
 		}
 		out = append(out, u)
@@ -434,6 +465,9 @@ func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []soci
 			break
 		}
 	}
+	p.lg.Info(context.Background(), "osn.gate", "search view built",
+		evlog.Str("token", token), evlog.Str("scope", scope),
+		evlog.Int("results", len(out)), evlog.Int("minors_excluded", excluded))
 	return out
 }
 
@@ -538,6 +572,7 @@ func (p *Platform) Profile(token string, id PublicID) (*PublicProfile, error) {
 	p.readReq.Inc()
 	u, ok := p.byPub[id]
 	if !ok {
+		p.lg.Debug(context.Background(), "osn.gate", "profile not found", evlog.Str("id", string(id)))
 		return nil, ErrNotFound
 	}
 	return p.read.profiles[u], nil
@@ -559,9 +594,11 @@ func (p *Platform) FriendPage(token string, id PublicID, page int) (friends []Fr
 	}
 	u, ok := p.byPub[id]
 	if !ok {
+		p.lg.Debug(context.Background(), "osn.gate", "friend list not found", evlog.Str("id", string(id)))
 		return nil, false, ErrNotFound
 	}
 	if !p.read.friendVisible[u] {
+		p.lg.Debug(context.Background(), "osn.gate", "friend list hidden", evlog.Str("id", string(id)))
 		return nil, false, ErrHidden
 	}
 	all := p.read.friendRefs[u]

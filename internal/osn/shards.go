@@ -1,11 +1,13 @@
 package osn
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/socialgraph"
 )
 
@@ -43,9 +45,13 @@ type shard struct {
 	// contention counts lock acquisitions that had to wait (set by
 	// Platform.Instrument; nil is a no-op).
 	contention *obs.Counter
+	// lg and idx are set by Platform.WithLog: contended acquisitions emit a
+	// sampled "osn.shard" debug event naming the shard. A nil lg is a no-op.
+	lg  *evlog.Logger
+	idx int
 	// Pad the struct to a full cache line so adjacent shards never share
-	// one (mu 8 + accounts 8 + contention 8 + 40 = 64 bytes).
-	_ [40]byte
+	// one (mu 8 + accounts 8 + contention 8 + lg 8 + idx 8 + 24 = 64 bytes).
+	_ [24]byte
 }
 
 // lock acquires the shard lock, counting the acquisitions that block: the
@@ -56,6 +62,7 @@ func (s *shard) lock() {
 		return
 	}
 	s.contention.Inc()
+	s.lg.Debug(context.Background(), "osn.shard", "contended lock", evlog.Int("shard", s.idx))
 	s.mu.Lock()
 }
 

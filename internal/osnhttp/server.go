@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"time"
 
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/sim"
 )
@@ -31,6 +32,7 @@ type Server struct {
 	platform *osn.Platform
 	mux      *http.ServeMux
 	metrics  *serverMetrics
+	lg       *evlog.Logger
 }
 
 // NewServer returns a handler serving the platform.
@@ -46,18 +48,36 @@ func NewServer(p *osn.Platform) *Server {
 	return s
 }
 
+// WithLog attaches an event logger: every served request emits one "http"
+// access-log event with its endpoint, status and latency. A nil logger
+// leaves the server silent. Returns the server for chaining.
+func (s *Server) WithLog(lg *evlog.Logger) *Server {
+	s.lg = lg
+	return s
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.metrics == nil {
+	if s.metrics == nil && !s.lg.On(evlog.Info) {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
-	s.metrics.inflight.Inc()
-	defer s.metrics.inflight.Dec()
+	if s.metrics != nil {
+		s.metrics.inflight.Inc()
+		defer s.metrics.inflight.Dec()
+	}
 	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(rec, r)
-	s.metrics.observe(endpointName(r.URL.Path), rec.code, time.Since(start))
+	elapsed := time.Since(start)
+	endpoint := endpointName(r.URL.Path)
+	s.metrics.observe(endpoint, rec.code, elapsed)
+	s.lg.Info(r.Context(), "http", "request",
+		evlog.Str("endpoint", endpoint),
+		evlog.Str("method", r.Method),
+		evlog.Str("path", r.URL.RequestURI()),
+		evlog.Int("code", rec.code),
+		evlog.Dur("ms", elapsed))
 }
 
 // httpStatus maps platform errors onto wire status codes.
