@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"hsprofiler/internal/core"
 	"hsprofiler/internal/crawler"
@@ -485,6 +486,49 @@ func BenchmarkPlatformConcurrent(b *testing.B) {
 	b.StopTimer()
 	if failures.Load() != 0 {
 		b.Fatalf("%d requests failed", failures.Load())
+	}
+}
+
+// BenchmarkRunParallel sweeps the attack pipeline's worker pool over the
+// HS1 world with a simulated per-request RTT, the regime the parallel
+// engine is built for: wall-clock is dominated by waiting on the platform,
+// so overlapping requests — not extra cores — is what buys throughput.
+// Each sub-benchmark reports the logical request total (identical at every
+// worker count, by construction) so the ns/op ratios are directly
+// comparable. cmd/attackbench runs the same sweep and writes
+// BENCH_attack.json for the CI regression gate.
+func BenchmarkRunParallel(b *testing.B) {
+	sc := experiments.HS1()
+	world, err := lab().World(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rtt = 200 * time.Microsecond
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{SearchPerAccount: sc.SearchPerAccount})
+			d, err := crawler.NewDirect(platform, sc.SeedAccounts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := crawler.WithLatency(d, rtt)
+			var logical int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(crawler.NewSession(client), core.Params{
+					SchoolName:   world.Schools[0].Name,
+					CurrentYear:  sc.CurrentYear(),
+					Mode:         core.Enhanced,
+					MaxThreshold: sc.MaxThreshold,
+					Workers:      workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				logical = res.Effort.Total()
+			}
+			b.ReportMetric(float64(logical), "requests")
+		})
 	}
 }
 

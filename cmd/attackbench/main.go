@@ -1,0 +1,196 @@
+// Command attackbench measures end-to-end attack-crawl throughput at
+// several worker-pool widths and writes the result as JSON, the CI
+// artefact that tracks how the parallel pipeline scales. Each point runs
+// the complete methodology (seed collection through ranked window
+// profiles) against a fresh in-process platform wrapped in a simulated
+// per-request RTT — the regime the worker pool exists for, where
+// wall-clock is waiting on the network, not the CPU.
+//
+// Throughput is reported in logical requests per second: the Table 3
+// effort count divided by wall-clock. Logical requests are identical at
+// every worker count (the sweep refuses to emit a report otherwise), so
+// the ops/sec ratio IS the speedup.
+//
+// Usage:
+//
+//	attackbench -out BENCH_attack.json
+//	attackbench -scenario hs1 -workers 1,4,8 -rtt 200us -mode enhanced
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/experiments"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/worldgen"
+)
+
+// Result is one worker-count point of the sweep.
+type Result struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"` // per logical request
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Requests    int     `json:"requests"` // logical requests (Table 3 effort)
+	Elapsed     string  `json:"elapsed"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the full BENCH_attack.json document. The scenario/seed/results
+// shape matches BENCH_platform.json so cmd/benchdiff can gate either.
+type Report struct {
+	Scenario   string    `json:"scenario"`
+	Seed       uint64    `json:"seed"`
+	Mode       string    `json:"mode"`
+	RTT        string    `json:"rtt"`
+	NumCPU     int       `json:"num_cpu"`
+	GoVersion  string    `json:"go_version"`
+	Results    []Result  `json:"results"`
+	SpeedupMax float64   `json:"speedup_max_vs_1"`
+	Timestamp  time.Time `json:"timestamp"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_attack.json", "output JSON path (- for stdout)")
+	scenario := flag.String("scenario", "hs1", "attack scenario: tiny, hs1, hs2, hs3")
+	workersFlag := flag.String("workers", "1,4,8", "comma-separated worker-pool widths to sweep")
+	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-request round-trip time")
+	mode := flag.String("mode", "enhanced", "methodology: basic or enhanced")
+	flag.Parse()
+
+	var sc experiments.Scenario
+	switch *scenario {
+	case "tiny":
+		sc = experiments.Tiny()
+	case "hs1":
+		sc = experiments.HS1()
+	case "hs2":
+		sc = experiments.HS2()
+	case "hs3":
+		sc = experiments.HS3()
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+	var runMode core.Mode
+	switch *mode {
+	case "basic":
+		runMode = core.Basic
+	case "enhanced":
+		runMode = core.Enhanced
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	var workers []int
+	for _, s := range strings.Split(*workersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -workers entry %q", s))
+		}
+		workers = append(workers, n)
+	}
+
+	world, err := worldgen.Generate(sc.Config, sc.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	rep := Report{
+		Scenario:  *scenario,
+		Seed:      sc.Seed,
+		Mode:      *mode,
+		RTT:       rtt.String(),
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC(),
+	}
+	for _, w := range workers {
+		// Fresh platform + crawler per point so account-rotation state and
+		// suspension history start identical for every width.
+		platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{SearchPerAccount: sc.SearchPerAccount})
+		d, err := crawler.NewDirect(platform, sc.SeedAccounts)
+		if err != nil {
+			fatal(err)
+		}
+		client := crawler.WithLatency(d, *rtt)
+
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := core.Run(crawler.NewSession(client), core.Params{
+			SchoolName:   world.Schools[0].Name,
+			CurrentYear:  sc.CurrentYear(),
+			Mode:         runMode,
+			MaxThreshold: sc.MaxThreshold,
+			Workers:      w,
+		})
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			fatal(fmt.Errorf("workers=%d: %w", w, err))
+		}
+		logical := res.Effort.Total()
+		if logical == 0 {
+			fatal(fmt.Errorf("workers=%d: run made no requests", w))
+		}
+		rep.Results = append(rep.Results, Result{
+			Workers:     w,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(logical),
+			OpsPerSec:   float64(logical) / elapsed.Seconds(),
+			Requests:    logical,
+			Elapsed:     elapsed.Round(time.Millisecond).String(),
+			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(logical),
+			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(logical),
+		})
+		fmt.Fprintf(os.Stderr, "attackbench: workers=%d  %d requests in %s  %.0f req/sec\n",
+			w, logical, elapsed.Round(time.Millisecond), float64(logical)/elapsed.Seconds())
+	}
+	// The whole point of counting logical requests is that the number is
+	// invariant under parallelism; a divergence means the pipeline is no
+	// longer deterministic and the timings are comparing different crawls.
+	for _, r := range rep.Results[1:] {
+		if r.Requests != rep.Results[0].Requests {
+			fatal(fmt.Errorf("logical request count diverged across widths: workers=%d made %d, workers=%d made %d",
+				rep.Results[0].Workers, rep.Results[0].Requests, r.Workers, r.Requests))
+		}
+	}
+	if len(rep.Results) > 1 && rep.Results[0].Workers == 1 {
+		base := rep.Results[0].OpsPerSec
+		for _, r := range rep.Results[1:] {
+			if s := r.OpsPerSec / base; s > rep.SpeedupMax {
+				rep.SpeedupMax = s
+			}
+		}
+	}
+
+	f := os.Stdout
+	if *out != "-" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "attackbench: wrote %s (max speedup vs workers=1: %.2fx)\n", *out, rep.SpeedupMax)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "attackbench: %v\n", err)
+	os.Exit(1)
+}

@@ -5,9 +5,9 @@ import (
 	"io"
 )
 
-// report mirrors the fields of platformbench's Report that the diff needs;
-// unknown fields in the JSON are ignored, so the two commands can evolve
-// their schemas independently as long as these survive.
+// report mirrors the fields of platformbench's / attackbench's Report that
+// the diff needs; unknown fields in the JSON are ignored, so the commands
+// can evolve their schemas independently as long as these survive.
 type report struct {
 	Scenario string   `json:"scenario"`
 	Seed     uint64   `json:"seed"`
@@ -16,16 +16,26 @@ type report struct {
 }
 
 type result struct {
-	Procs       int     `json:"procs"`
+	Procs       int     `json:"procs"`   // platformbench sweeps GOMAXPROCS…
+	Workers     int     `json:"workers"` // …attackbench sweeps pool width
 	NsPerOp     float64 `json:"ns_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// row is one GOMAXPROCS point of the diff.
+// point is the sweep coordinate results are matched on: GOMAXPROCS for
+// platform reports, worker-pool width for attack reports.
+func (r result) point() int {
+	if r.Procs > 0 {
+		return r.Procs
+	}
+	return r.Workers
+}
+
+// row is one sweep point of the diff.
 type row struct {
-	procs     int
+	point     int
 	oldOps    float64
 	newOps    float64
 	delta     float64 // fractional change in ops/sec; negative = slower
@@ -43,28 +53,29 @@ type diff struct {
 	mismatch string // non-empty when the runs are not comparable
 }
 
-// compare matches results by GOMAXPROCS and flags regressions: a throughput
-// drop beyond threshold, or any allocation on a path that was allocation-free
-// in the baseline. Extra points in the candidate are ignored; points missing
-// from it are themselves a failure (the sweep shrank).
+// compare matches results by sweep point (GOMAXPROCS or worker count) and
+// flags regressions: a throughput drop beyond threshold, or any allocation
+// on a path that was allocation-free in the baseline. Extra points in the
+// candidate are ignored; points missing from it are themselves a failure
+// (the sweep shrank).
 func compare(oldRep, newRep *report, threshold float64) *diff {
 	d := &diff{}
 	if oldRep.Scenario != newRep.Scenario || oldRep.Seed != newRep.Seed || oldRep.Workers != newRep.Workers {
 		d.mismatch = fmt.Sprintf("baseline ran scenario=%s seed=%d workers=%d, candidate scenario=%s seed=%d workers=%d — comparing anyway, treat deltas with suspicion",
 			oldRep.Scenario, oldRep.Seed, oldRep.Workers, newRep.Scenario, newRep.Seed, newRep.Workers)
 	}
-	byProcs := map[int]result{}
+	byPoint := map[int]result{}
 	for _, r := range newRep.Results {
-		byProcs[r.Procs] = r
+		byPoint[r.point()] = r
 	}
 	for _, o := range oldRep.Results {
-		n, ok := byProcs[o.Procs]
+		n, ok := byPoint[o.point()]
 		if !ok {
-			d.rows = append(d.rows, row{procs: o.Procs, oldOps: o.OpsPerSec, oldAllocs: o.AllocsPerOp, missing: true})
+			d.rows = append(d.rows, row{point: o.point(), oldOps: o.OpsPerSec, oldAllocs: o.AllocsPerOp, missing: true})
 			continue
 		}
 		r := row{
-			procs:     o.Procs,
+			point:     o.point(),
 			oldOps:    o.OpsPerSec,
 			newOps:    n.OpsPerSec,
 			oldAllocs: o.AllocsPerOp,
@@ -94,11 +105,11 @@ func (d *diff) print(w io.Writer, oldPath, newPath string, threshold float64) {
 	if d.mismatch != "" {
 		fmt.Fprintf(w, "  warning: %s\n", d.mismatch)
 	}
-	fmt.Fprintf(w, "  %5s %14s %14s %8s %12s\n", "procs", "old ops/s", "new ops/s", "delta", "allocs/op")
+	fmt.Fprintf(w, "  %5s %14s %14s %8s %12s\n", "point", "old ops/s", "new ops/s", "delta", "allocs/op")
 	for _, r := range d.rows {
 		if r.missing {
 			fmt.Fprintf(w, "  %5d %14.0f %14s %8s %12s  REGRESSION: point missing from candidate\n",
-				r.procs, r.oldOps, "-", "-", "-")
+				r.point, r.oldOps, "-", "-", "-")
 			continue
 		}
 		mark := ""
@@ -111,7 +122,7 @@ func (d *diff) print(w io.Writer, oldPath, newPath string, threshold float64) {
 			mark = "  REGRESSION: allocation-free path now allocates"
 		}
 		fmt.Fprintf(w, "  %5d %14.0f %14.0f %+7.1f%% %7d->%-4d%s\n",
-			r.procs, r.oldOps, r.newOps, r.delta*100, r.oldAllocs, r.newAllocs, mark)
+			r.point, r.oldOps, r.newOps, r.delta*100, r.oldAllocs, r.newAllocs, mark)
 	}
 	if d.regressed() {
 		fmt.Fprintln(w, "  verdict: REGRESSED")

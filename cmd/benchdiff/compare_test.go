@@ -77,6 +77,36 @@ func TestCompareMissingPoint(t *testing.T) {
 	}
 }
 
+// TestCompareWorkersPoints: attackbench reports key their sweep on the
+// worker-pool width instead of GOMAXPROCS; matching and gating must work
+// the same way.
+func TestCompareWorkersPoints(t *testing.T) {
+	attack := func() *report {
+		return &report{
+			Scenario: "hs1", Seed: 2013,
+			Results: []result{
+				{Workers: 1, OpsPerSec: 4_000, AllocsPerOp: 100},
+				{Workers: 4, OpsPerSec: 14_000, AllocsPerOp: 110},
+				{Workers: 8, OpsPerSec: 22_000, AllocsPerOp: 120},
+			},
+		}
+	}
+	if d := compare(attack(), attack(), 0.15); d.regressed() {
+		t.Fatalf("identical attack reports flagged: %+v", d.rows)
+	}
+	oldRep, newRep := attack(), attack()
+	newRep.Results[2].OpsPerSec = 10_000 // -55% at workers=8
+	d := compare(oldRep, newRep, 0.15)
+	if !d.regressed() {
+		t.Fatal("throughput loss on a workers-keyed point not flagged")
+	}
+	var buf bytes.Buffer
+	d.print(&buf, "old.json", "new.json", 0.15)
+	if !strings.Contains(buf.String(), "REGRESSION: past threshold") {
+		t.Fatalf("regression not reported:\n%s", buf.String())
+	}
+}
+
 func TestCompareConfigMismatchWarns(t *testing.T) {
 	oldRep, newRep := baseline(), baseline()
 	newRep.Scenario = "hs1"

@@ -1,15 +1,18 @@
-// Command benchdiff compares two BENCH_platform.json reports and fails —
-// exit status 1 — when the new one has regressed past a threshold. It is
-// the CI gate that keeps the platform's read-plane throughput honest: run
-// platformbench against the working tree, diff it against the committed
-// baseline, and a slowdown larger than -threshold (or any new allocation
-// on a previously allocation-free path) blocks the change.
+// Command benchdiff compares two benchmark reports — BENCH_platform.json
+// (GOMAXPROCS sweep from platformbench) or BENCH_attack.json (worker-pool
+// sweep from attackbench) — and fails with exit status 1 when the new one
+// has regressed past a threshold. It is the CI gate that keeps throughput
+// honest: run the bench against the working tree, diff it against the
+// committed baseline, and a slowdown larger than -threshold (or any new
+// allocation on a previously allocation-free path) blocks the change.
+// Results are matched by sweep point: "procs" when present, else "workers".
 //
 // Usage:
 //
 //	platformbench -out BENCH_platform.json
 //	benchdiff -old BENCH_baseline.json -new BENCH_platform.json
-//	benchdiff -old BENCH_baseline.json -new BENCH_platform.json -threshold 0.3
+//	attackbench -out BENCH_attack_ci.json
+//	benchdiff -old BENCH_attack.json -new BENCH_attack_ci.json -threshold 0.3
 package main
 
 import (

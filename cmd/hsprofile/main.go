@@ -151,7 +151,7 @@ func main() {
 	archive := flag.String("archive", "", "write the crawl archive (profiles + friend lists) as JSON to this file")
 	resume := flag.String("resume", "", "resume from a crawl archive written by a previous (possibly interrupted) run")
 	failureBudget := flag.Int("failure-budget", 0, "how many per-item fetch failures to absorb before aborting (0 = fail fast)")
-	workers := flag.Int("workers", 1, "parallel fetch workers for the Section 6 dossier crawl (1 = sequential)")
+	workers := flag.Int("workers", 1, "parallel fetch workers for the attack crawl and the Section 6 dossier crawl (1 = sequential; ranked output is identical at any setting)")
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request timeout; overrunning requests are abandoned and retried (0 = unbounded)")
 	traceOut := flag.String("trace-out", "", "write the run's span tree to this file (\"-\" for stderr) and show live phase progress")
 	manifestOut := flag.String("manifest-out", "", "write a JSON run manifest (params, git describe, phase timings, effort counters) to this file")
@@ -241,6 +241,7 @@ func main() {
 		MaxThreshold:  *threshold,
 		FetchProfiles: *filtering,
 		FailureBudget: *failureBudget,
+		Workers:       *workers,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {

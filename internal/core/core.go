@@ -11,8 +11,6 @@
 package core
 
 import (
-	"context"
-	"errors"
 	"fmt"
 	"sort"
 
@@ -109,8 +107,25 @@ type Params struct {
 	// failure skips just that item — the seed is dropped, the core user is
 	// excluded, the candidate stays unprofiled — and is counted in
 	// Result.FailedFetches. 0 preserves the strict fail-fast behavior.
-	// Context cancellation is never absorbed.
+	// Context cancellation is never absorbed. The budget is shared across
+	// all workers of a parallel run.
 	FailureBudget int
+	// Workers sets the crawl concurrency: 1 (the default) runs the
+	// original sequential pipeline over the Session; >1 runs the fetch
+	// stages batch-parallel over a crawler.Fetcher derived from it. The
+	// ranked output is bit-identical either way, so this is purely a
+	// throughput knob for the latency-bound live-platform regime.
+	Workers int
+	// DisableFetchCache opts out of the in-memory memoizing fetch cache
+	// that RunContext interposes below the effort tally. The cache never
+	// changes Table 3 counts (a cache hit still counts as a logical
+	// request); disabling it only forces every request through to the
+	// platform.
+	DisableFetchCache bool
+	// TuneFetcher, when set, is called with the derived fetcher of a
+	// parallel run before the crawl starts — the hook chaos tests use to
+	// neutralize backoff sleeps. Ignored when Workers <= 1.
+	TuneFetcher func(*crawler.Fetcher)
 }
 
 func (p Params) withDefaults() Params {
@@ -122,6 +137,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.Mode == Enhanced {
 		p.FetchProfiles = true
+	}
+	if p.Workers < 1 {
+		p.Workers = 1
 	}
 	return p
 }
@@ -202,24 +220,6 @@ type Result struct {
 	// FailedFetches counts the per-item failures absorbed under
 	// Params.FailureBudget.
 	FailedFetches int
-
-	// failBudget is the remaining failure allowance during the run.
-	failBudget int
-}
-
-// absorb reports whether a per-item fetch failure can be absorbed under the
-// failure budget, consuming one unit and tallying it when so. Context
-// cancellation is never absorbed: a cancelled crawl must stop, not limp on.
-func (r *Result) absorb(err error) bool {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
-	}
-	if r.failBudget <= 0 {
-		return false
-	}
-	r.failBudget--
-	r.FailedFetches++
-	return true
 }
 
 // CandidateCount is |K|.

@@ -2,11 +2,10 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sort"
 
 	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/crawler/cache"
 	"hsprofiler/internal/obs"
 	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
@@ -15,9 +14,9 @@ import (
 // Run executes the profiling methodology against the session's platform.
 // The six steps of §4.1 map onto the code as:
 //
-//  1. seed collection           → Session.CollectSeeds
+//  1. seed collection           → engine.collectSeeds
 //  2. core extraction           → profile fetch + IndicatesCurrentStudent
-//  3. candidate harvesting      → Session.FetchFriends over the core
+//  3. candidate harvesting      → friend-list fetch over the core
 //  4. reverse lookup G_i(u)     → hit counting while harvesting
 //  5. scoring x(u)              → classify
 //  6. rank / threshold / class  → sort + Result.Select
@@ -32,9 +31,17 @@ func Run(sess *crawler.Session, p Params) (*Result, error) {
 
 // RunContext is Run under a caller context. Cancelling it stops the crawl
 // between requests; the returned error then wraps the context's error.
-// Per-item fetch failures (after the session's own retries) are absorbed up
-// to Params.FailureBudget, so a run against a flaky platform degrades item
-// by item instead of dying whole.
+// Per-item fetch failures (after the crawl layer's own retries) are
+// absorbed up to Params.FailureBudget, so a run against a flaky platform
+// degrades item by item instead of dying whole.
+//
+// With Params.Workers > 1 the fetch stages run batch-parallel over a
+// crawler.Fetcher derived from the session; the ranked output is
+// bit-identical to the sequential run (see engine). Unless
+// Params.DisableFetchCache is set, the run also interposes an in-memory
+// fetch cache under the effort tally, so re-passes of the enhanced
+// methodology stop re-downloading profiles and friend lists they already
+// have — without changing the Table 3 request counts.
 //
 // When ctx carries an obs trace (obs.NewTrace + Trace.Context), every
 // methodology step runs under its own span — lookup-school,
@@ -55,19 +62,30 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 	} else if lg == nil {
 		lg = sess.Log()
 	}
+	// Interpose the memoizing fetch cache below the effort tally, unless the
+	// client already caches fetches (e.g. a store archive) or the caller
+	// opted out. Restored on return: the cache's lifetime is one run.
+	if !p.DisableFetchCache {
+		if _, caching := sess.Client().(crawler.FetchCaching); !caching {
+			cc := cache.New(sess.Client()).Instrument(sess.MetricsRegistry()).WithLog(lg)
+			orig := sess.SwapClient(cc)
+			defer sess.SwapClient(orig)
+		}
+	}
 	sess.WithContext(ctx)
 	// step opens a span for one methodology step and points the session at
 	// its context, so crawl events inside the step carry the step's span id.
-	// The returned func closes the span and restores the run context.
-	step := func(name string) func() {
+	// Parallel stages take the step context directly. The returned func
+	// closes the span and restores the run context.
+	step := func(name string) (context.Context, func()) {
 		stepCtx, span := obs.StartSpan(ctx, name)
 		sess.WithContext(stepCtx)
-		return func() {
+		return stepCtx, func() {
 			span.End()
 			sess.WithContext(ctx)
 		}
 	}
-	end := step("lookup-school")
+	_, end := step("lookup-school")
 	school, err := sess.LookupSchool(p.SchoolName)
 	end()
 	if err != nil {
@@ -80,16 +98,16 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 		School:         school,
 		CorePrime:      make(map[osn.PublicID]int),
 		corePrimeNames: make(map[osn.PublicID]string),
-		failBudget:     p.FailureBudget,
 	}
+	eng := newEngine(sess, r)
 
 	// Step 1: seeds.
 	accounts := p.SeedAccounts
 	if accounts == nil {
 		accounts = sess.AllAccounts()
 	}
-	end = step("collect-seeds")
-	r.Seeds, err = sess.CollectSeeds(school.ID, accounts)
+	stepCtx, end := step("collect-seeds")
+	r.Seeds, err = eng.collectSeeds(stepCtx, school.ID, accounts)
 	end()
 	if err != nil {
 		return nil, err
@@ -98,16 +116,16 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 		evlog.Int("seeds", len(r.Seeds)), evlog.Int("accounts", len(accounts)))
 
 	// Step 2: C′ and C from seed profiles.
-	end = step("extract-core")
+	stepCtx, end = step("extract-core")
+	profiles, err := eng.seedProfiles(stepCtx, r.Seeds)
+	end()
+	if err != nil {
+		return nil, err
+	}
 	var core []CoreUser
-	for _, seed := range r.Seeds {
-		pp, err := sess.FetchProfile(seed.ID)
-		if err != nil {
-			if r.absorb(err) {
-				continue // skip this seed
-			}
-			end()
-			return nil, fmt.Errorf("core: seed profile %s: %w", seed.ID, err)
+	for _, pp := range profiles {
+		if pp == nil {
+			continue // fetch failure absorbed under the budget
 		}
 		if !IndicatesCurrentStudent(pp, school.Name, p.CurrentYear) {
 			continue
@@ -123,7 +141,6 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 			})
 		}
 	}
-	end()
 	r.SeedCoreSize = len(core)
 	lg.Info(ctx, "method", "core extracted",
 		evlog.Int("core", len(core)), evlog.Int("core_prime", len(r.CorePrime)))
@@ -132,8 +149,8 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 	}
 
 	// Steps 3-6.
-	end = step("harvest-and-score")
-	err = r.harvestAndScore(sess, core)
+	stepCtx, end = step("harvest-and-score")
+	err = eng.harvestAndScore(stepCtx, core)
 	end()
 	if err != nil {
 		return nil, err
@@ -145,8 +162,8 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 		// §4.3: download the top-(1+ε)t profiles, promote self-declared
 		// current students to the core, recompute from step 3 with the
 		// augmented core, and re-apply the window to the new ranking.
-		end = step("enhanced-promote")
-		promoted, err := r.fetchWindowProfiles(sess, window, true)
+		stepCtx, end = step("enhanced-promote")
+		promoted, err := eng.fetchWindowProfiles(stepCtx, window, true)
 		end()
 		if err != nil {
 			return nil, err
@@ -155,8 +172,8 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 			evlog.Int("promoted", len(promoted)), evlog.Int("window", window))
 		if len(promoted) > 0 {
 			core = append(core, promoted...)
-			end = step("re-harvest")
-			err = r.harvestAndScore(sess, core)
+			stepCtx, end = step("re-harvest")
+			err = eng.harvestAndScore(stepCtx, core)
 			end()
 			if err != nil {
 				return nil, err
@@ -164,15 +181,15 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 			lg.Info(ctx, "method", "re-harvested with augmented core",
 				evlog.Int("core", len(core)), evlog.Int("candidates", len(r.Ranked)))
 		}
-		end = step("window-profiles")
-		_, err = r.fetchWindowProfiles(sess, window, false)
+		stepCtx, end = step("window-profiles")
+		_, err = eng.fetchWindowProfiles(stepCtx, window, false)
 		end()
 		if err != nil {
 			return nil, err
 		}
 	} else if p.FetchProfiles {
-		end = step("window-profiles")
-		_, err = r.fetchWindowProfiles(sess, window, false)
+		stepCtx, end = step("window-profiles")
+		_, err = eng.fetchWindowProfiles(stepCtx, window, false)
 		end()
 		if err != nil {
 			return nil, err
@@ -180,135 +197,6 @@ func RunContext(ctx context.Context, sess *crawler.Session, p Params) (*Result, 
 	}
 
 	r.ExtendedCoreSize = len(r.CorePrime)
-	r.Effort = sess.Effort
-	r.Retries = sess.Retries
-	r.Failures = sess.Failures
+	eng.finish()
 	return r, nil
-}
-
-// harvestAndScore runs steps 3-6 for the given core set: fetches any
-// missing friend lists, builds the candidate set, reverse-looks-up cohort
-// hits, scores and ranks. It overwrites r.CohortSizes and r.Ranked but
-// preserves downloaded profiles from a previous pass.
-func (r *Result) harvestAndScore(sess *crawler.Session, core []CoreUser) error {
-	prevProfiles := make(map[osn.PublicID]*osn.PublicProfile)
-	prevFilter := make(map[osn.PublicID]string)
-	for i := range r.Ranked {
-		c := &r.Ranked[i]
-		if c.Profile != nil {
-			prevProfiles[c.ID] = c.Profile
-			prevFilter[c.ID] = c.FilterReason
-		}
-	}
-
-	var cohortSizes [4]int
-	type agg struct {
-		name string
-		hits [4]int
-	}
-	cands := make(map[osn.PublicID]*agg)
-	for i := range core {
-		cu := &core[i]
-		if cu.Cohort < 0 || cu.Cohort > 3 {
-			return fmt.Errorf("core: core user %s has cohort %d", cu.ID, cu.Cohort)
-		}
-		if cu.Friends == nil {
-			friends, err := sess.FetchFriends(cu.ID)
-			if errors.Is(err, osn.ErrHidden) {
-				// Race between profile flag and list visibility cannot
-				// happen on the simulator, but a live platform could flip
-				// settings mid-crawl; drop the core user.
-				continue
-			}
-			if err != nil {
-				if r.absorb(err) {
-					continue // exclude this core user from scoring
-				}
-				return fmt.Errorf("core: friend list of %s: %w", cu.ID, err)
-			}
-			cu.Friends = friends
-		}
-		cohortSizes[cu.Cohort]++
-		for _, f := range cu.Friends {
-			if _, isCore := r.CorePrime[f.ID]; isCore {
-				continue // already known students, not candidates
-			}
-			a := cands[f.ID]
-			if a == nil {
-				a = &agg{name: f.Name}
-				cands[f.ID] = a
-			}
-			a.hits[cu.Cohort]++
-		}
-	}
-	r.CohortSizes = cohortSizes
-
-	ranked := make([]Candidate, 0, len(cands))
-	for id, a := range cands {
-		score, pred := classify(a.hits, cohortSizes, r.Params.CurrentYear, r.Params.Rule)
-		c := Candidate{
-			ID: id, Name: a.name, Hits: a.hits, Score: score, PredGradYear: pred,
-		}
-		if pp, ok := prevProfiles[id]; ok {
-			c.Profile = pp
-			c.FilterReason = prevFilter[id]
-			c.Filtered = c.FilterReason != ""
-		}
-		ranked = append(ranked, c)
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].Score != ranked[j].Score {
-			return ranked[i].Score > ranked[j].Score
-		}
-		return ranked[i].ID < ranked[j].ID
-	})
-	r.Ranked = ranked
-	return nil
-}
-
-// fetchWindowProfiles downloads profiles for the top `window` ranked
-// candidates that lack one, recording filter verdicts. When promote is
-// true, self-declared current students are removed from the ranking,
-// recorded in CorePrime, and returned as new core users (with friend lists
-// left for harvestAndScore to fetch).
-func (r *Result) fetchWindowProfiles(sess *crawler.Session, window int, promote bool) ([]CoreUser, error) {
-	var promotedUsers []CoreUser
-	kept := r.Ranked[:0]
-	seen := 0
-	for i := range r.Ranked {
-		c := r.Ranked[i]
-		if seen < window {
-			seen++
-			if c.Profile == nil {
-				pp, err := sess.FetchProfile(c.ID)
-				if err != nil {
-					if r.absorb(err) {
-						// Keep the candidate ranked but unprofiled: it can
-						// still be selected, just never filtered or promoted.
-						kept = append(kept, c)
-						continue
-					}
-					return nil, fmt.Errorf("core: candidate profile %s: %w", c.ID, err)
-				}
-				c.Profile = pp
-				c.FilterReason = filterReason(pp, r.School, r.Params.CurrentYear)
-				c.Filtered = c.FilterReason != ""
-			}
-			if promote && IndicatesCurrentStudent(c.Profile, r.School.Name, r.Params.CurrentYear) {
-				r.CorePrime[c.ID] = c.Profile.GradYear
-				r.corePrimeNames[c.ID] = c.Profile.Name
-				if c.Profile.FriendListVisible {
-					promotedUsers = append(promotedUsers, CoreUser{
-						ID:       c.ID,
-						GradYear: c.Profile.GradYear,
-						Cohort:   c.Profile.GradYear - r.Params.CurrentYear,
-					})
-				}
-				continue // leaves the candidate ranking for the core
-			}
-		}
-		kept = append(kept, c)
-	}
-	r.Ranked = kept
-	return promotedUsers, nil
 }

@@ -283,6 +283,59 @@ type page[T any] struct {
 // Client returns the underlying client.
 func (s *Session) Client() Client { return s.client }
 
+// SwapClient replaces the session's client, returning the previous one, so
+// callers can layer a decorator — a memoizing fetch cache, a latency model —
+// for the duration of a run and restore the original afterwards. Effort
+// accounting is unaffected: the session counts logical requests above the
+// client. Like the session itself, not safe for concurrent use.
+func (s *Session) SwapClient(c Client) Client {
+	old := s.client
+	if c != nil {
+		s.client = c
+	}
+	return old
+}
+
+// MetricsRegistry returns the registry the session was instrumented with
+// (nil when uninstrumented), so components derived from the session —
+// fetchers, fetch caches — can publish to the same exposition.
+func (s *Session) MetricsRegistry() *obs.Registry {
+	if s.m == nil {
+		return nil
+	}
+	return s.m.reg
+}
+
+// Fetcher derives a concurrent fetcher from the session's tuning — retry
+// budget, per-request timeout, metrics and event logger — over the given
+// client, or the session's own when c is nil. The derived fetcher shares
+// the session's suspended-account knowledge but keeps its own effort tally;
+// its Logical tally counts requests the way the session's Effort does.
+func (s *Session) Fetcher(c Client, workers int) *Fetcher {
+	if c == nil {
+		c = s.client
+	}
+	f := NewFetcher(c, workers)
+	if s.MaxRetries > 0 {
+		f.MaxRetries = s.MaxRetries
+	}
+	f.Timeout = s.Timeout
+	f.m = s.m
+	f.lg = s.lg
+	for a := range s.suspended {
+		f.suspended[a] = true
+	}
+	return f
+}
+
+// FetchCaching marks clients that already memoize profile and friend-list
+// fetches (the crawler/cache package's Cache, store.CachedClient), so
+// layers that would otherwise add a run-local cache — core.RunContext —
+// know not to stack a second one.
+type FetchCaching interface {
+	CachesFetches()
+}
+
 // nextAccount returns a non-suspended account index, rotating round-robin.
 func (s *Session) nextAccount() (int, error) {
 	n := s.client.Accounts()

@@ -1,0 +1,46 @@
+package crawler
+
+import (
+	"time"
+
+	"hsprofiler/internal/osn"
+)
+
+// WithLatency wraps a client so every call sleeps rtt before being served —
+// the round-trip a crawler pays against the live platform. In-process
+// benchmarks use it to reproduce the latency-bound regime the study ran in,
+// where a parallel fetch engine overlaps waits that a sequential crawl
+// serializes. A non-positive rtt returns the client unwrapped.
+func WithLatency(c Client, rtt time.Duration) Client {
+	if rtt <= 0 {
+		return c
+	}
+	return &latencyClient{inner: c, rtt: rtt}
+}
+
+type latencyClient struct {
+	inner Client
+	rtt   time.Duration
+}
+
+func (l *latencyClient) Accounts() int { return l.inner.Accounts() }
+
+func (l *latencyClient) LookupSchool(name string) (osn.SchoolRef, error) {
+	time.Sleep(l.rtt)
+	return l.inner.LookupSchool(name)
+}
+
+func (l *latencyClient) Search(acct, schoolID, page int) ([]osn.SearchResult, bool, error) {
+	time.Sleep(l.rtt)
+	return l.inner.Search(acct, schoolID, page)
+}
+
+func (l *latencyClient) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error) {
+	time.Sleep(l.rtt)
+	return l.inner.Profile(acct, id)
+}
+
+func (l *latencyClient) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
+	time.Sleep(l.rtt)
+	return l.inner.FriendPage(acct, id, page)
+}

@@ -64,6 +64,7 @@ type Fetcher struct {
 
 	mu        sync.Mutex
 	effort    Effort
+	logical   Effort
 	retries   Effort
 	failures  Effort
 	suspended map[int]bool
@@ -110,6 +111,17 @@ func (f *Fetcher) Effort() Effort {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.effort
+}
+
+// Logical returns the request tally under Session's Table 3 semantics: one
+// count per page or profile fetched (plus one per account rotation after a
+// suspension), with transient retries tallied separately in Retries. A run
+// driven through the fetcher reports the same Effort as the same run driven
+// sequentially through a Session, whatever the worker count.
+func (f *Fetcher) Logical() Effort {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.logical
 }
 
 // Retries returns the per-category tally of extra attempts spent on
@@ -233,6 +245,18 @@ func withTimeout[T any](f *Fetcher, ctx context.Context, fn func() (T, error)) (
 // span. Terminal platform verdicts (ErrHidden, ErrNotFound, ...) are
 // returned unwrapped for callers to branch on.
 func call[T any](f *Fetcher, ctx context.Context, key string, c category, fn func(acct int) (T, error)) (T, error) {
+	return callOn(f, ctx, key, c, -1, fn)
+}
+
+// callOn is call with an optional pinned account (pinned >= 0): the request
+// never rotates, and a suspension is returned to the caller instead —
+// school-search result views are per-account, so rotating mid-walk would
+// splice two different result sequences together.
+//
+// Logical-request counting mirrors Session: one count when the request is
+// first issued and one more after each suspension rotation; transient
+// retries do not re-count.
+func callOn[T any](f *Fetcher, ctx context.Context, key string, c category, pinned int, fn func(acct int) (T, error)) (T, error) {
 	spanCtx, span := obs.StartSpan(ctx, key)
 	defer span.End()
 	// The completion event carries wall time; only read the clock when a
@@ -244,20 +268,29 @@ func call[T any](f *Fetcher, ctx context.Context, key string, c category, fn fun
 	}
 	var zero T
 	attempt := 0
+	countLogical := true
 	for {
 		if err := ctx.Err(); err != nil {
 			return zero, err
 		}
-		acct, err := f.account()
-		if err != nil {
-			return zero, err
+		acct := pinned
+		if pinned < 0 {
+			var err error
+			acct, err = f.account()
+			if err != nil {
+				return zero, err
+			}
 		}
 		f.mu.Lock()
 		*c.bucket(&f.effort)++
+		if countLogical {
+			*c.bucket(&f.logical)++
+			countLogical = false
+		}
 		f.mu.Unlock()
 		f.m.request(c)
 		var v T
-		err = f.m.timed(func() error {
+		err := f.m.timed(func() error {
 			var err error
 			v, err = withTimeout(f, ctx, func() (T, error) { return fn(acct) })
 			return err
@@ -274,11 +307,27 @@ func call[T any](f *Fetcher, ctx context.Context, key string, c category, fn fun
 			// Account rotation, not a retry: the request itself is
 			// fine, the credential is burned.
 			f.markSuspended(acct)
+			if pinned >= 0 {
+				return zero, err
+			}
 			f.lg.Warn(spanCtx, "crawl", "account suspended, rotating",
 				evlog.Int("account", acct), evlog.Str("key", key))
+			countLogical = true
 			continue
 		}
 		if !IsTransient(err) {
+			// Terminal failure accounting mirrors Session: platform verdicts
+			// (hidden, suspended) and cancellation are outcomes, not failures.
+			if !errors.Is(err, osn.ErrHidden) &&
+				!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				f.mu.Lock()
+				*c.bucket(&f.failures)++
+				f.mu.Unlock()
+				f.m.failure(c)
+				f.lg.Error(spanCtx, "crawl", "permanent failure",
+					evlog.Str("key", key), evlog.Str("category", c.String()),
+					evlog.Err("err", err))
+			}
 			return zero, err
 		}
 		if attempt >= f.maxRetries() {
@@ -382,6 +431,104 @@ feed:
 	return nil
 }
 
+// ForEach runs fn(i) for every index in [0, n) over the fetcher's worker
+// pool — the raw bounded-concurrency engine underneath the batch helpers,
+// exported so higher layers (core.RunContext's parallel attack pipeline)
+// can drive their own per-item work through the same pool, tolerance and
+// cancellation semantics. See forEach for the error contract.
+func (f *Fetcher) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return f.forEach(ctx, n, fn)
+}
+
+// FetchProfile downloads one public profile through the fetcher — the
+// concurrent counterpart of Session.FetchProfile, for callers composing
+// their own batches via ForEach. Terminal platform verdicts are returned
+// unwrapped.
+func (f *Fetcher) FetchProfile(ctx context.Context, id osn.PublicID) (*osn.PublicProfile, error) {
+	return call(f, ctx, "profile/"+string(id), catProfile, func(acct int) (*osn.PublicProfile, error) {
+		return f.client.Profile(acct, id)
+	})
+}
+
+// FetchFriends downloads one user's complete friend list across all pages —
+// the concurrent counterpart of Session.FetchFriends, with identical
+// semantics: osn.ErrHidden is returned unwrapped if the list is not
+// stranger-visible, and a visible-but-empty list yields a nil slice, just
+// as the session's accumulator does.
+func (f *Fetcher) FetchFriends(ctx context.Context, id osn.PublicID) ([]osn.FriendRef, error) {
+	var friends []osn.FriendRef
+	for pg := 0; ; pg++ {
+		res, err := call(f, ctx, fmt.Sprintf("friends/%s/%d", id, pg), catFriend, func(acct int) (page[osn.FriendRef], error) {
+			batch, more, err := f.client.FriendPage(acct, id, pg)
+			return page[osn.FriendRef]{items: batch, more: more}, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		friends = append(friends, res.items...)
+		if !res.more {
+			return friends, nil
+		}
+	}
+}
+
+// CollectSeeds runs the school search on every account concurrently — one
+// worker per account, each walking its own result pages in order, since
+// search views are per-account — and merges the per-account walks in
+// account order with first-seen dedup, reproducing Session.CollectSeeds'
+// output exactly. A suspension mid-walk drops that account's remaining
+// pages, as it does sequentially; accounts already known suspended are
+// skipped.
+func (f *Fetcher) CollectSeeds(ctx context.Context, schoolID int, accounts []int) ([]osn.SearchResult, error) {
+	ctx, span := obs.StartSpan(ctx, "collect-seeds-batch")
+	defer span.End()
+	perAccount := make([][]osn.SearchResult, len(accounts))
+	err := f.forEach(ctx, len(accounts), func(ctx context.Context, i int) error {
+		acct := accounts[i]
+		f.mu.Lock()
+		skip := f.suspended[acct]
+		f.mu.Unlock()
+		if skip {
+			return nil
+		}
+		var walk []osn.SearchResult
+		for pg := 0; ; pg++ {
+			res, err := callOn(f, ctx, fmt.Sprintf("search/%d/%d/%d", acct, schoolID, pg), catSeed, acct, func(acct int) (page[osn.SearchResult], error) {
+				results, more, err := f.client.Search(acct, schoolID, pg)
+				return page[osn.SearchResult]{items: results, more: more}, err
+			})
+			if errors.Is(err, osn.ErrSuspended) {
+				f.lg.Warn(ctx, "crawl", "account suspended, dropping its seed walk",
+					evlog.Int("account", acct), evlog.Str("category", catSeed.String()))
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("crawler: seed search (account %d page %d): %w", acct, pg, err)
+			}
+			walk = append(walk, res.items...)
+			if !res.more {
+				break
+			}
+		}
+		perAccount[i] = walk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[osn.PublicID]bool)
+	var out []osn.SearchResult
+	for _, walk := range perAccount {
+		for _, r := range walk {
+			if !seen[r.ID] {
+				seen[r.ID] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
 // Profiles fetches the public profiles of ids concurrently. The result
 // slice is index-aligned with ids, so output is deterministic regardless of
 // completion order. With Tolerance > 0, failed items yield nil entries.
@@ -428,28 +575,20 @@ func (f *Fetcher) FriendListsContext(ctx context.Context, ids []osn.PublicID) ([
 	defer span.End()
 	out := make([][]osn.FriendRef, len(ids))
 	err := f.forEach(ctx, len(ids), func(ctx context.Context, i int) error {
-		var friends []osn.FriendRef
-		for pg := 0; ; pg++ {
-			res, err := call(f, ctx, fmt.Sprintf("friends/%s/%d", ids[i], pg), catFriend, func(acct int) (page[osn.FriendRef], error) {
-				batch, more, err := f.client.FriendPage(acct, ids[i], pg)
-				return page[osn.FriendRef]{items: batch, more: more}, err
-			})
-			if errors.Is(err, osn.ErrHidden) {
-				return nil // nil entry
-			}
-			if err != nil {
-				return fmt.Errorf("crawler: friends of %s: %w", ids[i], err)
-			}
-			friends = append(friends, res.items...)
-			if !res.more {
-				if friends == nil {
-					// Distinguish "visible but empty" from "hidden".
-					friends = []osn.FriendRef{}
-				}
-				out[i] = friends
-				return nil
-			}
+		friends, err := f.FetchFriends(ctx, ids[i])
+		if errors.Is(err, osn.ErrHidden) {
+			return nil // nil entry
 		}
+		if err != nil {
+			return fmt.Errorf("crawler: friends of %s: %w", ids[i], err)
+		}
+		if friends == nil {
+			// Distinguish "visible but empty" from "hidden" in the batch
+			// result (FetchFriends itself mirrors Session's nil).
+			friends = []osn.FriendRef{}
+		}
+		out[i] = friends // committed on the worker goroutine, never by an abandoned attempt
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -7,7 +7,9 @@ import (
 
 	"hsprofiler/internal/core"
 	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/crawler/cache"
 	"hsprofiler/internal/eval"
+	"hsprofiler/internal/faults"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/osnhttp"
 	"hsprofiler/internal/worldgen"
@@ -21,6 +23,11 @@ type Lab struct {
 	mu    sync.Mutex
 	cells map[string]*cell
 	runs  map[string]*core.Result
+	// workers is the crawl concurrency passed to every attack run
+	// (0 or 1 = sequential); faultRate, when positive, injects
+	// deterministic transport faults into every crawl.
+	workers   int
+	faultRate float64
 }
 
 // cell is one scenario's instantiated environment.
@@ -30,7 +37,10 @@ type cell struct {
 	platform *osn.Platform
 	server   *httptest.Server
 	client   *osnhttp.Client
-	truth    *eval.GroundTruth
+	// cached memoizes profile and friend-list fetches across the cell's
+	// runs; the effort tallies count above it, so Table 3 is unaffected.
+	cached *cache.Cache
+	truth  *eval.GroundTruth
 }
 
 // NewLab returns an empty lab.
@@ -76,10 +86,46 @@ func (l *Lab) env(sc Scenario) (*cell, error) {
 		platform: platform,
 		server:   server,
 		client:   client,
+		cached:   cache.New(client),
 		truth:    eval.NewGroundTruth(platform, 0),
 	}
 	l.cells[key] = c
 	return c, nil
+}
+
+// SetWorkers sets the crawl concurrency for subsequent runs (0 or 1 =
+// sequential). Runs are cached per worker count, so switching does not
+// leak results across settings.
+func (l *Lab) SetWorkers(n int) {
+	l.mu.Lock()
+	l.workers = n
+	l.mu.Unlock()
+}
+
+// SetFaultRate makes every subsequent crawl run against a deterministically
+// hostile transport: rate is the per-request fault probability, spread over
+// the injector's fault kinds (faults.Composite, seeded by the scenario).
+// Each run gets a fresh injector, so its fault schedule depends only on the
+// rate, the world seed and the run's own request sequence — not on how many
+// runs came before it.
+func (l *Lab) SetFaultRate(rate float64) {
+	l.mu.Lock()
+	l.faultRate = rate
+	l.mu.Unlock()
+}
+
+// attackClient builds the crawl surface for one run: the cell's memoizing
+// cache over HTTP, with a fresh per-run fault injector on top when the lab
+// is configured hostile. Injecting above the cache keeps the fault schedule
+// a pure function of the logical request sequence.
+func (l *Lab) attackClient(c *cell) crawler.Client {
+	l.mu.Lock()
+	rate := l.faultRate
+	l.mu.Unlock()
+	if rate <= 0 {
+		return c.cached
+	}
+	return faults.New(faults.Composite(rate, c.scenario.Seed)).Client(c.cached)
 }
 
 // World returns the scenario's generated world.
@@ -109,13 +155,15 @@ func (l *Lab) Truth(sc Scenario) (*eval.GroundTruth, error) {
 	return c.truth, nil
 }
 
-// Session returns a fresh crawler session over the scenario's HTTP client.
+// Session returns a fresh crawler session over the scenario's crawl
+// surface (the cell's fetch cache over HTTP, fault-injected when the lab
+// is configured hostile).
 func (l *Lab) Session(sc Scenario) (*crawler.Session, error) {
 	c, err := l.env(sc)
 	if err != nil {
 		return nil, err
 	}
-	return crawler.NewSession(c.client), nil
+	return crawler.NewSession(l.attackClient(c)), nil
 }
 
 // seedAccountList returns the indexes of the attack accounts.
@@ -177,7 +225,10 @@ func (l *Lab) Run(sc Scenario, v RunVariant) (*core.Result, error) {
 // (Figure 2's estimator) use one run per t rather than slicing a single
 // max-window run.
 func (l *Lab) RunThreshold(sc Scenario, v RunVariant, maxThreshold int) (*core.Result, error) {
-	key := fmt.Sprintf("%s/%d/%d/%d", sc.Label, sc.Seed, v, maxThreshold)
+	l.mu.Lock()
+	workers, faultRate := l.workers, l.faultRate
+	l.mu.Unlock()
+	key := fmt.Sprintf("%s/%d/%d/%d/w%d/f%g", sc.Label, sc.Seed, v, maxThreshold, workers, faultRate)
 	l.mu.Lock()
 	if r, ok := l.runs[key]; ok {
 		l.mu.Unlock()
@@ -192,7 +243,13 @@ func (l *Lab) RunThreshold(sc Scenario, v RunVariant, maxThreshold int) (*core.R
 	p := v.params(sc)
 	p.MaxThreshold = maxThreshold
 	p.SchoolName = c.world.Schools[0].Name
-	res, err := core.Run(crawler.NewSession(c.client), p)
+	p.Workers = workers
+	if faultRate > 0 {
+		// Transient faults ride out the retry budget; keep a generous
+		// allowance for anything that fails for good anyway.
+		p.FailureBudget = 1 << 20
+	}
+	res, err := core.Run(crawler.NewSession(l.attackClient(c)), p)
 	if err != nil {
 		return nil, err
 	}

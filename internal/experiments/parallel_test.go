@@ -1,0 +1,86 @@
+package experiments
+
+// Byte-identity of the paper's tables under the parallel attack pipeline:
+// a lab configured with 8 workers — with or without injected transport
+// faults — must render Tables 2, 3 and 4 identically, character for
+// character, to the sequential fault-free lab. Table 3 is the sharp edge:
+// its effort column counts logical requests, so it proves the fetch cache
+// and the worker pool change throughput only, never accounting.
+
+import (
+	"testing"
+)
+
+// renderTables renders Tables 2-4 for a scenario under one lab
+// configuration and returns the concatenated text.
+func renderTables(t *testing.T, l *Lab, sc Scenario) string {
+	t.Helper()
+	scenarios := []Scenario{sc}
+	_, t2, err := Table2(l, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t3, err := Table3(l, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t4, err := Table4(l, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return t2.String() + "\n" + t3.String() + "\n" + t4.String()
+}
+
+func TestTablesParallelByteIdentical(t *testing.T) {
+	sc := Tiny()
+	configs := []struct {
+		label     string
+		workers   int
+		faultRate float64
+	}{
+		{"sequential", 1, 0},
+		{"workers=8", 8, 0},
+		{"sequential+faults", 1, 0.10},
+		{"workers=8+faults", 8, 0.10},
+	}
+	var ref string
+	for _, cfg := range configs {
+		l := NewLab()
+		l.SetWorkers(cfg.workers)
+		l.SetFaultRate(cfg.faultRate)
+		got := renderTables(t, l, sc)
+		l.Close()
+		if cfg.label == "sequential" {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Fatalf("%s: rendered tables differ from sequential fault-free lab\n--- got ---\n%s\n--- want ---\n%s",
+				cfg.label, got, ref)
+		}
+	}
+}
+
+// TestTablesParallelByteIdenticalHS1 repeats the identity check on the
+// full-size HS1 scenario (clean transport; the fault variants run on the
+// tiny scenario and in internal/core's chaos tests to bound -race time).
+func TestTablesParallelByteIdenticalHS1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HS1 runs; skipped in -short")
+	}
+	sc := HS1()
+	var ref string
+	for _, workers := range []int{1, 8} {
+		l := NewLab()
+		l.SetWorkers(workers)
+		got := renderTables(t, l, sc)
+		l.Close()
+		if workers == 1 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Fatalf("workers=8: HS1 tables differ from sequential lab\n--- got ---\n%s\n--- want ---\n%s", got, ref)
+		}
+	}
+}

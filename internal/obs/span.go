@@ -174,9 +174,12 @@ func (t *Trace) Context(ctx context.Context) context.Context {
 	return context.WithValue(ctx, ctxKey{}, t.root)
 }
 
-// SpanFromContext returns the current span, or nil when the context
-// carries no trace.
+// SpanFromContext returns the current span, or nil when the context is nil
+// or carries no trace.
 func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
 	s, _ := ctx.Value(ctxKey{}).(*Span)
 	return s
 }

@@ -262,6 +262,10 @@ func (c *CachedClient) Saved() crawler.Effort {
 // Accounts implements crawler.Client.
 func (c *CachedClient) Accounts() int { return c.inner.Accounts() }
 
+// CachesFetches marks the archive as a fetch cache (crawler.FetchCaching),
+// so run layers don't stack an in-memory cache on top of it.
+func (c *CachedClient) CachesFetches() {}
+
 // LookupSchool implements crawler.Client.
 func (c *CachedClient) LookupSchool(name string) (osn.SchoolRef, error) {
 	return c.inner.LookupSchool(name)
