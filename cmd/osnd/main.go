@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	worldFile := flag.String("world", "", "world JSON file (from cmd/worldgen)")
+	worldFile := flag.String("world", "", "world snapshot file (from cmd/worldgen; JSON or binary, sniffed)")
 	scenario := flag.String("scenario", "", "generate a scenario instead of loading: hs1, hs2, hs3, tiny")
 	seed := flag.Uint64("seed", 2013, "seed when generating")
 	addr := flag.String("addr", ":8080", "listen address")
@@ -52,12 +52,7 @@ func main() {
 	var err error
 	switch {
 	case *worldFile != "":
-		f, ferr := os.Open(*worldFile)
-		if ferr != nil {
-			fatal(ferr)
-		}
-		w, err = worldgen.ReadJSON(f)
-		f.Close()
+		w, err = worldgen.ReadSnapshotFile(*worldFile)
 	case *scenario != "":
 		var cfg worldgen.Config
 		switch *scenario {

@@ -1,0 +1,226 @@
+// Command worldgenbench benchmarks the sharded world generator and the
+// snapshot formats, and verifies the determinism invariant while doing so:
+// every worker count must produce the identical world fingerprint, or the
+// run hard-fails — a benchmark that silently measured diverging worlds would
+// be worse than no benchmark.
+//
+// Usage:
+//
+//	worldgenbench -out BENCH_worldgen.json                    # metro world, workers 1/4/8
+//	worldgenbench -scenario metro -schools 1200 -out ...      # ~1M people
+//	worldgenbench -skip-io                                    # generation sweep only
+//
+// The report is benchdiff-compatible: results are matched on the workers
+// sweep point, ops/sec is people generated per second. Snapshot write/load
+// timings for both formats ride along in a section benchdiff ignores.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hsprofiler/internal/worldgen"
+)
+
+type result struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"` // people per second
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type snapshotIO struct {
+	BinBytes    int64   `json:"bin_bytes"`
+	JSONBytes   int64   `json:"json_bytes"`
+	BinWriteNs  int64   `json:"bin_write_ns"`
+	JSONWriteNs int64   `json:"json_write_ns"`
+	BinLoadNs   int64   `json:"bin_load_ns"`
+	JSONLoadNs  int64   `json:"json_load_ns"`
+	LoadSpeedup float64 `json:"load_speedup"` // json_load / bin_load
+}
+
+type reportOut struct {
+	Scenario    string      `json:"scenario"`
+	Seed        uint64      `json:"seed"`
+	Workers     int         `json:"workers"` // max sweep point
+	CPUs        int         `json:"cpus"`    // NumCPU of the machine that ran this
+	People      int         `json:"people"`
+	Edges       int         `json:"edges"`
+	Fingerprint string      `json:"fingerprint"`
+	Results     []result    `json:"results"`
+	Snapshot    *snapshotIO `json:"snapshot,omitempty"`
+}
+
+func main() {
+	scenario := flag.String("scenario", "metro", "world scenario: tiny, city, metro, hs1, hs2, hs3")
+	schools := flag.Int("schools", 1200, "number of schools (city and metro scenarios)")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	workersFlag := flag.String("workers", "1,4,8", "comma-separated worker counts to sweep")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	skipIO := flag.Bool("skip-io", false, "skip the snapshot write/load measurements")
+	flag.Parse()
+
+	var cfg worldgen.Config
+	switch *scenario {
+	case "tiny":
+		cfg = worldgen.TinyConfig()
+	case "city":
+		cfg = worldgen.CityConfig(*schools)
+	case "metro":
+		cfg = worldgen.MetroConfig(*schools)
+	case "hs1":
+		cfg = worldgen.HS1Config()
+	case "hs2":
+		cfg = worldgen.HS2Config()
+	case "hs3":
+		cfg = worldgen.HS3Config()
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+	var sweep []int
+	for _, s := range strings.Split(*workersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -workers element %q", s))
+		}
+		sweep = append(sweep, n)
+	}
+	if len(sweep) == 0 {
+		fatal(fmt.Errorf("empty -workers sweep"))
+	}
+
+	rep := reportOut{Scenario: *scenario, Seed: *seed, CPUs: runtime.NumCPU()}
+	var firstFP string
+	var lastWorld *worldgen.World
+	for _, workers := range sweep {
+		if workers > rep.Workers {
+			rep.Workers = workers
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		w, err := worldgen.GenerateParallel(cfg, *seed, workers)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+
+		fp, err := w.Fingerprint()
+		if err != nil {
+			fatal(err)
+		}
+		if firstFP == "" {
+			firstFP = fp
+			rep.People = len(w.People)
+			rep.Edges = w.Frozen().NumEdges()
+			rep.Fingerprint = fp
+		} else if fp != firstFP {
+			// The determinism invariant broke. Report where, not just that.
+			d := worldgen.DiffWorlds(lastWorld, w)
+			fatal(fmt.Errorf("DETERMINISM FAILURE: workers=%d fingerprint %s != %s; first divergence: %s",
+				workers, fp, firstFP, d))
+		}
+		lastWorld = w
+		rep.Results = append(rep.Results, result{
+			Workers:     workers,
+			NsPerOp:     float64(elapsed.Nanoseconds()),
+			OpsPerSec:   float64(len(w.People)) / elapsed.Seconds(),
+			BytesPerOp:  int64(ms1.TotalAlloc - ms0.TotalAlloc),
+			AllocsPerOp: int64(ms1.Mallocs - ms0.Mallocs),
+		})
+		fmt.Fprintf(os.Stderr, "workers=%d: %d people, %d edges in %s (%.0f people/s)\n",
+			workers, len(w.People), w.Frozen().NumEdges(), elapsed.Round(time.Millisecond),
+			float64(len(w.People))/elapsed.Seconds())
+	}
+
+	if !*skipIO {
+		rep.Snapshot = measureIO(lastWorld)
+		fmt.Fprintf(os.Stderr, "snapshot: bin %s/%s write/load, json %s/%s — binary loads %.1fx faster\n",
+			time.Duration(rep.Snapshot.BinWriteNs).Round(time.Millisecond),
+			time.Duration(rep.Snapshot.BinLoadNs).Round(time.Millisecond),
+			time.Duration(rep.Snapshot.JSONWriteNs).Round(time.Millisecond),
+			time.Duration(rep.Snapshot.JSONLoadNs).Round(time.Millisecond),
+			rep.Snapshot.LoadSpeedup)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// measureIO times snapshot write and load for both formats against tmpfiles.
+func measureIO(w *worldgen.World) *snapshotIO {
+	dir, err := os.MkdirTemp("", "worldgenbench")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	io := &snapshotIO{}
+
+	binPath := dir + "/world.bin"
+	start := time.Now()
+	if err := w.WriteFile(binPath, worldgen.FormatBinary); err != nil {
+		fatal(err)
+	}
+	io.BinWriteNs = time.Since(start).Nanoseconds()
+	if st, err := os.Stat(binPath); err == nil {
+		io.BinBytes = st.Size()
+	}
+
+	jsonPath := dir + "/world.json"
+	start = time.Now()
+	if err := w.WriteFile(jsonPath, worldgen.FormatJSON); err != nil {
+		fatal(err)
+	}
+	io.JSONWriteNs = time.Since(start).Nanoseconds()
+	if st, err := os.Stat(jsonPath); err == nil {
+		io.JSONBytes = st.Size()
+	}
+
+	start = time.Now()
+	fromBin, err := worldgen.ReadSnapshotFile(binPath)
+	if err != nil {
+		fatal(err)
+	}
+	io.BinLoadNs = time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	fromJSON, err := worldgen.ReadSnapshotFile(jsonPath)
+	if err != nil {
+		fatal(err)
+	}
+	io.JSONLoadNs = time.Since(start).Nanoseconds()
+
+	if d := worldgen.DiffWorlds(fromBin, fromJSON); d != "" {
+		fatal(fmt.Errorf("FORMAT EQUIVALENCE FAILURE: binary and JSON reloads diverge: %s", d))
+	}
+	if io.BinLoadNs > 0 {
+		io.LoadSpeedup = float64(io.JSONLoadNs) / float64(io.BinLoadNs)
+	}
+	return io
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "worldgenbench: %v\n", err)
+	os.Exit(1)
+}

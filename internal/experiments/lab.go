@@ -71,6 +71,36 @@ func (l *Lab) env(sc Scenario) (*cell, error) {
 	if err != nil {
 		return nil, err
 	}
+	c, err := buildCell(sc, world)
+	if err != nil {
+		return nil, err
+	}
+	l.cells[key] = c
+	return c, nil
+}
+
+// UseWorld installs a pre-built world (e.g. one reloaded from a binary
+// snapshot) as the scenario's environment instead of generating one. It must
+// be called before anything else instantiates the scenario; attacks then run
+// against the provided world.
+func (l *Lab) UseWorld(sc Scenario, world *worldgen.World) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := fmt.Sprintf("%s/%d", sc.Label, sc.Seed)
+	if _, ok := l.cells[key]; ok {
+		return fmt.Errorf("experiments: scenario %s already instantiated", key)
+	}
+	c, err := buildCell(sc, world)
+	if err != nil {
+		return err
+	}
+	l.cells[key] = c
+	return nil
+}
+
+// buildCell assembles a scenario environment around a world: platform, HTTP
+// server, registered attacker accounts, fetch cache and ground truth.
+func buildCell(sc Scenario, world *worldgen.World) (*cell, error) {
 	platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{
 		SearchPerAccount: sc.SearchPerAccount,
 	})
@@ -80,7 +110,7 @@ func (l *Lab) env(sc Scenario) (*cell, error) {
 		server.Close()
 		return nil, err
 	}
-	c := &cell{
+	return &cell{
 		scenario: sc,
 		world:    world,
 		platform: platform,
@@ -88,9 +118,7 @@ func (l *Lab) env(sc Scenario) (*cell, error) {
 		client:   client,
 		cached:   cache.New(client),
 		truth:    eval.NewGroundTruth(platform, 0),
-	}
-	l.cells[key] = c
-	return c, nil
+	}, nil
 }
 
 // SetWorkers sets the crawl concurrency for subsequent runs (0 or 1 =

@@ -73,6 +73,24 @@ func (r *Rand) Stream(label string) *Rand {
 	return newWithID(splitmix64(&state))
 }
 
+// StreamN derives an independent child generator from a label and an index:
+// StreamN("students", 3) is the canonical numbered-shard form of
+// Stream("students/3"), without the fmt round trip. Sharded consumers (the
+// parallel world generator's per-school and per-chunk workers) use it so a
+// shard's randomness is a pure function of (root seed, label, index) —
+// independent of worker count, scheduling order, and sibling shards.
+func (r *Rand) StreamN(label string, n int) *Rand {
+	state := r.id ^ hashLabel(label) ^ splitmix64ConstMix(uint64(n))
+	return newWithID(splitmix64(&state))
+}
+
+// splitmix64ConstMix mixes a small integer into a well-spread 64-bit
+// value so StreamN(label, 0) and StreamN(label, 1) share no state structure.
+func splitmix64ConstMix(v uint64) uint64 {
+	state := v ^ 0x9e3779b97f4a7c15
+	return splitmix64(&state)
+}
+
 // Uint64 returns the next 64 random bits (xoshiro256** step).
 func (r *Rand) Uint64() uint64 {
 	result := bits.RotateLeft64(r.s[1]*5, 7) * 9

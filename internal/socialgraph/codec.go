@@ -1,0 +1,209 @@
+package socialgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCodec is wrapped by every decode error: malformed input is reported as
+// a typed error, never a panic, regardless of how the bytes were produced.
+var ErrCodec = errors.New("socialgraph: malformed frozen encoding")
+
+// maxCodecIDs bounds the ID space a snapshot may declare. It is far above
+// any real world (2^31 users) but keeps a hostile length prefix from driving
+// allocation before a single adjacency byte has been read.
+const maxCodecIDs = 1 << 31
+
+// WriteBinary encodes the snapshot: ID-space size, the present bitmap, user
+// and edge counts, per-ID degrees, then each row delta-encoded (rows are
+// strictly ascending, so every entry after the first is a positive delta).
+// Decoding is a single linear pass — no sorting, no hashing — which is what
+// makes binary world reload O(read).
+func (f *Frozen) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	n := len(f.present)
+	if err := putUvarint(uint64(n)); err != nil {
+		return err
+	}
+	bitmap := make([]byte, (n+7)/8)
+	for u, p := range f.present {
+		if p {
+			bitmap[u/8] |= 1 << (u % 8)
+		}
+	}
+	if _, err := bw.Write(bitmap); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(f.users)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(f.edges)); err != nil {
+		return err
+	}
+	for u := 0; u < n; u++ {
+		if err := putUvarint(uint64(f.offsets[u+1] - f.offsets[u])); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < n; u++ {
+		row := f.adj[f.offsets[u]:f.offsets[u+1]]
+		prev := UserID(0)
+		for i, v := range row {
+			delta := uint64(v - prev)
+			if i == 0 {
+				delta = uint64(v)
+			}
+			if err := putUvarint(delta); err != nil {
+				return err
+			}
+			prev = v
+		}
+	}
+	return bw.Flush()
+}
+
+// ByteReader is the input the decoder needs: varints are read byte-wise,
+// bitmaps in bulk. *bufio.Reader and *bytes.Reader both satisfy it.
+type ByteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// ReadFrozenBinary decodes a snapshot written by WriteBinary. All length
+// prefixes are untrusted: slices grow as bytes actually arrive (every
+// decoded entry costs at least one input byte), so a lying header cannot
+// force allocation beyond a small multiple of the real input size. Any
+// structural violation returns an error wrapping ErrCodec.
+func ReadFrozenBinary(r ByteReader) (*Frozen, error) {
+	numIDs64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: id space: %v", ErrCodec, err)
+	}
+	if numIDs64 > maxCodecIDs {
+		return nil, fmt.Errorf("%w: id space %d exceeds limit", ErrCodec, numIDs64)
+	}
+	n := int(numIDs64)
+
+	// Present bitmap, read in bounded chunks so the claimed ID space only
+	// costs memory once the bytes are really there.
+	present := make([]bool, 0, clampCap(n, 1<<16))
+	var chunk [8192]byte
+	for read := 0; read < (n+7)/8; {
+		want := (n+7)/8 - read
+		if want > len(chunk) {
+			want = len(chunk)
+		}
+		if _, err := io.ReadFull(r, chunk[:want]); err != nil {
+			return nil, fmt.Errorf("%w: present bitmap: %v", ErrCodec, err)
+		}
+		for i := 0; i < want; i++ {
+			for b := 0; b < 8 && len(present) < n; b++ {
+				present = append(present, chunk[i]&(1<<b) != 0)
+			}
+		}
+		read += want
+	}
+
+	users64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: user count: %v", ErrCodec, err)
+	}
+	edges64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: edge count: %v", ErrCodec, err)
+	}
+	if edges64 > uint64(maxCodecIDs)*64 {
+		return nil, fmt.Errorf("%w: edge count %d exceeds limit", ErrCodec, edges64)
+	}
+
+	offsets := make([]int64, 1, clampCap(n+1, 1<<16))
+	for u := 0; u < n; u++ {
+		deg, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: degree of %d: %v", ErrCodec, u, err)
+		}
+		if deg > uint64(n) {
+			return nil, fmt.Errorf("%w: degree %d of user %d exceeds id space", ErrCodec, deg, u)
+		}
+		if deg > 0 && !present[u] {
+			return nil, fmt.Errorf("%w: absent user %d has degree %d", ErrCodec, u, deg)
+		}
+		offsets = append(offsets, offsets[u]+int64(deg))
+	}
+	total := offsets[n]
+	if total != int64(2*edges64) {
+		return nil, fmt.Errorf("%w: degree sum %d != 2×%d edges", ErrCodec, total, edges64)
+	}
+
+	adj := make([]UserID, 0, clampCap64(total, 1<<16))
+	for u := 0; u < n; u++ {
+		prev := int64(-1)
+		for i := offsets[u]; i < offsets[u+1]; i++ {
+			delta, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row of %d: %v", ErrCodec, u, err)
+			}
+			if delta > maxCodecIDs {
+				return nil, fmt.Errorf("%w: row delta %d of user %d exceeds id space", ErrCodec, delta, u)
+			}
+			v := prev + int64(delta)
+			if prev < 0 {
+				v = int64(delta) // first entry is absolute
+			} else if delta == 0 {
+				return nil, fmt.Errorf("%w: row of %d not strictly ascending", ErrCodec, u)
+			}
+			if v >= int64(n) || int64(u) == v {
+				return nil, fmt.Errorf("%w: edge %d->%d out of range", ErrCodec, u, v)
+			}
+			adj = append(adj, UserID(v))
+			prev = v
+		}
+	}
+
+	users := 0
+	for _, p := range present {
+		if p {
+			users++
+		}
+	}
+	if users != int(users64) {
+		return nil, fmt.Errorf("%w: user count %d != bitmap %d", ErrCodec, users64, users)
+	}
+	return &Frozen{
+		offsets: offsets,
+		adj:     adj,
+		present: present,
+		users:   users,
+		edges:   int(edges64),
+	}, nil
+}
+
+// clampCap caps an untrusted size claim for an initial slice capacity.
+func clampCap(n, limit int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > limit {
+		return limit
+	}
+	return n
+}
+
+func clampCap64(n int64, limit int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > int64(limit) {
+		return limit
+	}
+	return int(n)
+}

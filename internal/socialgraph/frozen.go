@@ -84,6 +84,10 @@ func (f *Frozen) Degree(u UserID) int { return len(f.row(u)) }
 // NumUsers returns the number of users.
 func (f *Frozen) NumUsers() int { return f.users }
 
+// NumIDs returns the size of the snapshot's ID space (max user ID + 1).
+// IDs in [0, NumIDs) may or may not be present.
+func (f *Frozen) NumIDs() int { return len(f.present) }
+
 // NumEdges returns the number of friendships.
 func (f *Frozen) NumEdges() int { return f.edges }
 

@@ -1,0 +1,72 @@
+package worldgen
+
+import (
+	"fmt"
+	"reflect"
+
+	"hsprofiler/internal/socialgraph"
+)
+
+// PersonEqual reports whether two person records are field-for-field
+// identical (including child lists).
+func PersonEqual(a, b *Person) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// DiffWorlds compares two worlds deeply and returns a description of the
+// first divergence — the first differing person record or the first
+// differing adjacency row — or "" when the worlds are identical. The
+// determinism harness uses it so a fingerprint mismatch fails with the
+// offending record, not just two hashes.
+func DiffWorlds(a, b *World) string {
+	if a.Seed != b.Seed {
+		return fmt.Sprintf("seed: %d vs %d", a.Seed, b.Seed)
+	}
+	if a.Now != b.Now {
+		return fmt.Sprintf("collection date: %v vs %v", a.Now, b.Now)
+	}
+	if len(a.Schools) != len(b.Schools) {
+		return fmt.Sprintf("school count: %d vs %d", len(a.Schools), len(b.Schools))
+	}
+	for i := range a.Schools {
+		if *a.Schools[i] != *b.Schools[i] {
+			return fmt.Sprintf("school %d: %+v vs %+v", i, *a.Schools[i], *b.Schools[i])
+		}
+	}
+	if len(a.People) != len(b.People) {
+		return fmt.Sprintf("people count: %d vs %d", len(a.People), len(b.People))
+	}
+	for i := range a.People {
+		if !PersonEqual(a.People[i], b.People[i]) {
+			return fmt.Sprintf("person %d: %+v vs %+v", i, a.People[i], b.People[i])
+		}
+	}
+	fa, fb := a.Frozen(), b.Frozen()
+	if fa.NumUsers() != fb.NumUsers() || fa.NumEdges() != fb.NumEdges() {
+		return fmt.Sprintf("graph size: %d users / %d edges vs %d users / %d edges",
+			fa.NumUsers(), fa.NumEdges(), fb.NumUsers(), fb.NumEdges())
+	}
+	n := fa.NumIDs()
+	if m := fb.NumIDs(); m > n {
+		n = m
+	}
+	for u := 0; u < n; u++ {
+		id := socialgraph.UserID(u)
+		if fa.HasUser(id) != fb.HasUser(id) {
+			return fmt.Sprintf("user %d present: %v vs %v", u, fa.HasUser(id), fb.HasUser(id))
+		}
+		ra, rb := fa.Friends(id), fb.Friends(id)
+		if len(ra) != len(rb) {
+			return fmt.Sprintf("user %d degree: %d vs %d (rows %v vs %v)", u, len(ra), len(rb), ra, rb)
+		}
+		for k := range ra {
+			if ra[k] != rb[k] {
+				return fmt.Sprintf("user %d friend[%d]: %d vs %d", u, k, ra[k], rb[k])
+			}
+		}
+	}
+	return ""
+}

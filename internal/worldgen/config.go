@@ -1,6 +1,10 @@
 package worldgen
 
-import "hsprofiler/internal/sim"
+import (
+	"fmt"
+
+	"hsprofiler/internal/sim"
+)
 
 // LyingModel parameterizes COPPA-circumvention behaviour at account
 // creation. Pew reported 44% of online teens admitting to age lies; Boyd et
@@ -336,6 +340,24 @@ func TinyConfig() Config {
 			GradSchoolProbAlumni: 0.2,
 		}},
 	}
+}
+
+// MetroConfig is a metropolitan-area world for scale benchmarks: n
+// mid-sized schools plus proportionally sized parent and outside-pool
+// populations. MetroConfig(1200) is a ~1M-person world. Distributions match
+// CityConfig's school shape; the point is volume, not paper calibration.
+func MetroConfig(n int) Config {
+	cfg := CityConfig(1)
+	school := cfg.Schools[0]
+	cfg.Schools = cfg.Schools[:0]
+	for i := 0; i < n; i++ {
+		s := school
+		s.Label = fmt.Sprintf("Metro-HS%04d", i)
+		cfg.Schools = append(cfg.Schools, s)
+	}
+	cfg.OutsidePool = 150 * n
+	cfg.Parents = 50 * n
+	return cfg
 }
 
 // CityConfig is a multi-school world for the city-scale audit example: n

@@ -1,0 +1,111 @@
+package worldgen
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadSnapshot hardens the binary loader against hostile or damaged
+// snapshot files: any input must produce either a valid world or a typed
+// error (ErrSnapshot / invariant failure) — never a panic, and never an
+// allocation driven by a lying length prefix. The seed corpus applies the
+// fault injector's body-mangling repertoire (truncate mid-body, garble with
+// trailing junk, bit rot) plus version skew to a small valid snapshot.
+func FuzzReadSnapshot(f *testing.F) {
+	w, err := GenerateParallel(varyConfig(1), 1, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("HSWB"))
+	f.Add([]byte("not a snapshot at all"))
+	// Truncations: cut off mid-header, mid-section, mid-checksum.
+	for _, frac := range []int{1, 7, 50, 90, 99} {
+		f.Add(append([]byte(nil), valid[:len(valid)*frac/100]...))
+	}
+	// Garbles: truncate and append junk (the faults.Garble shape).
+	garbled := append(append([]byte(nil), valid[:len(valid)/2]...), []byte("\x00\xff\x13\x37garbage")...)
+	f.Add(garbled)
+	// Bit rot across the file.
+	for _, pos := range []int{0, 3, 5, 9, len(valid) / 2, len(valid) - 5} {
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 0x80
+		f.Add(mut)
+	}
+	// Version skew: the version varint sits right after the 4-byte magic.
+	for _, v := range []byte{0, 1, 3, 0xFF} {
+		mut := append([]byte(nil), valid...)
+		mut[4] = v
+		f.Add(mut)
+	}
+	// Oversized people-count claim inside an otherwise plausible meta
+	// section header.
+	f.Add([]byte("HSWB\x02\x01\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			if got != nil {
+				t.Fatal("world returned alongside error")
+			}
+			return
+		}
+		// Accepted input must be a fully valid world: positional people,
+		// coherent graph, invariants intact.
+		if got == nil {
+			t.Fatal("nil world without error")
+		}
+		if err := got.CheckInvariants(); err != nil {
+			t.Fatalf("accepted world violates invariants: %v", err)
+		}
+	})
+}
+
+// TestReadBinaryErrorsAreTyped pins the error contract the fuzz target
+// relies on: decode failures wrap ErrSnapshot so callers can distinguish
+// corrupt files from I/O problems.
+func TestReadBinaryErrorsAreTyped(t *testing.T) {
+	w, err := GenerateParallel(TinyConfig(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("XXXX....")},
+		{"version skew", append(append([]byte(nil), valid[:4]...), append([]byte{9}, valid[5:]...)...)},
+		{"truncated", valid[:len(valid)/3]},
+		{"checksum", flipByte(valid, len(valid)/2)},
+	} {
+		_, err := ReadBinary(bytes.NewReader(tc.data))
+		if err == nil {
+			// A mid-payload bit flip is caught by the section checksum, so
+			// every case here must error.
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("%s: error not typed ErrSnapshot: %v", tc.name, err)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}

@@ -1,0 +1,680 @@
+package worldgen
+
+import (
+	"hsprofiler/internal/namegen"
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/socialgraph"
+)
+
+// This file implements the sharded world generator's per-shard work. The
+// population is partitioned into shards with ID ranges that are a pure
+// function of the config (every shard's size is derivable without drawing
+// randomness), and every shard draws from its own child PRNG stream
+// (sim.Rand.StreamN off the root seed). Shard output therefore depends only
+// on (cfg, seed, shard identity) — never on scheduling — which is what makes
+// the parallel generator bit-identical at any worker count.
+//
+// Stream labels are namespaced "p2/..." so the sharded generator's worlds
+// are a distinct (but equally deterministic) family from the sequential
+// Generate's: the two generators draw from disjoint stream sets and do not
+// promise cross-generator equality, only self-equality at all worker counts.
+
+// schoolLayout is the deterministic ID-range plan for one school's people.
+type schoolLayout struct {
+	studentsBase, students int
+	alumniBase, alumni     int
+	formerBase, former     int
+	teachersBase, teachers int
+}
+
+// layout is the full deterministic partition of the ID space.
+type layout struct {
+	schools     []schoolLayout
+	parentsBase int
+	parents     int
+	outsideBase int
+	outside     int
+	total       int
+}
+
+// outsideChunk is the fixed sub-shard size for the outside pool. It is part
+// of the deterministic layout (never derived from the worker count), so the
+// shard boundaries — and with them every draw — are invariant across runs.
+const outsideChunk = 1 << 15
+
+// planLayout computes the ID range of every shard from the config alone.
+// Each count below is closed-form: the generators draw jitter *within*
+// fixed totals, never randomness that changes a total.
+func planLayout(cfg Config) layout {
+	var lay layout
+	next := 0
+	for _, sc := range cfg.Schools {
+		var sl schoolLayout
+		sl.studentsBase, sl.students = next, sc.Students
+		next += sl.students
+		sl.alumniBase, sl.alumni = next, sc.AlumniClasses*sc.AlumniPerClass
+		next += sl.alumni
+		perYear := int(float64(sc.Students) * sc.ChurnPerYear)
+		sl.formerBase, sl.former = next, sc.FormerYearsVisible*perYear
+		next += sl.former
+		sl.teachersBase, sl.teachers = next, sc.Teachers
+		next += sl.teachers
+		lay.schools = append(lay.schools, sl)
+	}
+	lay.parentsBase, lay.parents = next, cfg.Parents
+	next += lay.parents
+	lay.outsideBase, lay.outside = next, cfg.OutsidePool
+	next += lay.outside
+	lay.total = next
+	return lay
+}
+
+// outsideShards returns the number of fixed-size outside-pool sub-shards.
+func (l layout) outsideShards() int {
+	return (l.outside + outsideChunk - 1) / outsideChunk
+}
+
+// shardWorld carries the shared read-only context every shard needs plus
+// the output arrays shards write disjoint ranges of.
+type shardWorld struct {
+	cfg  Config
+	lay  layout
+	root *sim.Rand
+	w    *World
+
+	homeCity    string
+	otherCities []string
+
+	// Account-holder indexes per school, filled by that school's people
+	// shard (disjoint writes). Used by the edge shards after the people
+	// barrier.
+	idx []schoolIndex
+	// poolTeens/poolAdults are the outside-pool sub-populations, assembled
+	// in ID order after the people barrier.
+	poolTeens, poolAdults []socialgraph.UserID
+}
+
+// schoolIndex lists one school's account holders by role.
+type schoolIndex struct {
+	students [4][]socialgraph.UserID // by cohort index
+	allStud  []socialgraph.UserID    // account-holding students, ID order
+	alumni   []socialgraph.UserID
+	former   []socialgraph.UserID
+	teachers []socialgraph.UserID
+}
+
+func (sw *shardWorld) otherCity(rng *sim.Rand) string {
+	return sw.otherCities[rng.Intn(len(sw.otherCities))]
+}
+
+// prologue names the world's cities and schools. It is cheap and runs
+// sequentially before any shard; its streams are independent of the shards'.
+func (sw *shardWorld) prologue() {
+	cityNG := namegen.New(sw.root.Stream("p2/cities"))
+	sw.homeCity = cityNG.City()
+	for i := 0; i < 10; i++ {
+		c := cityNG.City()
+		if c != sw.homeCity {
+			sw.otherCities = append(sw.otherCities, c)
+		}
+	}
+	if len(sw.otherCities) == 0 {
+		sw.otherCities = []string{sw.homeCity + " Heights"}
+	}
+	schoolNG := namegen.New(sw.root.Stream("p2/schoolnames"))
+	for i := range sw.cfg.Schools {
+		s := &School{ID: i, Name: schoolNG.School(sw.homeCity), City: sw.homeCity}
+		for k := 0; k < 4; k++ {
+			s.GradYears[k] = sw.cfg.SeniorClassYear + k
+		}
+		sw.w.Schools = append(sw.w.Schools, s)
+	}
+}
+
+// newPersonAt creates the person with the given pre-assigned ID.
+func (sw *shardWorld) newPersonAt(id int, ng *namegen.Generator, gender namegen.Gender, role Role) *Person {
+	first, last := ng.Person(gender)
+	p := &Person{
+		ID:        socialgraph.UserID(id),
+		FirstName: first,
+		LastName:  last,
+		Gender:    gender,
+		Role:      role,
+		SchoolID:  -1,
+		Sociality: 1,
+	}
+	sw.w.People[id] = p
+	return p
+}
+
+// birthForGradYear draws a birth date for a student in the class of
+// gradYear (same cutoff model as the sequential generator).
+func birthForGradYear(rng *sim.Rand, gradYear int) sim.Date {
+	day := rng.IntBetween(1, 28)
+	offset := rng.IntBetween(0, 11)
+	month := 9 + offset
+	year := gradYear - 19
+	if month > 12 {
+		month -= 12
+		year++
+	}
+	return sim.Date{Year: year, Month: month, Day: day}
+}
+
+// registerPerson applies the adoption/lying model to p, drawing from rng in
+// a fixed order. It mirrors the sequential generator's register() rules but
+// runs inline in the person's own shard.
+func (sw *shardWorld) registerPerson(rng *sim.Rand, ng *namegen.Generator, p *Person) {
+	var adoption, aliasProb float64
+	switch p.Role {
+	case RoleStudent:
+		sc := sw.cfg.Schools[p.SchoolID]
+		adoption, aliasProb = sc.AdoptionRate, sc.AliasProb
+	case RoleAlumnus, RoleFormer:
+		adoption, aliasProb = 0.85, 0.02
+	case RoleTeacher:
+		adoption = 0.75
+	case RoleParent:
+		adoption = 0.70
+	default:
+		adoption = 1.0
+		aliasProb = 0.02
+	}
+	if !rng.Bool(adoption) {
+		return
+	}
+	p.HasAccount = true
+	if rng.Bool(aliasProb) {
+		p.AliasName = ng.Alias(p.FirstName, p.LastName)
+	}
+	p.RegisteredBirth = p.TrueBirth
+
+	ly := sw.cfg.Lying
+	lieProb := 0.0
+	switch {
+	case p.Role == RoleStudent || p.Role == RoleFormer,
+		p.Role == RoleOutside && p.IsMinorAt(sw.cfg.Now):
+		lieProb = ly.StudentLieProb
+	case p.Role == RoleAlumnus:
+		lieProb = ly.AlumniLieProb
+	}
+	if rng.Bool(lieProb) {
+		signupAge := rng.IntBetween(ly.SignupAgeMin, ly.SignupAgeMax)
+		var claimedAge int
+		if rng.Bool(ly.AdultClaimProb) {
+			claimedAge = rng.IntBetween(18, 21)
+		} else {
+			claimedAge = 13
+		}
+		delta := claimedAge - signupAge
+		if delta < 1 {
+			delta = 1
+		}
+		p.LiedAtSignup = true
+		p.RegisteredBirth = p.TrueBirth.AddYears(-delta)
+	}
+}
+
+// assignPrivacyTo draws p's sharing switches and disclosure fields, again in
+// a fixed per-person order on the shard's stream.
+func (sw *shardWorld) assignPrivacyTo(rng *sim.Rand, p *Person) {
+	if !p.HasAccount {
+		return
+	}
+	dist := genericPrivacy
+	if p.SchoolID >= 0 && p.Role != RoleTeacher {
+		dist = sw.cfg.Schools[p.SchoolID].Privacy
+	}
+	p.Privacy = PrivacySettings{
+		FriendListPublic: rng.Bool(dist.FriendListPublic),
+		PublicSearch:     rng.Bool(dist.PublicSearch),
+		MessageLink:      rng.Bool(dist.MessageLink),
+		ShowRelationship: rng.Bool(dist.Relationship),
+		ShowInterestedIn: rng.Bool(dist.InterestedIn),
+		ShowBirthday:     rng.Bool(dist.Birthday),
+		ShowHometown:     rng.Bool(dist.Hometown),
+		ShowPhotos:       rng.Bool(dist.Photos),
+		ShowContact:      rng.Bool(dist.Contact),
+		ListsNetwork:     rng.Bool(dist.Network),
+	}
+	if p.Privacy.ShowPhotos {
+		p.PhotosShared = rng.Poisson(dist.PhotosMean)
+	}
+	switch p.Role {
+	case RoleStudent:
+		sc := sw.cfg.Schools[p.SchoolID]
+		p.ListsSchool = rng.Bool(sc.ListsSchoolStudent)
+		p.ListsCity = rng.Bool(0.5)
+	case RoleAlumnus:
+		sc := sw.cfg.Schools[p.SchoolID]
+		p.ListsSchool = rng.Bool(sc.ListsSchoolAlumni)
+		p.ListsCity = rng.Bool(0.6)
+	case RoleFormer:
+		sc := sw.cfg.Schools[p.SchoolID]
+		if rng.Bool(sc.FormerUpdatesSchool) {
+			p.ListsSchool = false
+			p.ListsGradSchool = false
+		} else {
+			p.ListsSchool = rng.Bool(sc.ListsSchoolFormer)
+		}
+		p.ListsCity = rng.Bool(0.5)
+	default:
+		p.ListsCity = rng.Bool(0.5)
+	}
+}
+
+// genSchoolPeople generates every person tied to school si — students,
+// alumni, former students, teachers — into their pre-planned ID ranges, and
+// fills the school's account-holder index. One shard, one stream.
+func (sw *shardWorld) genSchoolPeople(si int) {
+	sc := sw.cfg.Schools[si]
+	sl := sw.lay.schools[si]
+	school := sw.w.Schools[si]
+	rng := sw.root.StreamN("p2/school", si)
+	ng := namegen.New(rng)
+	idx := &sw.idx[si]
+
+	// Students: split the body across the four classes with mild jitter
+	// inside the fixed total.
+	base := sc.Students / 4
+	sizes := [4]int{base, base, base, sc.Students - 3*base}
+	for k := 0; k < 3; k++ {
+		j := rng.IntBetween(-base/12-1, base/12+1)
+		sizes[k] += j
+		sizes[3] -= j
+	}
+	id := sl.studentsBase
+	for cohort, y := range school.GradYears {
+		for n := 0; n < sizes[cohort]; n++ {
+			p := sw.newPersonAt(id, ng, namegen.Gender(rng.Intn(2)), RoleStudent)
+			id++
+			p.SchoolID = si
+			p.GradYear = y
+			p.TrueBirth = birthForGradYear(rng, y)
+			p.CurrentCity = school.City
+			p.Hometown = school.City
+			p.Sociality = drawSociality(rng)
+			p.StreetAddress = ng.Street()
+			sw.registerPerson(rng, ng, p)
+			sw.assignPrivacyTo(rng, p)
+			if p.HasAccount {
+				idx.students[cohort] = append(idx.students[cohort], p.ID)
+				idx.allStud = append(idx.allStud, p.ID)
+			}
+		}
+	}
+
+	// Alumni.
+	id = sl.alumniBase
+	for back := 1; back <= sc.AlumniClasses; back++ {
+		gradYear := sw.cfg.SeniorClassYear - back
+		for n := 0; n < sc.AlumniPerClass; n++ {
+			p := sw.newPersonAt(id, ng, namegen.Gender(rng.Intn(2)), RoleAlumnus)
+			id++
+			p.SchoolID = si
+			p.GradYear = gradYear
+			p.TrueBirth = birthForGradYear(rng, gradYear)
+			p.Hometown = school.City
+			p.Sociality = drawSociality(rng)
+			if rng.Bool(sc.AlumniMovedAway) {
+				p.CurrentCity = sw.otherCity(rng)
+			} else {
+				p.CurrentCity = school.City
+			}
+			if back >= 4 && rng.Bool(sc.GradSchoolProbAlumni) {
+				p.ListsGradSchool = true
+			}
+			p.StreetAddress = ng.Street()
+			sw.registerPerson(rng, ng, p)
+			sw.assignPrivacyTo(rng, p)
+			if p.HasAccount {
+				idx.alumni = append(idx.alumni, p.ID)
+			}
+		}
+	}
+
+	// Former (transferred-out) students.
+	id = sl.formerBase
+	perYear := int(float64(sc.Students) * sc.ChurnPerYear)
+	for left := 1; left <= sc.FormerYearsVisible; left++ {
+		for n := 0; n < perYear; n++ {
+			p := sw.newPersonAt(id, ng, namegen.Gender(rng.Intn(2)), RoleFormer)
+			id++
+			p.SchoolID = si
+			k := rng.IntBetween(1, 3)
+			p.GradYear = (sw.cfg.Now.Year - left) + (4 - k)
+			p.TrueBirth = birthForGradYear(rng, p.GradYear)
+			p.Hometown = school.City
+			p.Sociality = drawSociality(rng)
+			if rng.Bool(0.8) {
+				p.CurrentCity = sw.otherCity(rng)
+			} else {
+				p.CurrentCity = school.City
+			}
+			p.StreetAddress = ng.Street()
+			sw.registerPerson(rng, ng, p)
+			sw.assignPrivacyTo(rng, p)
+			if p.HasAccount {
+				idx.former = append(idx.former, p.ID)
+			}
+		}
+	}
+
+	// Teachers.
+	id = sl.teachersBase
+	for n := 0; n < sc.Teachers; n++ {
+		p := sw.newPersonAt(id, ng, namegen.Gender(rng.Intn(2)), RoleTeacher)
+		id++
+		p.SchoolID = si
+		p.TrueBirth = sim.Date{
+			Year:  sw.cfg.Now.Year - rng.IntBetween(26, 60),
+			Month: rng.IntBetween(1, 12),
+			Day:   rng.IntBetween(1, 28),
+		}
+		p.CurrentCity = school.City
+		p.Hometown = sw.otherCity(rng)
+		p.StreetAddress = ng.Street()
+		sw.registerPerson(rng, ng, p)
+		sw.assignPrivacyTo(rng, p)
+		if p.HasAccount {
+			idx.teachers = append(idx.teachers, p.ID)
+		}
+	}
+}
+
+// genOutsidePeople generates outside-pool sub-shard k.
+func (sw *shardWorld) genOutsidePeople(k int) {
+	lo := sw.lay.outsideBase + k*outsideChunk
+	hi := lo + outsideChunk
+	if max := sw.lay.outsideBase + sw.lay.outside; hi > max {
+		hi = max
+	}
+	rng := sw.root.StreamN("p2/outside", k)
+	ng := namegen.New(rng)
+	const teenFrac = 0.35
+	for id := lo; id < hi; id++ {
+		p := sw.newPersonAt(id, ng, namegen.Gender(rng.Intn(2)), RoleOutside)
+		if rng.Bool(teenFrac) {
+			p.TrueBirth = sim.Date{
+				Year:  sw.cfg.Now.Year - rng.IntBetween(13, 17),
+				Month: rng.IntBetween(1, 12),
+				Day:   rng.IntBetween(1, 28),
+			}
+		} else {
+			p.TrueBirth = sim.Date{
+				Year:  sw.cfg.Now.Year - rng.IntBetween(18, 60),
+				Month: rng.IntBetween(1, 12),
+				Day:   rng.IntBetween(1, 28),
+			}
+		}
+		if rng.Bool(0.5) {
+			p.CurrentCity = sw.homeCity
+		} else {
+			p.CurrentCity = sw.otherCity(rng)
+		}
+		p.Hometown = p.CurrentCity
+		p.StreetAddress = ng.Street()
+		sw.registerPerson(rng, ng, p)
+		sw.assignPrivacyTo(rng, p)
+	}
+}
+
+// genParentsPeople runs after the student shards (it adopts child surnames
+// and households). One sequential shard: parents share a claimed-children
+// map, which is inherently order-dependent state.
+func (sw *shardWorld) genParentsPeople() {
+	rng := sw.root.Stream("p2/parents")
+	ng := namegen.New(rng)
+	// All students (with or without accounts), in ID order: the layout makes
+	// this a concatenation of closed-form ranges.
+	var allStudents []socialgraph.UserID
+	for _, sl := range sw.lay.schools {
+		for id := sl.studentsBase; id < sl.studentsBase+sl.students; id++ {
+			allStudents = append(allStudents, socialgraph.UserID(id))
+		}
+	}
+	claimed := make(map[socialgraph.UserID]bool)
+	for n := 0; n < sw.lay.parents; n++ {
+		id := sw.lay.parentsBase + n
+		p := sw.newPersonAt(id, ng, namegen.Gender(rng.Intn(2)), RoleParent)
+		p.TrueBirth = sim.Date{
+			Year:  sw.cfg.Now.Year - rng.IntBetween(38, 56),
+			Month: rng.IntBetween(1, 12),
+			Day:   rng.IntBetween(1, 28),
+		}
+		kids := 1
+		if rng.Bool(0.3) {
+			kids = 2
+		}
+		for k := 0; k < kids && len(allStudents) > 0; k++ {
+			child := sw.w.People[allStudents[rng.Intn(len(allStudents))]]
+			if claimed[child.ID] {
+				continue
+			}
+			claimed[child.ID] = true
+			p.ChildIDs = append(p.ChildIDs, child.ID)
+			if len(p.ChildIDs) == 1 {
+				p.LastName = child.LastName
+				p.CurrentCity = child.CurrentCity
+				p.Hometown = child.CurrentCity
+				p.StreetAddress = ng.Street()
+				child.StreetAddress = p.StreetAddress
+			} else {
+				child.LastName = p.LastName
+				child.CurrentCity = p.CurrentCity
+				child.StreetAddress = p.StreetAddress
+			}
+		}
+		if p.StreetAddress == "" {
+			p.StreetAddress = ng.Street()
+		}
+		if p.CurrentCity == "" {
+			p.CurrentCity = sw.homeCity
+			p.Hometown = sw.homeCity
+		}
+		sw.registerPerson(rng, ng, p)
+		sw.assignPrivacyTo(rng, p)
+	}
+}
+
+// buildPools assembles the outside teen/adult pools in ID order after the
+// people barrier.
+func (sw *shardWorld) buildPools() {
+	for id := sw.lay.outsideBase; id < sw.lay.outsideBase+sw.lay.outside; id++ {
+		p := sw.w.People[id]
+		if p.IsMinorAt(sw.cfg.Now) {
+			sw.poolTeens = append(sw.poolTeens, p.ID)
+		} else {
+			sw.poolAdults = append(sw.poolAdults, p.ID)
+		}
+	}
+}
+
+// edgeShard collects one shard's friendship output.
+type edgeShard struct {
+	edges []socialgraph.Edge
+}
+
+func (es *edgeShard) add(a, b socialgraph.UserID) {
+	es.edges = append(es.edges, socialgraph.Edge{A: a, B: b})
+}
+
+// pairEdges creates Erdős–Rényi block edges targeting avgDegree inside the
+// member set (same model as the sequential generator).
+func (sw *shardWorld) pairEdges(es *edgeShard, rng *sim.Rand, members []socialgraph.UserID, avgDegree float64) {
+	n := len(members)
+	if n < 2 {
+		return
+	}
+	base := avgDegree / float64(n-1)
+	for i := 0; i < n; i++ {
+		wi := sw.w.People[members[i]].Sociality
+		for j := i + 1; j < n; j++ {
+			if rng.Bool(base * wi * sw.w.People[members[j]].Sociality) {
+				es.add(members[i], members[j])
+			}
+		}
+	}
+}
+
+func (sw *shardWorld) bipartitePairEdges(es *edgeShard, rng *sim.Rand, ga, gb []socialgraph.UserID, avgDegree float64) {
+	if len(ga) == 0 || len(gb) == 0 {
+		return
+	}
+	base := avgDegree / float64(len(gb))
+	for _, u := range ga {
+		wu := sw.w.People[u].Sociality
+		for _, v := range gb {
+			if rng.Bool(base * wu * sw.w.People[v].Sociality) {
+				es.add(u, v)
+			}
+		}
+	}
+}
+
+func (sw *shardWorld) outsideEdges(es *edgeShard, rng *sim.Rand, id socialgraph.UserID, deg int, teenFrac float64) {
+	for j := 0; j < deg; j++ {
+		var pool []socialgraph.UserID
+		if rng.Bool(teenFrac) && len(sw.poolTeens) > 0 {
+			pool = sw.poolTeens
+		} else {
+			pool = sw.poolAdults
+		}
+		if len(pool) == 0 {
+			return
+		}
+		es.add(id, pool[rng.Intn(len(pool))])
+	}
+}
+
+// genSchoolEdges draws every friendship whose "owning" endpoint belongs to
+// school si: in-school ties, alumni bridges, former-student remnants,
+// teacher ties, and all of their outside-pool edges. Because each person
+// belongs to exactly one school and pool members own no edges, any duplicate
+// pair can only arise inside a single shard — NormalizeEdges removes those,
+// and the cross-shard disjointness the FrozenBuilder requires holds by
+// construction.
+func (sw *shardWorld) genSchoolEdges(si int) []socialgraph.Edge {
+	sc := sw.cfg.Schools[si]
+	fc := sc.Friendship
+	rng := sw.root.StreamN("p2/friends", si)
+	idx := &sw.idx[si]
+	es := &edgeShard{}
+	school := sw.w.Schools[si]
+
+	for _, members := range idx.students {
+		sw.pairEdges(es, rng, members, fc.InCohortDegree)
+	}
+	for k := 0; k+1 < 4; k++ {
+		sw.bipartitePairEdges(es, rng, idx.students[k], idx.students[k+1], fc.CrossCohortDegree)
+	}
+
+	// Alumni by class, ascending grad year (IDs are laid out newest class
+	// first; iterate years ascending like the sequential generator).
+	byClass := make(map[int][]socialgraph.UserID)
+	for _, id := range idx.alumni {
+		byClass[sw.w.People[id].GradYear] = append(byClass[sw.w.People[id].GradYear], id)
+	}
+	students := idx.allStud
+	for back := sc.AlumniClasses; back >= 1; back-- {
+		gradYear := sw.cfg.SeniorClassYear - back
+		members := byClass[gradYear]
+		if len(members) == 0 {
+			continue
+		}
+		sw.pairEdges(es, rng, members, fc.AlumniOwnClassDegree)
+		mean := fc.RecentGradBridgeMean
+		for i := 1; i < back; i++ {
+			mean *= fc.BridgeDecayPerClass
+		}
+		if mean > 0.2 && len(students) > 0 {
+			for _, a := range members {
+				k := rng.Poisson(mean)
+				for j := 0; j < k; j++ {
+					s := students[rng.Intn(len(students))]
+					if s != a {
+						es.add(a, s)
+					}
+				}
+			}
+		}
+	}
+
+	// Former students.
+	for _, id := range idx.former {
+		p := sw.w.People[id]
+		mean := fc.InCohortDegree * fc.FormerRetainFrac * p.Sociality
+		ci := school.CohortIndex(p.GradYear)
+		var target []socialgraph.UserID
+		if ci >= 0 {
+			target = idx.students[ci]
+		} else {
+			target = idx.students[0]
+			mean *= 0.4
+		}
+		if len(target) == 0 {
+			continue
+		}
+		k := rng.Poisson(mean)
+		for j := 0; j < k; j++ {
+			es.add(id, target[rng.Intn(len(target))])
+		}
+	}
+
+	// Teachers.
+	for _, id := range idx.teachers {
+		k := rng.Poisson(fc.TeacherStudentDegree)
+		for j := 0; j < k && len(students) > 0; j++ {
+			es.add(id, students[rng.Intn(len(students))])
+		}
+	}
+
+	// Outside-pool circles.
+	for _, id := range students {
+		soc := sw.w.People[id].Sociality
+		deg := rng.NormInt(fc.OutsideDegreeMean*soc, fc.OutsideDegreeStd*soc, 0, int(fc.OutsideDegreeMean*3)+10)
+		sw.outsideEdges(es, rng, id, deg, 0.6)
+	}
+	for _, id := range idx.alumni {
+		soc := sw.w.People[id].Sociality
+		deg := rng.NormInt(fc.AlumniOutsideDegree*soc, fc.AlumniOutsideDegree/3, 0, int(fc.AlumniOutsideDegree*3)+10)
+		sw.outsideEdges(es, rng, id, deg, 0.1)
+	}
+	for _, id := range idx.former {
+		soc := sw.w.People[id].Sociality
+		deg := rng.NormInt(fc.OutsideDegreeMean*0.8*soc, fc.OutsideDegreeStd, 0, int(fc.OutsideDegreeMean*3)+10)
+		sw.outsideEdges(es, rng, id, deg, 0.5)
+	}
+
+	return socialgraph.NormalizeEdges(es.edges)
+}
+
+// genParentEdges draws parent-child and parent-parent friendships.
+func (sw *shardWorld) genParentEdges() []socialgraph.Edge {
+	rng := sw.root.Stream("p2/friends/parents")
+	es := &edgeShard{}
+	for n := 0; n < sw.lay.parents; n++ {
+		pid := socialgraph.UserID(sw.lay.parentsBase + n)
+		p := sw.w.People[pid]
+		if p == nil || !p.HasAccount {
+			continue
+		}
+		for _, cid := range p.ChildIDs {
+			child := sw.w.People[cid]
+			if child.HasAccount && child.SchoolID >= 0 {
+				if rng.Bool(sw.cfg.Schools[child.SchoolID].Friendship.ParentFriendProb) {
+					es.add(pid, cid)
+				}
+			}
+		}
+		k := rng.Poisson(6)
+		for j := 0; j < k; j++ {
+			other := socialgraph.UserID(sw.lay.parentsBase + rng.Intn(sw.lay.parents))
+			op := sw.w.People[other]
+			if other != pid && op != nil && op.HasAccount {
+				es.add(pid, other)
+			}
+		}
+	}
+	return socialgraph.NormalizeEdges(es.edges)
+}

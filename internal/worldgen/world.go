@@ -40,11 +40,32 @@ type World struct {
 	Now     sim.Date
 	Schools []*School
 	People  []*Person
-	Graph   *socialgraph.Graph
+	// Graph is the mutable adjacency-map graph. Worlds built by the
+	// sequential Generate carry one; worlds from GenerateParallel or a
+	// binary snapshot are frozen-only (Graph == nil) — the CSR snapshot was
+	// built directly and no map-based graph ever existed. Call Thawed to
+	// materialize one on demand.
+	Graph *socialgraph.Graph
 
 	// frozen caches the CSR snapshot of Graph; built once, on generation
 	// (the generator calls Frozen eagerly) or on first use.
 	frozen atomic.Pointer[socialgraph.Frozen]
+}
+
+// SetFrozen installs a pre-built CSR snapshot. The streaming generator and
+// the binary snapshot loader use it for worlds that never had a mutable
+// graph.
+func (w *World) SetFrozen(f *socialgraph.Frozen) {
+	w.frozen.Store(f)
+}
+
+// Thawed returns the mutable graph, reconstructing it from the frozen
+// snapshot for frozen-only worlds. The reconstruction is not retained.
+func (w *World) Thawed() *socialgraph.Graph {
+	if w.Graph != nil {
+		return w.Graph
+	}
+	return w.Frozen().Thaw()
 }
 
 // Frozen returns the immutable CSR snapshot of the friendship graph,
@@ -57,6 +78,9 @@ type World struct {
 func (w *World) Frozen() *socialgraph.Frozen {
 	if f := w.frozen.Load(); f != nil {
 		return f
+	}
+	if w.Graph == nil {
+		panic("worldgen: frozen-only world without a snapshot")
 	}
 	w.frozen.CompareAndSwap(nil, w.Graph.Freeze())
 	return w.frozen.Load()
@@ -119,7 +143,11 @@ func (w *World) CountRole(r Role) int {
 // world. It is called by the generator after construction and exercised
 // directly by tests.
 func (w *World) CheckInvariants() error {
-	if err := w.Graph.CheckInvariants(); err != nil {
+	if w.Graph != nil {
+		if err := w.Graph.CheckInvariants(); err != nil {
+			return err
+		}
+	} else if err := w.Frozen().CheckInvariants(); err != nil {
 		return err
 	}
 	for i, p := range w.People {
