@@ -1,0 +1,48 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hsprofiler/internal/osnhttp"
+)
+
+// servingFlags groups the flag values that shape the serving plane, split
+// out of main so validation is table-testable. The platform's own
+// withDefaults silently normalizes negatives for library callers; the
+// daemon instead refuses to start — a typo'd deployment flag should be a
+// loud failure, not a silently unlimited budget.
+type servingFlags struct {
+	SearchCap      int
+	RequestBudget  int
+	ThrottleLimit  int
+	ThrottleWindow time.Duration
+	FaultRate      float64
+	Server         osnhttp.ServerConfig
+}
+
+// validate rejects every bad flag at once (joined errors) so a broken
+// invocation reports the full list instead of one complaint per restart.
+func (f servingFlags) validate() error {
+	var errs []error
+	if f.SearchCap < 0 {
+		errs = append(errs, fmt.Errorf("-search-cap must be non-negative, got %d", f.SearchCap))
+	}
+	if f.RequestBudget < 0 {
+		errs = append(errs, fmt.Errorf("-request-budget must be non-negative, got %d", f.RequestBudget))
+	}
+	if f.ThrottleLimit < 0 {
+		errs = append(errs, fmt.Errorf("-throttle-limit must be non-negative, got %d", f.ThrottleLimit))
+	}
+	if f.ThrottleWindow <= 0 {
+		errs = append(errs, fmt.Errorf("-throttle-window must be positive, got %v", f.ThrottleWindow))
+	}
+	if f.FaultRate < 0 || f.FaultRate > 1 {
+		errs = append(errs, fmt.Errorf("-faults must be in [0,1], got %g", f.FaultRate))
+	}
+	if err := f.Server.WithDefaults().Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

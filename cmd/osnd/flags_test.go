@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hsprofiler/internal/osnhttp"
+)
+
+// goodFlags is a baseline invocation that must validate.
+func goodFlags() servingFlags {
+	return servingFlags{
+		SearchCap:      400,
+		RequestBudget:  0,
+		ThrottleLimit:  0,
+		ThrottleWindow: 15 * time.Minute,
+		FaultRate:      0,
+		Server:         osnhttp.DefaultServerConfig(),
+	}
+}
+
+func TestServingFlagsValidate(t *testing.T) {
+	if err := goodFlags().validate(); err != nil {
+		t.Fatalf("baseline flags rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*servingFlags)
+		want string
+	}{
+		{"negative search cap", func(f *servingFlags) { f.SearchCap = -1 }, "-search-cap"},
+		{"negative request budget", func(f *servingFlags) { f.RequestBudget = -5 }, "-request-budget"},
+		{"negative throttle limit", func(f *servingFlags) { f.ThrottleLimit = -2 }, "-throttle-limit"},
+		{"zero throttle window", func(f *servingFlags) { f.ThrottleWindow = 0 }, "-throttle-window"},
+		{"negative throttle window", func(f *servingFlags) { f.ThrottleWindow = -time.Second }, "-throttle-window"},
+		{"fault rate above 1", func(f *servingFlags) { f.FaultRate = 1.5 }, "-faults"},
+		{"negative fault rate", func(f *servingFlags) { f.FaultRate = -0.1 }, "-faults"},
+		{"negative server timeout", func(f *servingFlags) { f.Server.ReadTimeout = -time.Second }, "read timeout"},
+		{"negative inflight cap", func(f *servingFlags) { f.Server.SearchInflight = -8 }, "search inflight"},
+	}
+	for _, tc := range cases {
+		f := goodFlags()
+		tc.mut(&f)
+		err := f.validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestServingFlagsJoinAll checks a pile of bad flags is reported in one
+// pass, not one complaint per restart.
+func TestServingFlagsJoinAll(t *testing.T) {
+	f := goodFlags()
+	f.SearchCap = -1
+	f.ThrottleWindow = 0
+	f.FaultRate = 2
+	f.Server.WriteTimeout = -1
+	err := f.validate()
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	for _, want := range []string{"-search-cap", "-throttle-window", "-faults", "write timeout"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error lost %q: %v", want, err)
+		}
+	}
+}
+
+// TestServingFlagsZeroServerConfig checks an all-zero ServerConfig (flags
+// left at package defaults elsewhere) is filled rather than rejected.
+func TestServingFlagsZeroServerConfig(t *testing.T) {
+	f := goodFlags()
+	f.Server = osnhttp.ServerConfig{}
+	if err := f.validate(); err != nil {
+		t.Fatalf("zero ServerConfig rejected (WithDefaults not applied): %v", err)
+	}
+}

@@ -46,7 +46,37 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metrics.json, /healthz and net/http/pprof on this address (empty = disabled)")
 	manifestOut := flag.String("manifest-out", "", "write a JSON run manifest (params, freeze-phase timing, request counters) to this file on shutdown")
 	eventsOut := flag.String("events-out", "", "write the structured event log (JSONL: access log, policy gates, account transitions, injected faults) to this file")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "serving listener: max time to read a request header")
+	readTimeout := flag.Duration("read-timeout", 15*time.Second, "serving listener: max time to read a full request")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "serving listener: max time to write a response")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "serving listener: keep-alive idle connection timeout")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "max time to wait for inflight requests on SIGTERM before abandoning them")
+	inflightSearch := flag.Int("inflight-search", 0, "max concurrent search requests; excess shed with 503 (0 = unlimited)")
+	inflightProfile := flag.Int("inflight-profile", 0, "max concurrent profile requests; excess shed with 503 (0 = unlimited)")
+	inflightFriends := flag.Int("inflight-friends", 0, "max concurrent friend-list requests; excess shed with 503 (0 = unlimited)")
 	flag.Parse()
+
+	sf := servingFlags{
+		SearchCap:      *searchCap,
+		RequestBudget:  *budget,
+		ThrottleLimit:  *throttleLimit,
+		ThrottleWindow: *throttleWindow,
+		FaultRate:      *faultRate,
+		Server: osnhttp.ServerConfig{
+			ReadHeaderTimeout: *readHeaderTimeout,
+			ReadTimeout:       *readTimeout,
+			WriteTimeout:      *writeTimeout,
+			IdleTimeout:       *idleTimeout,
+			ShutdownGrace:     *shutdownGrace,
+			SearchInflight:    *inflightSearch,
+			ProfileInflight:   *inflightProfile,
+			FriendInflight:    *inflightFriends,
+		},
+	}
+	if err := sf.validate(); err != nil {
+		fatal(err)
+	}
+	serverCfg := sf.Server.WithDefaults()
 
 	var w *worldgen.World
 	var err error
@@ -135,7 +165,9 @@ func main() {
 	// The injector's middleware wraps outside the instrumented server, so
 	// injected 503s land in faults_injected_total, not in the platform's
 	// own throttle series.
-	var handler http.Handler = osnhttp.NewServer(platform).Instrument(reg).WithLog(lg)
+	server := osnhttp.NewServer(platform).Instrument(reg).WithLog(lg).
+		WithLimits(*inflightSearch, *inflightProfile, *inflightFriends)
+	var handler http.Handler = server
 	var injector *faults.Injector
 	if *faultRate > 0 || *faultLatency > 0 {
 		cfg := faults.Composite(*faultRate, *faultSeed)
@@ -144,19 +176,21 @@ func main() {
 			cfg.MaxLatency = *faultLatency
 		}
 		injector = faults.New(cfg).Instrument(reg).WithLog(lg)
-		handler = injector.Middleware(handler)
+		faulty := injector.Middleware(handler)
+		// The load balancer's liveness probe must stay reliable even on a
+		// deliberately hostile platform, so /healthz bypasses the injector.
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" {
+				server.ServeHTTP(w, r)
+				return
+			}
+			faulty.ServeHTTP(w, r)
+		})
 		rate := cfg.ServerError + cfg.Throttle + cfg.Reset + cfg.Truncate + cfg.Garble
 		fmt.Printf("osnd: injecting faults at rate %.2f (seed %d)\n", rate, *faultSeed)
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       15 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
+	srv := serverCfg.HTTPServer(*addr, handler)
 
 	var metricsSrv *http.Server
 	if reg != nil {
@@ -185,11 +219,12 @@ func main() {
 			fatal(err)
 		}
 	case s := <-sig:
-		fmt.Printf("osnd: %v, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fatal(err)
+		fmt.Printf("osnd: %v, draining (up to %v for %d inflight)\n", s, serverCfg.ShutdownGrace, server.Inflight())
+		remaining, err := serverCfg.Drain(srv, server)
+		if remaining > 0 || err != nil {
+			fmt.Fprintf(os.Stderr, "osnd: drain incomplete: %d requests abandoned (%v)\n", remaining, err)
+		} else {
+			fmt.Println("osnd: drained cleanly")
 		}
 	}
 	if metricsSrv != nil {

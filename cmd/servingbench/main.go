@@ -1,0 +1,214 @@
+// Command servingbench measures the serving plane over real sockets: it
+// builds a world, serves it through osnhttp with production timeouts on a
+// loopback listener, and sweeps a closed-loop loadgen worker pool over the
+// JSON API, reporting RPS and latency percentiles per endpoint. A final
+// open-loop pass at a fixed arrival rate records coordinated-omission-free
+// percentiles.
+//
+// The output is benchdiff-compatible (results matched on the workers sweep
+// point), so CI diffs a fresh run against the committed BENCH_serving.json:
+//
+//	servingbench -out BENCH_serving.json
+//	benchdiff -old BENCH_serving.json -new BENCH_serving_ci.json
+//
+// Any 5xx, malformed body, or transport error during the sweep is a hard
+// failure — the serving plane is supposed to be clean under load.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"hsprofiler/internal/loadgen"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/osnhttp"
+	"hsprofiler/internal/worldgen"
+)
+
+// Report is the committed benchmark artefact. Scenario/Seed/Workers and
+// Results carry the benchdiff contract; the rest is context for humans.
+type Report struct {
+	Scenario  string       `json:"scenario"`
+	Seed      uint64       `json:"seed"`
+	Workers   int          `json:"workers"` // 0: the sweep varies workers
+	NumCPU    int          `json:"num_cpu"`
+	GoVersion string       `json:"go_version"`
+	Results   []Result     `json:"results"`
+	OpenLoop  *OpenLoopRun `json:"open_loop,omitempty"`
+	Timestamp string       `json:"timestamp"`
+}
+
+// Result is one closed-loop sweep point. NsPerOp is the mean request
+// latency; OpsPerSec is the aggregate RPS across the pool — the two
+// numbers benchdiff gates on. Endpoints carries the full per-endpoint
+// detail (benchdiff ignores unknown fields).
+type Result struct {
+	Workers   int                                `json:"workers"`
+	NsPerOp   float64                            `json:"ns_per_op"`
+	OpsPerSec float64                            `json:"ops_per_sec"`
+	Requests  uint64                             `json:"requests"`
+	Endpoints map[string]*loadgen.EndpointReport `json:"endpoints"`
+}
+
+// OpenLoopRun is the fixed-arrival-rate section: the honest latency
+// percentiles quoted in the README.
+type OpenLoopRun struct {
+	RateTarget  float64                            `json:"rate_target"`
+	AchievedRPS float64                            `json:"achieved_rps"`
+	Dropped     uint64                             `json:"dropped"`
+	Endpoints   map[string]*loadgen.EndpointReport `json:"endpoints"`
+	Overall     *loadgen.EndpointReport            `json:"overall"`
+}
+
+func main() {
+	scenario := flag.String("scenario", "hs1", "world scenario: hs1, hs2, hs3, tiny")
+	seed := flag.Uint64("seed", 2013, "world seed")
+	duration := flag.Duration("duration", 3*time.Second, "measured window per sweep point")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup per sweep point")
+	rate := flag.Float64("rate", 2000, "open-loop arrival rate for the final pass (0 = skip)")
+	out := flag.String("out", "BENCH_serving.json", "output path")
+	flag.Parse()
+
+	var cfg worldgen.Config
+	switch *scenario {
+	case "hs1":
+		cfg = worldgen.HS1Config()
+	case "hs2":
+		cfg = worldgen.HS2Config()
+	case "hs3":
+		cfg = worldgen.HS3Config()
+	case "tiny":
+		cfg = worldgen.TinyConfig()
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+	w, err := worldgen.Generate(cfg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	platform := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	server := osnhttp.NewServer(platform)
+	srvCfg := osnhttp.DefaultServerConfig()
+	httpSrv := srvCfg.HTTPServer("", server)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("servingbench: %s world (seed %d) on %s, GOMAXPROCS=%d\n",
+		*scenario, *seed, base, runtime.GOMAXPROCS(0))
+
+	rep := &Report{
+		Scenario:  *scenario,
+		Seed:      *seed,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	ctx := context.Background()
+	clean := true
+	for _, workers := range []int{1, 4, 8} {
+		lr, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:  base,
+			Workers:  workers,
+			Duration: *duration,
+			Warmup:   *warmup,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		clean = clean && reportClean("closed loop", workers, lr)
+		slim(lr)
+		rep.Results = append(rep.Results, Result{
+			Workers:   workers,
+			NsPerOp:   float64(lr.Overall.MeanUs) * 1e3,
+			OpsPerSec: lr.RPS,
+			Requests:  lr.Requests,
+			Endpoints: lr.Endpoints,
+		})
+		fmt.Printf("  workers=%d: %.0f req/s, mean %s, p99 %s\n", workers, lr.RPS,
+			time.Duration(lr.Overall.MeanUs)*time.Microsecond,
+			time.Duration(lr.Overall.P99Us)*time.Microsecond)
+	}
+	if *rate > 0 {
+		lr, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:  base,
+			Rate:     *rate,
+			Duration: *duration,
+			Warmup:   *warmup,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		clean = clean && reportClean("open loop", 0, lr)
+		slim(lr)
+		rep.OpenLoop = &OpenLoopRun{
+			RateTarget:  *rate,
+			AchievedRPS: lr.RPS,
+			Dropped:     lr.Dropped,
+			Endpoints:   lr.Endpoints,
+			Overall:     lr.Overall,
+		}
+		fmt.Printf("  open loop @%.0f req/s: achieved %.0f, p50 %s, p99 %s, dropped %d\n",
+			*rate, lr.RPS,
+			time.Duration(lr.Overall.P50Us)*time.Microsecond,
+			time.Duration(lr.Overall.P99Us)*time.Microsecond, lr.Dropped)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("servingbench: report -> %s\n", *out)
+	if !clean {
+		fatal(fmt.Errorf("serving errors under load (see taxonomy above)"))
+	}
+}
+
+// slim drops the raw histogram buckets from a run's endpoint reports: the
+// committed artefact carries percentiles, not tens of kilobytes of bucket
+// arrays (loadgen -out keeps them for ad-hoc analysis).
+func slim(lr *loadgen.Report) {
+	for _, ep := range lr.Endpoints {
+		ep.HistLowsUs, ep.HistCounts = nil, nil
+	}
+	if lr.Overall != nil {
+		lr.Overall.HistLowsUs, lr.Overall.HistCounts = nil, nil
+	}
+}
+
+// reportClean prints and judges a run's error taxonomy: a loopback bench
+// against a fault-free platform must produce no 5xx, no malformed bodies
+// and no transport failures. Hidden/404-style outcomes are legitimate
+// platform answers and pass.
+func reportClean(mode string, workers int, lr *loadgen.Report) bool {
+	bad := uint64(0)
+	for _, k := range []string{"server_5xx", "malformed", "net_timeout", "net_error", "shed", "throttled", "suspended"} {
+		if n := lr.Overall.Errors[k]; n > 0 {
+			fmt.Fprintf(os.Stderr, "servingbench: %s workers=%d: %d %s responses\n", mode, workers, n, k)
+			bad += n
+		}
+	}
+	return bad == 0
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "servingbench: %v\n", err)
+	os.Exit(1)
+}

@@ -25,9 +25,38 @@ type Lab struct {
 	runs  map[string]*core.Result
 	// workers is the crawl concurrency passed to every attack run
 	// (0 or 1 = sequential); faultRate, when positive, injects
-	// deterministic transport faults into every crawl.
+	// deterministic transport faults into every crawl; transport picks
+	// the wire (HTML scraping vs the JSON API) crawls ride.
 	workers   int
 	faultRate float64
+	transport Transport
+}
+
+// Transport selects which wire the lab's crawls ride: the HTML views the
+// paper's crawlers scraped, or the /api/v1 JSON surface. Both clients
+// implement the identical request granularity and error mapping, so the
+// choice must not change any table — the JSON-transport E2E test holds the
+// two bit-identical.
+type Transport int
+
+const (
+	TransportHTML Transport = iota
+	TransportJSON
+)
+
+func (t Transport) String() string {
+	if t == TransportJSON {
+		return "json"
+	}
+	return "html"
+}
+
+// labClient is the client surface a cell needs: the crawler-facing
+// interface plus account registration. Satisfied by both osnhttp.Client
+// and osnhttp.JSONClient.
+type labClient interface {
+	crawler.Client
+	RegisterAccounts(n int) error
 }
 
 // cell is one scenario's instantiated environment.
@@ -36,7 +65,7 @@ type cell struct {
 	world    *worldgen.World
 	platform *osn.Platform
 	server   *httptest.Server
-	client   *osnhttp.Client
+	client   labClient
 	// cached memoizes profile and friend-list fetches across the cell's
 	// runs; the effort tallies count above it, so Table 3 is unaffected.
 	cached *cache.Cache
@@ -59,11 +88,13 @@ func (l *Lab) Close() {
 	l.runs = map[string]*core.Result{}
 }
 
-// env builds (or returns the cached) environment for a scenario.
+// env builds (or returns the cached) environment for a scenario. Cells are
+// keyed by transport as well, so switching wires mid-lab builds a fresh
+// server instead of mixing caches across surfaces.
 func (l *Lab) env(sc Scenario) (*cell, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	key := fmt.Sprintf("%s/%d", sc.Label, sc.Seed)
+	key := fmt.Sprintf("%s/%d/%s", sc.Label, sc.Seed, l.transport)
 	if c, ok := l.cells[key]; ok {
 		return c, nil
 	}
@@ -71,7 +102,7 @@ func (l *Lab) env(sc Scenario) (*cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := buildCell(sc, world)
+	c, err := buildCell(sc, world, l.transport)
 	if err != nil {
 		return nil, err
 	}
@@ -86,11 +117,11 @@ func (l *Lab) env(sc Scenario) (*cell, error) {
 func (l *Lab) UseWorld(sc Scenario, world *worldgen.World) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	key := fmt.Sprintf("%s/%d", sc.Label, sc.Seed)
+	key := fmt.Sprintf("%s/%d/%s", sc.Label, sc.Seed, l.transport)
 	if _, ok := l.cells[key]; ok {
 		return fmt.Errorf("experiments: scenario %s already instantiated", key)
 	}
-	c, err := buildCell(sc, world)
+	c, err := buildCell(sc, world, l.transport)
 	if err != nil {
 		return err
 	}
@@ -98,14 +129,27 @@ func (l *Lab) UseWorld(sc Scenario, world *worldgen.World) error {
 	return nil
 }
 
+// SetTransport selects the wire subsequent runs crawl over. Cells and runs
+// are keyed by transport, so switching never leaks state across surfaces.
+func (l *Lab) SetTransport(t Transport) {
+	l.mu.Lock()
+	l.transport = t
+	l.mu.Unlock()
+}
+
 // buildCell assembles a scenario environment around a world: platform, HTTP
 // server, registered attacker accounts, fetch cache and ground truth.
-func buildCell(sc Scenario, world *worldgen.World) (*cell, error) {
+func buildCell(sc Scenario, world *worldgen.World, transport Transport) (*cell, error) {
 	platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{
 		SearchPerAccount: sc.SearchPerAccount,
 	})
 	server := httptest.NewServer(osnhttp.NewServer(platform))
-	client := osnhttp.NewClient(server.URL, server.Client(), nil)
+	var client labClient
+	if transport == TransportJSON {
+		client = osnhttp.NewJSONClient(server.URL, server.Client(), nil)
+	} else {
+		client = osnhttp.NewClient(server.URL, server.Client(), nil)
+	}
 	if err := client.RegisterAccounts(sc.SeedAccounts + sc.EvalAccounts); err != nil {
 		server.Close()
 		return nil, err
@@ -254,9 +298,9 @@ func (l *Lab) Run(sc Scenario, v RunVariant) (*core.Result, error) {
 // max-window run.
 func (l *Lab) RunThreshold(sc Scenario, v RunVariant, maxThreshold int) (*core.Result, error) {
 	l.mu.Lock()
-	workers, faultRate := l.workers, l.faultRate
+	workers, faultRate, transport := l.workers, l.faultRate, l.transport
 	l.mu.Unlock()
-	key := fmt.Sprintf("%s/%d/%d/%d/w%d/f%g", sc.Label, sc.Seed, v, maxThreshold, workers, faultRate)
+	key := fmt.Sprintf("%s/%d/%d/%d/w%d/f%g/%s", sc.Label, sc.Seed, v, maxThreshold, workers, faultRate, transport)
 	l.mu.Lock()
 	if r, ok := l.runs[key]; ok {
 		l.mu.Unlock()

@@ -41,9 +41,14 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 			rec := &recorder{header: make(http.Header), code: http.StatusOK}
 			next.ServeHTTP(rec, r)
 			body := rec.body.String()
-			// Only HTML bodies of successful responses are mangled;
-			// error responses keep their status semantics.
-			if rec.code == http.StatusOK && strings.Contains(rec.header.Get("Content-Type"), "text/html") {
+			// Only page bodies (HTML views or JSON API) of successful
+			// responses are mangled; error responses keep their status
+			// semantics. Truncating or garbling always yields invalid
+			// JSON — a proper prefix plus junk — so the JSON client
+			// classifies damage as ErrMalformed just like the HTML one.
+			ct := rec.header.Get("Content-Type")
+			if rec.code == http.StatusOK &&
+				(strings.Contains(ct, "text/html") || strings.Contains(ct, "application/json")) {
 				mr := in.mangleStream(key, 0)
 				if kind == Truncate {
 					body = TruncateHTML(body, mr)

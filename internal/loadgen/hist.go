@@ -1,0 +1,143 @@
+// Package loadgen drives sustained mixed traffic against a live osnd and
+// records what the server did to it: an HDR-style latency histogram per
+// endpoint and an error taxonomy. The generator is open-loop — requests
+// launch on a fixed arrival schedule regardless of how slowly earlier ones
+// complete — so the latency numbers do not suffer coordinated omission
+// (a stalled server cannot slow the arrival process down and thereby hide
+// its own stall from the percentiles).
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a fixed-size log-linear latency histogram in microseconds,
+// HDR-style: values below 2^linearBits land in exact 1µs buckets, above
+// that each power of two is split into 2^subBits sub-buckets, bounding
+// relative error at 1/2^subBits (6.25%). Counts are atomics, so concurrent
+// workers record without locks; 528 buckets cover 1µs to ~19 hours.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	n      atomic.Uint64
+	sum    atomic.Uint64 // total microseconds, for Mean
+	max    atomic.Uint64
+}
+
+const (
+	subBits     = 4
+	subCount    = 1 << subBits // sub-buckets per power of two
+	linearMax   = subCount     // exact buckets below this value
+	maxPow      = 36           // top power of two tracked (~19h in µs)
+	histBuckets = linearMax + (maxPow-subBits+1)*subCount
+)
+
+// bucket maps a microsecond value to its bucket index.
+func bucket(us uint64) int {
+	if us < linearMax {
+		return int(us)
+	}
+	pow := bits.Len64(us) - 1
+	if pow > maxPow {
+		pow = maxPow
+		us = 1<<(maxPow+1) - 1
+	}
+	sub := (us >> (pow - subBits)) & (subCount - 1)
+	return linearMax + (pow-subBits)*subCount + int(sub)
+}
+
+// bucketLow is the smallest value mapping to bucket i, the value quantile
+// lookups report.
+func bucketLow(i int) uint64 {
+	if i < linearMax {
+		return uint64(i)
+	}
+	i -= linearMax
+	pow := i/subCount + subBits
+	sub := uint64(i % subCount)
+	return 1<<pow | sub<<(pow-subBits)
+}
+
+// Observe records one latency.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d.Microseconds())
+	h.counts[bucket(us)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(us)
+	for {
+		old := h.max.Load()
+		if us <= old || h.max.CompareAndSwap(old, us) {
+			return
+		}
+	}
+}
+
+// Merge adds o's counts into h. Not linearizable against concurrent
+// Observe calls; call after workers stop.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.n.Add(o.n.Load())
+	h.sum.Add(o.sum.Load())
+	if m := o.max.Load(); m > h.max.Load() {
+		h.max.Store(m)
+	}
+}
+
+// Count reports the number of observations.
+func (h *Hist) Count() uint64 { return h.n.Load() }
+
+// Mean reports the mean latency.
+func (h *Hist) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
+// Max reports the largest observed latency (exact, not bucketed).
+func (h *Hist) Max() time.Duration {
+	return time.Duration(h.max.Load()) * time.Microsecond
+}
+
+// Quantile reports the latency at quantile q in [0,1] (lower bucket bound;
+// relative error ≤ 6.25%). Zero observations report 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n-1))
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			return time.Duration(bucketLow(i)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Buckets returns the non-empty (lower-bound µs, count) pairs, for
+// machine-readable output.
+func (h *Hist) Buckets() (lows []uint64, counts []uint64) {
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			lows = append(lows, bucketLow(i))
+			counts = append(counts, c)
+		}
+	}
+	return lows, counts
+}

@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip checks every value maps to a bucket whose lower bound
+// does not exceed it and whose relative error stays within the sub-bucket
+// resolution.
+func TestBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	probe := []uint64{0, 1, 2, 15, 16, 17, 31, 32, 100, 1000, 123456, 1 << 30, 1<<36 - 1, 1 << 36, 1 << 40}
+	for i := 0; i < 10000; i++ {
+		probe = append(probe, rng.Uint64()>>uint(rng.Intn(40)))
+	}
+	for _, us := range probe {
+		i := bucket(us)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", us, i)
+		}
+		low := bucketLow(i)
+		capped := us
+		if capped >= 1<<(maxPow+1) {
+			capped = 1<<(maxPow+1) - 1
+		}
+		if low > capped {
+			t.Fatalf("bucketLow(bucket(%d)) = %d > value", us, low)
+		}
+		if capped >= linearMax {
+			// log-linear region: error bounded by one sub-bucket width
+			if float64(capped-low)/float64(capped) > 1.0/subCount {
+				t.Fatalf("value %d: lower bound %d exceeds %.2f%% relative error",
+					us, low, 100.0/subCount)
+			}
+		} else if low != capped {
+			t.Fatalf("linear region value %d landed at %d", us, low)
+		}
+	}
+	// Bucket lower bounds must be strictly increasing — overlapping buckets
+	// would corrupt quantiles silently.
+	prev := uint64(0)
+	for i := 1; i < histBuckets; i++ {
+		if l := bucketLow(i); l <= prev {
+			t.Fatalf("bucketLow(%d) = %d not increasing (prev %d)", i, l, prev)
+		} else {
+			prev = l
+		}
+	}
+}
+
+// TestHistQuantiles feeds a known distribution and checks the reported
+// percentiles against the exact ones within the histogram's error bound.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(7))
+	var exact []float64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies between 10µs and 1s.
+		us := 10 * time.Microsecond * time.Duration(1+rng.Intn(100000))
+		exact = append(exact, float64(us.Microseconds()))
+		h.Observe(us)
+	}
+	sort.Float64s(exact)
+	if h.Count() != 20000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)-1))]
+		got := float64(h.Quantile(q).Microseconds())
+		if rel := (want - got) / want; rel < 0 || rel > 1.0/subCount+0.001 {
+			t.Errorf("q%.3f: got %.0fµs, exact %.0fµs (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	if h.Max() < h.Quantile(0.999) {
+		t.Error("max below p99.9")
+	}
+}
+
+// TestHistMerge checks merged worker histograms equal one combined stream.
+func TestHistMerge(t *testing.T) {
+	var a, b, all Hist
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		all.Observe(d)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Mean() != all.Mean() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: count %d/%d mean %v/%v max %v/%v",
+			a.Count(), all.Count(), a.Mean(), all.Mean(), a.Max(), all.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q%.2f differs after merge: %v vs %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("search=1,profile=8,friends=4")
+	if err != nil || m != (Mix{Search: 1, Profile: 8, Friends: 4}) {
+		t.Fatalf("ParseMix = %+v, %v", m, err)
+	}
+	// Omitted keys are zero weight.
+	m, err = ParseMix("profile=3")
+	if err != nil || m != (Mix{Profile: 3}) {
+		t.Fatalf("ParseMix(profile=3) = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "search", "search=x", "search=-1", "bogus=1", "search=0,profile=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -141,6 +141,9 @@ type Platform struct {
 	// school and who are discoverable (public-search enabled). Registered
 	// minors are filtered at query time per policy.
 	searchIndex [][]socialgraph.UserID
+	// schoolScope[schoolID] is the interned per-school view-cache key
+	// ("school:N"), precomputed so searches never build key strings.
+	schoolScope []string
 	// cityIndex lists discoverable account holders by the current city
 	// their profile shows (lowercased key).
 	cityIndex map[string][]socialgraph.UserID
@@ -268,6 +271,12 @@ func (p *Platform) assignPublicIDs() {
 func (p *Platform) buildSearchIndex() {
 	p.searchIndex = make([][]socialgraph.UserID, len(p.world.Schools))
 	p.cityIndex = make(map[string][]socialgraph.UserID)
+	// Pre-build the per-school cache scope keys: composing them per request
+	// would put one string concatenation on the hot search path.
+	p.schoolScope = make([]string, len(p.world.Schools))
+	for i := range p.schoolScope {
+		p.schoolScope[i] = "school:" + strconv.Itoa(i)
+	}
 	for _, person := range p.world.People {
 		if !person.HasAccount || !person.Privacy.PublicSearch {
 			continue
@@ -501,7 +510,7 @@ func (p *Platform) cachedView(token, scope string, idx []socialgraph.UserID) []s
 
 // accountView is the cached capped view over a school's index.
 func (p *Platform) accountView(token string, schoolID int) []socialgraph.UserID {
-	return p.cachedView(token, "school:"+strconv.Itoa(schoolID), p.searchIndex[schoolID])
+	return p.cachedView(token, p.schoolScope[schoolID], p.searchIndex[schoolID])
 }
 
 // cachedResults returns the account's rendered search results for a scope:
@@ -550,7 +559,7 @@ func (p *Platform) SchoolSearch(token string, schoolID, page int) (results []Sea
 	if page < 0 {
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
-	view := p.cachedResults(token, "school:"+strconv.Itoa(schoolID), p.searchIndex[schoolID])
+	view := p.cachedResults(token, p.schoolScope[schoolID], p.searchIndex[schoolID])
 	start := page * p.cfg.SearchPageSize
 	if start >= len(view) {
 		return nil, false, nil

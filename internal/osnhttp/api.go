@@ -1,0 +1,546 @@
+package osnhttp
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+)
+
+// The versioned JSON wire API. The HTML endpoints exist because the paper's
+// crawlers scraped HTML; production serving wants a machine-readable surface
+// with the same semantics. /api/v1 serves exactly the stranger-visible views
+// the HTML templates render, backed by the same frozen read plane, under a
+// stability contract (see DESIGN.md "Wire protocol"):
+//
+//	GET  /api/v1/schools                      {"n":2,"schools":[{"id":0,"name":..,"city":..}]}
+//	GET  /api/v1/search?school=N&page=P&acct= {"n":40,"results":[{"id":..,"name":..}],"more":true}
+//	GET  /api/v1/search?city=X&page=P&acct=   (by-city people search)
+//	GET  /api/v1/search?graph=1&school=N&...  (structured graph-search query)
+//	GET  /api/v1/profile/{id}?acct=           {"profile":{..}} (absent fields are hidden)
+//	GET  /api/v1/friends/{id}?page=P&acct=    {"n":20,"friends":[..],"more":false}
+//	POST /api/v1/register (form: name, birth) {"token":".."}
+//
+// Errors use one envelope at the error's HTTP status:
+//
+//	{"error":{"code":"throttled","message":"osn: rate limited, retry later"}}
+//
+// Steady-state GET handlers are allocation-free: routing and query parsing
+// slice the request strings in place, responses are rendered into pooled
+// byte buffers, and every body row references the read plane's interned
+// strings. The list containers carry an "n" row count so clients can detect
+// damaged bodies the way the HTML parser's checkRows does.
+const apiPrefix = "/api/v1/"
+
+// Pre-allocated header values: assigning a shared slice into the header map
+// avoids the per-request []string allocation http.Header.Set would make.
+var (
+	ctJSON      = []string{"application/json; charset=utf-8"}
+	retryAfter1 = []string{"1"}
+)
+
+// enc renders one JSON response body into a pooled buffer. It is not a
+// general JSON encoder: it appends exactly the shapes the API serves,
+// escaping only what RFC 8259 requires.
+type enc struct{ b []byte }
+
+var encPool = sync.Pool{New: func() any { return &enc{b: make([]byte, 0, 8<<10)} }}
+
+func getEnc() *enc {
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	return e
+}
+
+// putEnc recycles the buffer unless a pathological response grew it huge.
+func putEnc(e *enc) {
+	if cap(e.b) <= 1<<20 {
+		encPool.Put(e)
+	}
+}
+
+func (e *enc) raw(s string) { e.b = append(e.b, s...) }
+func (e *enc) sep(i int) {
+	if i > 0 {
+		e.b = append(e.b, ',')
+	}
+}
+func (e *enc) int(n int) { e.b = strconv.AppendInt(e.b, int64(n), 10) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.raw("true")
+	} else {
+		e.raw("false")
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// str appends a quoted, escaped JSON string. Multi-byte UTF-8 passes
+// through verbatim (valid JSON); only quotes, backslashes and control
+// bytes are escaped.
+func (e *enc) str(s string) {
+	e.b = append(e.b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		e.b = append(e.b, s[start:i]...)
+		switch c {
+		case '"':
+			e.raw(`\"`)
+		case '\\':
+			e.raw(`\\`)
+		default:
+			e.raw(`\u00`)
+			e.b = append(e.b, hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	e.b = append(e.b, s[start:]...)
+	e.b = append(e.b, '"')
+}
+
+// field appends `,"name":"value"` (the object must already have a first
+// member, which every profile does: its id).
+func (e *enc) field(name, value string) {
+	e.b = append(e.b, ',', '"')
+	e.raw(name)
+	e.b = append(e.b, '"', ':')
+	e.str(value)
+}
+
+func (e *enc) fieldInt(name string, v int) {
+	e.b = append(e.b, ',', '"')
+	e.raw(name)
+	e.b = append(e.b, '"', ':')
+	e.int(v)
+}
+
+func (e *enc) fieldBool(name string, v bool) {
+	e.b = append(e.b, ',', '"')
+	e.raw(name)
+	e.b = append(e.b, '"', ':')
+	e.bool(v)
+}
+
+// pad2/pad4 append zero-padded date components.
+func (e *enc) pad(n, width int) {
+	var tmp [8]byte
+	i := len(tmp)
+	if n < 0 {
+		n = 0
+	}
+	for {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	for len(tmp)-i < width {
+		i--
+		tmp[i] = '0'
+	}
+	e.b = append(e.b, tmp[i:]...)
+}
+
+func (e *enc) date(d sim.Date) {
+	e.b = append(e.b, '"')
+	e.pad(d.Year, 4)
+	e.b = append(e.b, '-')
+	e.pad(int(d.Month), 2)
+	e.b = append(e.b, '-')
+	e.pad(d.Day, 2)
+	e.b = append(e.b, '"')
+}
+
+// flush writes the buffer as the response body. code 0 means 200.
+func (e *enc) flush(w http.ResponseWriter, code int) {
+	w.Header()["Content-Type"] = ctJSON
+	if code != 0 && code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	w.Write(e.b)
+}
+
+// queryParam extracts the raw value of key from a raw query string without
+// allocating: values are substrings of the request URL. Percent- or
+// plus-encoded values (city names with spaces) take a decode allocation —
+// ids, tokens and page numbers never need one.
+func queryParam(raw, key string) string {
+	for len(raw) > 0 {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 || pair[:eq] != key {
+			continue
+		}
+		v := pair[eq+1:]
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			if u, err := unescapeQuery(v); err == nil {
+				return u
+			}
+		}
+		return v
+	}
+	return ""
+}
+
+// unescapeQuery is url.QueryUnescape plus '+' handling, split out so the
+// common unescaped path above stays allocation-free.
+func unescapeQuery(v string) (string, error) {
+	b := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '+':
+			b = append(b, ' ')
+		case '%':
+			if i+2 >= len(v) {
+				return "", fmt.Errorf("osnhttp: truncated escape in %q", v)
+			}
+			hi := unhex(v[i+1])
+			lo := unhex(v[i+2])
+			if hi < 0 || lo < 0 {
+				return "", fmt.Errorf("osnhttp: bad escape in %q", v)
+			}
+			b = append(b, byte(hi<<4|lo))
+			i += 2
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(b), nil
+}
+
+func unhex(c byte) int {
+	switch {
+	case '0' <= c && c <= '9':
+		return int(c - '0')
+	case 'a' <= c && c <= 'f':
+		return int(c-'a') + 10
+	case 'A' <= c && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// queryInt parses an integer query parameter; absent returns (0, true) so
+// page defaults to 0 like the HTML handlers' strconv.Atoi(q.Get("page")).
+func queryInt(raw, key string) (int, bool) {
+	v := queryParam(raw, key)
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// apiCode maps a platform error to its HTTP status and wire error code. The
+// status mapping matches httpStatus exactly, so both surfaces agree; the
+// code string is the machine-readable half of the envelope.
+func apiCode(err error) (int, string) {
+	switch code := httpStatus(err); code {
+	case http.StatusUnauthorized:
+		return code, "unauthorized"
+	case http.StatusTooManyRequests:
+		return code, "suspended"
+	case http.StatusServiceUnavailable:
+		return code, "throttled"
+	case http.StatusForbidden:
+		return code, "underage"
+	case http.StatusNotFound:
+		return code, "not_found"
+	case http.StatusGone:
+		return code, "hidden"
+	default:
+		return code, "internal"
+	}
+}
+
+// apiError writes the error envelope at the given status.
+func apiError(w http.ResponseWriter, code int, codeStr, msg string) {
+	e := getEnc()
+	e.raw(`{"error":{"code":`)
+	e.str(codeStr)
+	e.raw(`,"message":`)
+	e.str(msg)
+	e.raw(`}}`)
+	if code == http.StatusServiceUnavailable {
+		w.Header()["Retry-After"] = retryAfter1
+	}
+	e.flush(w, code)
+	putEnc(e)
+}
+
+// apiFail maps a platform error onto the envelope.
+func apiFail(w http.ResponseWriter, err error) {
+	code, codeStr := apiCode(err)
+	apiError(w, code, codeStr, err.Error())
+}
+
+// serveAPI routes /api/v1/ requests. Routing is by hand — prefix slicing
+// rather than ServeMux patterns — because wildcard matching allocates the
+// match slice on every request and these handlers hold the platform's
+// zero-allocation serving guarantee.
+func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
+	rest := r.URL.Path[len(apiPrefix):]
+	if rest == "register" {
+		if r.Method != http.MethodPost {
+			apiError(w, http.StatusMethodNotAllowed, "method_not_allowed", "register is POST-only")
+			return
+		}
+		s.apiRegister(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		apiError(w, http.StatusMethodNotAllowed, "method_not_allowed", "API endpoints are GET-only")
+		return
+	}
+	switch {
+	case rest == "schools":
+		s.apiSchools(w)
+	case rest == "search":
+		s.apiSearch(w, r)
+	case strings.HasPrefix(rest, "profile/"):
+		s.apiProfile(w, r, rest[len("profile/"):])
+	case strings.HasPrefix(rest, "friends/"):
+		s.apiFriends(w, r, rest[len("friends/"):])
+	default:
+		apiError(w, http.StatusNotFound, "not_found", "unknown API route")
+	}
+}
+
+func (s *Server) apiRegister(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		apiError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var birth sim.Date
+	if _, err := fmt.Sscanf(r.PostFormValue("birth"), "%d-%d-%d", &birth.Year, &birth.Month, &birth.Day); err != nil {
+		apiError(w, http.StatusBadRequest, "bad_request", "birth must be YYYY-MM-DD")
+		return
+	}
+	token, err := s.platform.RegisterAccount(r.PostFormValue("name"), birth)
+	if err != nil {
+		apiFail(w, err)
+		return
+	}
+	e := getEnc()
+	e.raw(`{"token":`)
+	e.str(token)
+	e.raw(`}`)
+	e.flush(w, 0)
+	putEnc(e)
+}
+
+func (s *Server) apiSchools(w http.ResponseWriter) {
+	schools := s.platform.Schools()
+	e := getEnc()
+	e.raw(`{"n":`)
+	e.int(len(schools))
+	e.raw(`,"schools":[`)
+	for i, sc := range schools {
+		e.sep(i)
+		e.raw(`{"id":`)
+		e.int(sc.ID)
+		e.field("name", sc.Name)
+		e.field("city", sc.City)
+		e.raw(`}`)
+	}
+	e.raw(`]}`)
+	e.flush(w, 0)
+	putEnc(e)
+}
+
+// idName is the shared underlying shape of osn.SearchResult and
+// osn.FriendRef; writeResultPage renders one page of either — the wire
+// container key ("results" vs "friends") is the only difference.
+type idName = struct {
+	ID   osn.PublicID
+	Name string
+}
+
+func writeResultPage[T ~struct {
+	ID   osn.PublicID
+	Name string
+}](w http.ResponseWriter, key string, rows []T, more bool) {
+	e := getEnc()
+	e.raw(`{"n":`)
+	e.int(len(rows))
+	e.raw(`,"`)
+	e.raw(key)
+	e.raw(`":[`)
+	for i, row := range rows {
+		rr := idName(row)
+		e.sep(i)
+		e.raw(`{"id":`)
+		e.str(string(rr.ID))
+		e.field("name", rr.Name)
+		e.raw(`}`)
+	}
+	e.raw(`],"more":`)
+	e.bool(more)
+	e.raw(`}`)
+	e.flush(w, 0)
+	putEnc(e)
+}
+
+func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.RawQuery
+	acct := queryParam(raw, "acct")
+	page, ok := queryInt(raw, "page")
+	if !ok || page < 0 {
+		apiError(w, http.StatusBadRequest, "bad_request", "page must be a non-negative integer")
+		return
+	}
+	var (
+		results []osn.SearchResult
+		more    bool
+		err     error
+	)
+	city := queryParam(raw, "city")
+	switch {
+	case queryParam(raw, "graph") == "1":
+		school, ok := queryInt(raw, "school")
+		if !ok {
+			apiError(w, http.StatusBadRequest, "bad_request", "school must be a numeric id")
+			return
+		}
+		after, okA := queryInt(raw, "after")
+		before, okB := queryInt(raw, "before")
+		if !okA || !okB {
+			apiError(w, http.StatusBadRequest, "bad_request", "after/before must be numeric years")
+			return
+		}
+		results, more, err = s.platform.GraphSearch(acct, osn.GraphQuery{
+			SchoolID:        school,
+			CurrentStudents: queryParam(raw, "current") == "1",
+			GradYearAfter:   after,
+			GradYearBefore:  before,
+			City:            city,
+		}, page)
+	case city != "" && queryParam(raw, "school") == "":
+		results, more, err = s.platform.CitySearch(acct, city, page)
+	default:
+		v := queryParam(raw, "school")
+		school, aerr := strconv.Atoi(v)
+		if aerr != nil {
+			apiError(w, http.StatusBadRequest, "bad_request", "school must be a numeric id")
+			return
+		}
+		results, more, err = s.platform.SchoolSearch(acct, school, page)
+	}
+	if err != nil {
+		apiFail(w, err)
+		return
+	}
+	writeResultPage(w, "results", results, more)
+}
+
+func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request, id string) {
+	pp, err := s.platform.Profile(queryParam(r.URL.RawQuery, "acct"), osn.PublicID(id))
+	if err != nil {
+		apiFail(w, err)
+		return
+	}
+	e := getEnc()
+	e.raw(`{"profile":{"id":`)
+	e.str(string(pp.ID))
+	e.field("name", pp.Name)
+	// Hidden attributes are absent, not zero-valued: the wire schema
+	// mirrors the HTML templates' conditional sections, and the client
+	// reconstructs the identical osn.PublicProfile from what is present.
+	if pp.HasPhoto {
+		e.fieldBool("has_photo", true)
+	}
+	if pp.Gender != "" {
+		e.field("gender", pp.Gender)
+	}
+	if pp.Network != "" {
+		e.field("network", pp.Network)
+	}
+	if pp.HighSchool != "" {
+		e.field("high_school", pp.HighSchool)
+	}
+	if pp.GradYear != 0 {
+		e.fieldInt("grad_year", pp.GradYear)
+	}
+	if pp.GradSchool {
+		e.fieldBool("grad_school", true)
+	}
+	if pp.Relationship {
+		e.fieldBool("relationship", true)
+	}
+	if pp.InterestedIn {
+		e.fieldBool("interested_in", true)
+	}
+	if pp.Birthday != nil {
+		e.raw(`,"birthday":`)
+		e.date(*pp.Birthday)
+	}
+	if pp.Hometown != "" {
+		e.field("hometown", pp.Hometown)
+	}
+	if pp.CurrentCity != "" {
+		e.field("current_city", pp.CurrentCity)
+	}
+	if pp.FriendListVisible {
+		e.fieldBool("friend_list_visible", true)
+	}
+	if pp.PhotoCount != 0 {
+		e.fieldInt("photo_count", pp.PhotoCount)
+	}
+	if pp.ContactInfo {
+		e.fieldBool("contact_info", true)
+	}
+	if pp.CanMessage {
+		e.fieldBool("can_message", true)
+	}
+	if pp.Searchable {
+		e.fieldBool("searchable", true)
+	}
+	e.raw(`}}`)
+	e.flush(w, 0)
+	putEnc(e)
+}
+
+func (s *Server) apiFriends(w http.ResponseWriter, r *http.Request, id string) {
+	raw := r.URL.RawQuery
+	page, ok := queryInt(raw, "page")
+	if !ok || page < 0 {
+		apiError(w, http.StatusBadRequest, "bad_request", "page must be a non-negative integer")
+		return
+	}
+	friends, more, err := s.platform.FriendPage(queryParam(raw, "acct"), osn.PublicID(id), page)
+	if err != nil {
+		apiFail(w, err)
+		return
+	}
+	writeResultPage(w, "friends", friends, more)
+}
+
+// handleHealthz serves the load-balancer probe on the main listener: a
+// deployment should not need -metrics-addr to know the process is alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	e := getEnc()
+	e.raw(`{"status":"ok","inflight":`)
+	e.int(int(s.inflight.Load()))
+	e.raw(`}`)
+	e.flush(w, 0)
+	putEnc(e)
+}

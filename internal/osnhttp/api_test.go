@@ -1,0 +1,257 @@
+package osnhttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/worldgen"
+)
+
+// testAPIServer serves a tiny world and returns a JSONClient with two
+// registered accounts, mirroring testServer for the HTML surface.
+func testAPIServer(t testing.TB, cfg osn.Config) (*osn.Platform, *JSONClient) {
+	t.Helper()
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), cfg)
+	srv := httptest.NewServer(NewServer(p))
+	t.Cleanup(srv.Close)
+	c := NewJSONClient(srv.URL, srv.Client(), nil)
+	if err := c.RegisterAccounts(2); err != nil {
+		t.Fatal(err)
+	}
+	return p, c
+}
+
+// get performs a raw GET and returns status + body, for handler-level
+// assertions below the client's error mapping.
+func rawGet(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := fmt.Fprint(&b, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b.String()
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// TestAPIErrorEnvelope drives the API into each error class and checks the
+// status and machine-readable code of the envelope.
+func TestAPIErrorEnvelope(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+	c := NewJSONClient(srv.URL, srv.Client(), nil)
+	if err := c.RegisterAccounts(1); err != nil {
+		t.Fatal(err)
+	}
+	tok := url.QueryEscape(c.tokens[0])
+
+	cases := []struct {
+		path string
+		code int
+		wire string
+	}{
+		{"/api/v1/search?school=0&acct=bogus", http.StatusUnauthorized, "unauthorized"},
+		{"/api/v1/profile/no-such-id?acct=" + tok, http.StatusNotFound, "not_found"},
+		{"/api/v1/search?school=xyz&acct=" + tok, http.StatusBadRequest, "bad_request"},
+		{"/api/v1/search?school=0&page=-1&acct=" + tok, http.StatusBadRequest, "bad_request"},
+		{"/api/v1/friends/u0?page=zz&acct=" + tok, http.StatusBadRequest, "bad_request"},
+		{"/api/v1/nothing-here", http.StatusNotFound, "not_found"},
+		{"/api/v1/register", http.StatusMethodNotAllowed, "method_not_allowed"},
+	}
+	for _, tc := range cases {
+		code, body := rawGet(t, srv, tc.path)
+		if code != tc.code {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.path, code, tc.code, body)
+		}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &env); err != nil {
+			t.Errorf("%s: non-JSON error body %q: %v", tc.path, body, err)
+			continue
+		}
+		if env.Error.Code != tc.wire {
+			t.Errorf("%s: wire code %q, want %q", tc.path, env.Error.Code, tc.wire)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.path)
+		}
+	}
+}
+
+// TestAPIThrottleRetryAfter checks 503 envelopes carry Retry-After, which
+// the crawler's backoff honors.
+func TestAPIThrottleRetryAfter(t *testing.T) {
+	p, c := testAPIServer(t, osn.Config{ThrottleLimit: 1})
+	_ = p
+	// Request 1 passes, request 2 throttles.
+	if _, _, err := c.Search(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := c.Search(0, 0, 0)
+	if !errors.Is(err, osn.ErrThrottled) {
+		t.Fatalf("want ErrThrottled, got %v", err)
+	}
+}
+
+// TestAPISchoolsAndSearchShape checks the list containers carry the "n"
+// cross-check and the more flag.
+func TestAPISchoolsAndSearchShape(t *testing.T) {
+	p, c := testAPIServer(t, osn.Config{SearchPerAccount: 50, SearchPageSize: 5})
+	ref, err := c.LookupSchool(p.Schools()[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != p.Schools()[0] {
+		t.Fatalf("school mismatch: %+v vs %+v", ref, p.Schools()[0])
+	}
+	res, more, err := c.Search(0, ref.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no search results")
+	}
+	if len(res) == 5 && !more {
+		// a full first page of a 50-cap search must have more
+		t.Error("full page reports more=false")
+	}
+	for _, r := range res {
+		if r.ID == "" || r.Name == "" {
+			t.Fatalf("incomplete row %+v", r)
+		}
+	}
+}
+
+// nullWriter is a ResponseWriter that discards the body; its header map is
+// allocated once so steady-state handler measurements see only handler
+// allocations.
+type nullWriter struct{ h http.Header }
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullWriter) WriteHeader(int)             {}
+
+// apiSteadyRequests builds the steady-state request set against real IDs:
+// one search page, one profile, one friend page.
+func apiSteadyRequests(t testing.TB, p *osn.Platform) (*Server, []*http.Request) {
+	t.Helper()
+	tok, err := p.RegisterAccount("alloc-probe", mustDate(1985, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := p.SchoolSearch(tok, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no search results to probe with")
+	}
+	// Find a target with a visible friend list so the friends request
+	// exercises the 200 path.
+	target := res[0].ID
+	for _, r := range res {
+		if pp, err := p.Profile(tok, r.ID); err == nil && pp.FriendListVisible {
+			target = r.ID
+			break
+		}
+	}
+	esc := url.QueryEscape(tok)
+	reqs := []*http.Request{
+		httptest.NewRequest("GET", "/api/v1/search?school=0&page=0&acct="+esc, nil),
+		httptest.NewRequest("GET", "/api/v1/profile/"+string(res[0].ID)+"?acct="+esc, nil),
+		httptest.NewRequest("GET", "/api/v1/friends/"+string(target)+"?page=0&acct="+esc, nil),
+		httptest.NewRequest("GET", "/healthz", nil),
+	}
+	return NewServer(p), reqs
+}
+
+// TestAPIZeroAlloc is the serving-plane allocation guard: with metrics and
+// logging off, the steady-state JSON handlers (search page, profile,
+// friend page, health probe) must not allocate at all. Routing, query
+// parsing, encoding and the platform read plane all ride pooled or
+// interned memory; a regression here is a performance bug by definition.
+func TestAPIZeroAlloc(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	s, reqs := apiSteadyRequests(t, p)
+	// WithLimits on: the limiter path must stay allocation-free too.
+	s.WithLimits(64, 64, 64)
+	wr := &nullWriter{h: make(http.Header)}
+	// Warm: first calls populate the per-(token,scope) search cursor cache
+	// and the encoder pool.
+	for _, r := range reqs {
+		s.ServeHTTP(wr, r)
+	}
+	for _, r := range reqs {
+		r := r
+		allocs := testing.AllocsPerRun(100, func() { s.ServeHTTP(wr, r) })
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", r.URL.Path, allocs)
+		}
+	}
+}
+
+// BenchmarkJSONAPIServe measures the uninstrumented JSON serving path over
+// the steady-state mix; the bench smoke in CI keeps it compiling and the
+// committed baseline tracks its allocation-free claim.
+func BenchmarkJSONAPIServe(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	s, reqs := apiSteadyRequests(b, p)
+	wr := &nullWriter{h: make(http.Header)}
+	for _, r := range reqs {
+		s.ServeHTTP(wr, r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ServeHTTP(wr, reqs[i%len(reqs)])
+	}
+}
+
+func mustDate(y, m, d int) sim.Date {
+	return sim.Date{Year: y, Month: m, Day: d}
+}

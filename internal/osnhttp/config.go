@@ -1,0 +1,126 @@
+package osnhttp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ServerConfig carries the production hygiene knobs for a serving listener:
+// socket timeouts (a slow or stalled client must never pin a connection
+// forever), the graceful-drain grace period, and the per-endpoint-family
+// concurrency caps. The zero value is invalid on purpose — construct with
+// DefaultServerConfig or call WithDefaults so every field is explicit.
+type ServerConfig struct {
+	// ReadHeaderTimeout bounds how long a connection may take to send the
+	// request header (slowloris defense).
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds the whole request read, WriteTimeout the whole
+	// response write, IdleTimeout how long a keep-alive connection may sit
+	// between requests.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// ShutdownGrace is how long Drain waits for inflight requests before
+	// abandoning them.
+	ShutdownGrace time.Duration
+	// SearchInflight / ProfileInflight / FriendInflight cap concurrent
+	// in-handler requests per endpoint family; 0 means unlimited. Excess
+	// requests are shed with a 503 overload envelope (see WithLimits).
+	SearchInflight  int
+	ProfileInflight int
+	FriendInflight  int
+}
+
+// DefaultServerConfig returns the production defaults.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ShutdownGrace:     10 * time.Second,
+	}
+}
+
+// WithDefaults fills zero timeout fields from DefaultServerConfig and
+// leaves everything non-zero alone. Negative values are preserved so
+// Validate can reject them rather than silently normalizing (the lesson
+// of osn.Config's withDefaults hardening).
+func (c ServerConfig) WithDefaults() ServerConfig {
+	d := DefaultServerConfig()
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = d.ReadHeaderTimeout
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = d.ReadTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = d.IdleTimeout
+	}
+	if c.ShutdownGrace == 0 {
+		c.ShutdownGrace = d.ShutdownGrace
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations. All complaints are joined
+// so a misconfigured deployment reports everything wrong at once.
+func (c ServerConfig) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	if c.ReadHeaderTimeout <= 0 {
+		bad("read header timeout must be positive, got %v", c.ReadHeaderTimeout)
+	}
+	if c.ReadTimeout <= 0 {
+		bad("read timeout must be positive, got %v", c.ReadTimeout)
+	}
+	if c.WriteTimeout <= 0 {
+		bad("write timeout must be positive, got %v", c.WriteTimeout)
+	}
+	if c.IdleTimeout <= 0 {
+		bad("idle timeout must be positive, got %v", c.IdleTimeout)
+	}
+	if c.ShutdownGrace <= 0 {
+		bad("shutdown grace must be positive, got %v", c.ShutdownGrace)
+	}
+	if c.SearchInflight < 0 {
+		bad("search inflight cap must be non-negative, got %d", c.SearchInflight)
+	}
+	if c.ProfileInflight < 0 {
+		bad("profile inflight cap must be non-negative, got %d", c.ProfileInflight)
+	}
+	if c.FriendInflight < 0 {
+		bad("friend inflight cap must be non-negative, got %d", c.FriendInflight)
+	}
+	return errors.Join(errs...)
+}
+
+// HTTPServer builds an *http.Server with the config's timeouts around the
+// handler. The caller owns ListenAndServe/Serve and shutdown.
+func (c ServerConfig) HTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: c.ReadHeaderTimeout,
+		ReadTimeout:       c.ReadTimeout,
+		WriteTimeout:      c.WriteTimeout,
+		IdleTimeout:       c.IdleTimeout,
+	}
+}
+
+// Drain gracefully stops srv: it stops accepting connections, waits up to
+// ShutdownGrace for inflight requests (reported by the Server's accounting)
+// to finish, and returns the number still running when it gave up (0 on a
+// clean drain).
+func (c ServerConfig) Drain(srv *http.Server, s *Server) (remaining int64, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.ShutdownGrace)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	return s.Inflight(), err
+}

@@ -1,0 +1,371 @@
+package osnhttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+)
+
+// JSONClient consumes the /api/v1 wire instead of scraping HTML. It
+// implements the same crawler-facing surface as Client with identical
+// request granularity and error semantics, so an attack run over JSON is
+// request-for-request — and therefore Tables 2–4 — identical to the HTML
+// path (proven end to end in internal/experiments).
+//
+// Damage classification mirrors the HTML parser: a body that is not valid
+// JSON, is missing its container, or whose "n" count disagrees with the
+// rows delivered is ErrMalformed — transient, so the crawler retries it.
+type JSONClient struct {
+	base   string
+	hc     *http.Client
+	pacer  Pacer
+	tokens []string
+}
+
+// NewJSONClient returns a client for the JSON API at base. hc may be nil
+// for http.DefaultClient; pacer may be nil for NoPace.
+func NewJSONClient(base string, hc *http.Client, pacer Pacer) *JSONClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if pacer == nil {
+		pacer = NoPace{}
+	}
+	return &JSONClient{base: strings.TrimRight(base, "/"), hc: hc, pacer: pacer}
+}
+
+// wire shapes. Container members stay json.RawMessage so an absent
+// container is distinguishable from an empty one — the JSON analogue of
+// validatePage's id="container" check.
+type (
+	wireEnvelope struct {
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	wireRow struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	wirePage struct {
+		N       int             `json:"n"`
+		Results json.RawMessage `json:"results"`
+		Friends json.RawMessage `json:"friends"`
+		Schools json.RawMessage `json:"schools"`
+		More    bool            `json:"more"`
+	}
+	wireSchool struct {
+		ID   int    `json:"id"`
+		Name string `json:"name"`
+		City string `json:"city"`
+	}
+	wireProfile struct {
+		ID                string `json:"id"`
+		Name              string `json:"name"`
+		HasPhoto          bool   `json:"has_photo"`
+		Gender            string `json:"gender"`
+		Network           string `json:"network"`
+		HighSchool        string `json:"high_school"`
+		GradYear          int    `json:"grad_year"`
+		GradSchool        bool   `json:"grad_school"`
+		Relationship      bool   `json:"relationship"`
+		InterestedIn      bool   `json:"interested_in"`
+		Birthday          string `json:"birthday"`
+		Hometown          string `json:"hometown"`
+		CurrentCity       string `json:"current_city"`
+		FriendListVisible bool   `json:"friend_list_visible"`
+		PhotoCount        int    `json:"photo_count"`
+		ContactInfo       bool   `json:"contact_info"`
+		CanMessage        bool   `json:"can_message"`
+		Searchable        bool   `json:"searchable"`
+	}
+)
+
+// malformed wraps a body-damage description in the transient sentinel.
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+// apiStatusErr maps a non-200 API response onto platform errors. The
+// envelope's machine code is authoritative when the body carries one;
+// a damaged or non-JSON error body falls back to the status code alone,
+// which the HTML client's mapping already covers.
+func apiStatusErr(code int, body []byte) error {
+	var env wireEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil {
+		switch env.Error.Code {
+		case "unauthorized":
+			return osn.ErrUnauthorized
+		case "suspended":
+			return osn.ErrSuspended
+		case "throttled", "overload":
+			return osn.ErrThrottled
+		case "underage":
+			return osn.ErrUnderage
+		case "not_found":
+			return osn.ErrNotFound
+		case "hidden":
+			return osn.ErrHidden
+		default:
+			return fmt.Errorf("osnhttp: api error %q (HTTP %d): %s", env.Error.Code, code, env.Error.Message)
+		}
+	}
+	return statusErr(code, string(body))
+}
+
+// get fetches an API page. The body is always read in full — even on
+// error statuses — so the connection returns to the keep-alive pool.
+func (c *JSONClient) get(path string) ([]byte, error) {
+	c.pacer.Pause()
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiStatusErr(resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// RegisterAccounts creates n fake adult accounts, like Client's.
+func (c *JSONClient) RegisterAccounts(n int) error {
+	for i := 0; i < n; i++ {
+		form := url.Values{
+			"name":  {fmt.Sprintf("crawler%d", len(c.tokens))},
+			"birth": {"1985-01-01"},
+		}
+		resp, err := c.hc.PostForm(c.base+"/api/v1/register", form)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return apiStatusErr(resp.StatusCode, body)
+		}
+		var tok struct {
+			Token string `json:"token"`
+		}
+		if err := json.Unmarshal(body, &tok); err != nil || tok.Token == "" {
+			return malformed("register response %q", body)
+		}
+		c.tokens = append(c.tokens, tok.Token)
+	}
+	return nil
+}
+
+// Accounts reports how many fake accounts the client holds.
+func (c *JSONClient) Accounts() int { return len(c.tokens) }
+
+func (c *JSONClient) token(acct int) (string, error) {
+	if acct < 0 || acct >= len(c.tokens) {
+		return "", fmt.Errorf("osnhttp: account %d not registered (have %d)", acct, len(c.tokens))
+	}
+	return c.tokens[acct], nil
+}
+
+// parsePage decodes one list page, validating the container and the row
+// count cross-check.
+func parsePage(body []byte, key string) ([]wireRow, bool, error) {
+	var page wirePage
+	if err := json.Unmarshal(body, &page); err != nil {
+		return nil, false, malformed("invalid JSON: %v", err)
+	}
+	container := page.Results
+	if key == "friends" {
+		container = page.Friends
+	}
+	if container == nil {
+		return nil, false, malformed("missing %q container", key)
+	}
+	var rows []wireRow
+	if err := json.Unmarshal(container, &rows); err != nil {
+		return nil, false, malformed("bad %q rows: %v", key, err)
+	}
+	if page.N != len(rows) {
+		return nil, false, malformed("row count mismatch: n=%d, got %d", page.N, len(rows))
+	}
+	return rows, page.More, nil
+}
+
+func toResults(rows []wireRow) []osn.SearchResult {
+	var out []osn.SearchResult
+	for _, r := range rows {
+		out = append(out, osn.SearchResult{ID: osn.PublicID(r.ID), Name: r.Name})
+	}
+	return out
+}
+
+// LookupSchool resolves a school by exact name via the directory, scanning
+// client-side like the HTML client does.
+func (c *JSONClient) LookupSchool(name string) (osn.SchoolRef, error) {
+	body, err := c.get("/api/v1/schools")
+	if err != nil {
+		return osn.SchoolRef{}, err
+	}
+	var page wirePage
+	if err := json.Unmarshal(body, &page); err != nil {
+		return osn.SchoolRef{}, malformed("invalid JSON: %v", err)
+	}
+	if page.Schools == nil {
+		return osn.SchoolRef{}, malformed("missing %q container", "schools")
+	}
+	var schools []wireSchool
+	if err := json.Unmarshal(page.Schools, &schools); err != nil {
+		return osn.SchoolRef{}, malformed("bad school rows: %v", err)
+	}
+	if page.N != len(schools) {
+		return osn.SchoolRef{}, malformed("row count mismatch: n=%d, got %d", page.N, len(schools))
+	}
+	for _, s := range schools {
+		if s.Name == name {
+			return osn.SchoolRef{ID: s.ID, Name: s.Name, City: s.City}, nil
+		}
+	}
+	return osn.SchoolRef{}, osn.ErrNoSchool
+}
+
+// Search fetches one page of school search results via the acct-th account.
+func (c *JSONClient) Search(acct, schoolID, page int) ([]osn.SearchResult, bool, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := c.get(fmt.Sprintf("/api/v1/search?school=%d&page=%d&acct=%s", schoolID, page, url.QueryEscape(tok)))
+	if err != nil {
+		return nil, false, err
+	}
+	rows, more, err := parsePage(body, "results")
+	if err != nil {
+		return nil, false, err
+	}
+	return toResults(rows), more, nil
+}
+
+// CitySearch fetches one page of the by-city people search.
+func (c *JSONClient) CitySearch(acct int, city string, page int) ([]osn.SearchResult, bool, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := c.get(fmt.Sprintf("/api/v1/search?city=%s&page=%d&acct=%s",
+		url.QueryEscape(city), page, url.QueryEscape(tok)))
+	if err != nil {
+		return nil, false, err
+	}
+	rows, more, err := parsePage(body, "results")
+	if err != nil {
+		return nil, false, err
+	}
+	return toResults(rows), more, nil
+}
+
+// GraphSearch runs a structured Graph-Search-style query.
+func (c *JSONClient) GraphSearch(acct int, q osn.GraphQuery, page int) ([]osn.SearchResult, bool, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	current := "0"
+	if q.CurrentStudents {
+		current = "1"
+	}
+	body, err := c.get(fmt.Sprintf(
+		"/api/v1/search?graph=1&school=%d&current=%s&after=%d&before=%d&city=%s&page=%d&acct=%s",
+		q.SchoolID, current, q.GradYearAfter, q.GradYearBefore,
+		url.QueryEscape(q.City), page, url.QueryEscape(tok)))
+	if err != nil {
+		return nil, false, err
+	}
+	rows, more, err := parsePage(body, "results")
+	if err != nil {
+		return nil, false, err
+	}
+	return toResults(rows), more, nil
+}
+
+// Profile fetches and decodes a public profile.
+func (c *JSONClient) Profile(acct int, id osn.PublicID) (*osn.PublicProfile, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.get(fmt.Sprintf("/api/v1/profile/%s?acct=%s", url.PathEscape(string(id)), url.QueryEscape(tok)))
+	if err != nil {
+		return nil, err
+	}
+	var outer struct {
+		Profile *wireProfile `json:"profile"`
+	}
+	if err := json.Unmarshal(body, &outer); err != nil {
+		return nil, malformed("invalid JSON: %v", err)
+	}
+	if outer.Profile == nil {
+		return nil, malformed("missing %q container", "profile")
+	}
+	wp := outer.Profile
+	// The profile's ID comes from the request, exactly as parseProfile
+	// does for HTML — the body's copy is redundant on a healthy wire.
+	pp := &osn.PublicProfile{
+		ID:                id,
+		Name:              wp.Name,
+		HasPhoto:          wp.HasPhoto,
+		Gender:            wp.Gender,
+		Network:           wp.Network,
+		HighSchool:        wp.HighSchool,
+		GradYear:          wp.GradYear,
+		GradSchool:        wp.GradSchool,
+		Relationship:      wp.Relationship,
+		InterestedIn:      wp.InterestedIn,
+		Hometown:          wp.Hometown,
+		CurrentCity:       wp.CurrentCity,
+		FriendListVisible: wp.FriendListVisible,
+		PhotoCount:        wp.PhotoCount,
+		ContactInfo:       wp.ContactInfo,
+		CanMessage:        wp.CanMessage,
+		Searchable:        wp.Searchable,
+	}
+	if wp.Birthday != "" {
+		var d sim.Date
+		if _, err := fmt.Sscanf(wp.Birthday, "%d-%d-%d", &d.Year, &d.Month, &d.Day); err == nil {
+			pp.Birthday = &d
+		}
+	}
+	return pp, nil
+}
+
+// FriendPage fetches one page of a friend list.
+func (c *JSONClient) FriendPage(acct int, id osn.PublicID, page int) ([]osn.FriendRef, bool, error) {
+	tok, err := c.token(acct)
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := c.get(fmt.Sprintf("/api/v1/friends/%s?page=%d&acct=%s", url.PathEscape(string(id)), page, url.QueryEscape(tok)))
+	if err != nil {
+		return nil, false, err
+	}
+	rows, more, err := parsePage(body, "friends")
+	if err != nil {
+		return nil, false, err
+	}
+	var out []osn.FriendRef
+	for _, r := range rows {
+		out = append(out, osn.FriendRef{ID: osn.PublicID(r.ID), Name: r.Name})
+	}
+	return out, more, nil
+}

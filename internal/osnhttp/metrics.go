@@ -12,18 +12,21 @@ import (
 // endpoints are the label values requests are attributed to — one per route
 // family, with path parameters (profile/friend ids, pages) folded away so
 // the label set stays bounded no matter how large the crawled graph is.
-var endpoints = []string{"register", "schools", "search", "profile", "friendlist", "other"}
+var endpoints = []string{"register", "schools", "search", "profile", "friendlist", "healthz", "other"}
 
-// endpointName folds a request path onto its endpoint label.
+// endpointName folds a request path onto its endpoint label. The JSON
+// routes fold onto the same families as their HTML counterparts so
+// dashboards see one series per logical endpoint regardless of wire.
 func endpointName(path string) string {
+	path = strings.TrimPrefix(path, apiPrefix[:len(apiPrefix)-1])
 	seg := strings.TrimPrefix(path, "/")
 	if i := strings.IndexByte(seg, '/'); i >= 0 {
 		seg = seg[:i]
 	}
 	switch seg {
-	case "register", "schools":
+	case "register", "schools", "healthz":
 		return seg
-	case "find-friends", "graph-search", "city-search":
+	case "find-friends", "graph-search", "city-search", "search":
 		return "search"
 	case "profile":
 		return "profile"
@@ -43,6 +46,7 @@ type serverMetrics struct {
 	latency     map[string]*obs.Histogram
 	throttled   *obs.Counter
 	suspensions *obs.Counter
+	shed        *obs.Counter
 	inflight    *obs.Gauge
 }
 
@@ -51,6 +55,7 @@ const (
 	helpHTTPLatency  = "OSN request handling latency, by endpoint."
 	helpThrottled    = "Requests rejected by the adaptive throttle (HTTP 503)."
 	helpSuspensions  = "Requests rejected because the account is suspended (HTTP 429)."
+	helpShed         = "Requests shed by a per-endpoint concurrency limiter (HTTP 503)."
 	helpInflight     = "OSN requests currently being handled."
 )
 
@@ -74,6 +79,7 @@ func (s *Server) Instrument(reg *obs.Registry) *Server {
 	}
 	m.throttled = reg.Counter("osn_http_throttled_total", helpThrottled)
 	m.suspensions = reg.Counter("osn_http_suspensions_total", helpSuspensions)
+	m.shed = reg.Counter("osn_http_shed_total", helpShed)
 	m.inflight = reg.Gauge("osn_http_inflight_requests", helpInflight)
 	s.metrics = m
 	return s
@@ -88,6 +94,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// shedded records one limiter rejection.
+func (m *serverMetrics) shedded() {
+	if m == nil {
+		return
+	}
+	m.shed.Inc()
 }
 
 // observe records one served request.

@@ -25,6 +25,14 @@ func TestEndpointName(t *testing.T) {
 		"/profile":           "profile",
 		"/friends/u1/extra":  "friendlist",
 		"/find-friends/deep": "search",
+		// The JSON API folds onto the same endpoint families.
+		"/api/v1/search":        "search",
+		"/api/v1/schools":       "schools",
+		"/api/v1/register":      "register",
+		"/api/v1/profile/u123":  "profile",
+		"/api/v1/friends/u123":  "friendlist",
+		"/api/v1/unknown-route": "other",
+		"/healthz":              "healthz",
 	}
 	for path, want := range cases {
 		if got := endpointName(path); got != want {

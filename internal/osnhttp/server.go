@@ -16,6 +16,9 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hsprofiler/internal/obs/evlog"
@@ -26,14 +29,57 @@ import (
 // Server wraps a Platform as an http.Handler. Handlers run on whatever
 // goroutine net/http dispatches them to: the platform serves every page
 // from its frozen read plane (profiles and friend pages are pre-resolved,
-// pre-paginated slices rendered zero-copy into the templates), so the
-// server needs no locking of its own.
+// pre-paginated slices rendered zero-copy into the templates or the JSON
+// encoders), so the server needs no locking of its own.
+//
+// Two surfaces share one dispatcher: the HTML views the paper's crawlers
+// scraped, and the /api/v1 JSON wire (api.go). Both sit behind the same
+// inflight accounting (graceful drain) and optional per-endpoint-family
+// concurrency limiters (WithLimits).
 type Server struct {
 	platform *osn.Platform
 	mux      *http.ServeMux
 	metrics  *serverMetrics
 	lg       *evlog.Logger
+	inflight atomic.Int64
+	limits   limiters
 }
+
+// limiters caps concurrent handlers per endpoint family with buffered
+// channels used as counting semaphores. A nil channel means unlimited.
+// Saturation sheds the request with a 503 overload envelope rather than
+// queueing: under overload the platform prefers fast rejection (which
+// clients treat as transient, like a throttle) to unbounded latency.
+type limiters struct {
+	search  chan struct{}
+	profile chan struct{}
+	friend  chan struct{}
+}
+
+// limiterFor picks the semaphore for a path, folding the JSON and HTML
+// routes onto the same families the metrics labels use.
+func (l *limiters) limiterFor(path string) chan struct{} {
+	if strings.HasPrefix(path, apiPrefix) {
+		path = path[len(apiPrefix)-1:]
+	}
+	seg := strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(seg, '/'); i >= 0 {
+		seg = seg[:i]
+	}
+	switch seg {
+	case "search", "find-friends", "graph-search", "city-search":
+		return l.search
+	case "profile":
+		return l.profile
+	case "friends":
+		return l.friend
+	}
+	return nil
+}
+
+// releaseSlot is a named function (not a closure) so the deferred call in
+// serve stays on the stack.
+func releaseSlot(lim chan struct{}) { <-lim }
 
 // NewServer returns a handler serving the platform.
 func NewServer(p *osn.Platform) *Server {
@@ -56,19 +102,43 @@ func (s *Server) WithLog(lg *evlog.Logger) *Server {
 	return s
 }
 
+// WithLimits caps concurrent in-handler requests per endpoint family;
+// 0 (or negative) leaves that family unlimited. Requests beyond the cap
+// are shed immediately with a 503 overload envelope and a Retry-After
+// header. Returns the server for chaining. Not safe to call once serving.
+func (s *Server) WithLimits(search, profile, friends int) *Server {
+	mk := func(n int) chan struct{} {
+		if n <= 0 {
+			return nil
+		}
+		return make(chan struct{}, n)
+	}
+	s.limits = limiters{search: mk(search), profile: mk(profile), friend: mk(friends)}
+	return s
+}
+
+// Inflight reports the number of requests currently inside ServeHTTP —
+// the count a graceful drain waits on.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+var recPool = sync.Pool{New: func() any { return &statusRecorder{} }}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	if s.metrics == nil && !s.lg.On(evlog.Info) {
-		s.mux.ServeHTTP(w, r)
+		s.serve(w, r)
 		return
 	}
 	if s.metrics != nil {
 		s.metrics.inflight.Inc()
 		defer s.metrics.inflight.Dec()
 	}
-	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	rec := recPool.Get().(*statusRecorder)
+	rec.ResponseWriter, rec.code = w, http.StatusOK
 	start := time.Now()
-	s.mux.ServeHTTP(rec, r)
+	s.serve(rec, r)
 	elapsed := time.Since(start)
 	endpoint := endpointName(r.URL.Path)
 	s.metrics.observe(endpoint, rec.code, elapsed)
@@ -78,6 +148,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		evlog.Str("path", r.URL.RequestURI()),
 		evlog.Int("code", rec.code),
 		evlog.Dur("ms", elapsed))
+	rec.ResponseWriter = nil
+	recPool.Put(rec)
+}
+
+// serve applies the endpoint-family concurrency limit, then routes.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	if lim := s.limits.limiterFor(r.URL.Path); lim != nil {
+		select {
+		case lim <- struct{}{}:
+		default:
+			s.metrics.shedded()
+			apiError(w, http.StatusServiceUnavailable, "overload", "server overloaded, retry shortly")
+			return
+		}
+		defer releaseSlot(lim)
+	}
+	path := r.URL.Path
+	switch {
+	case strings.HasPrefix(path, apiPrefix):
+		s.serveAPI(w, r)
+	case path == "/healthz":
+		s.handleHealthz(w, r)
+	default:
+		s.mux.ServeHTTP(w, r)
+	}
 }
 
 // httpStatus maps platform errors onto wire status codes.
