@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hsprofiler/internal/osnhttp"
+	"hsprofiler/internal/worldgen"
 )
 
 // servingFlags groups the flag values that shape the serving plane, split
@@ -20,6 +21,21 @@ type servingFlags struct {
 	ThrottleWindow time.Duration
 	FaultRate      float64
 	Server         osnhttp.ServerConfig
+	Evolve         evolveFlags
+}
+
+// evolveFlags shape the temporal loop: with -evolve the daemon advances the
+// world one simulated year per interval and rotates the serving epoch.
+type evolveFlags struct {
+	Enabled  bool
+	Interval time.Duration
+	// Epochs bounds how many rotations run (0 = until shutdown).
+	Epochs  int
+	Workers int
+	// OpenMinorSearchYear schedules the policy flip that opened minor
+	// profiles to search: once the simulated year reaches it, the next
+	// epoch builds with MinorsSearchable=true (0 = never).
+	OpenMinorSearchYear int
 }
 
 // validate rejects every bad flag at once (joined errors) so a broken
@@ -44,5 +60,33 @@ func (f servingFlags) validate() error {
 	if err := f.Server.WithDefaults().Validate(); err != nil {
 		errs = append(errs, err)
 	}
+	if f.Evolve.Enabled {
+		if f.Evolve.Interval <= 0 {
+			errs = append(errs, fmt.Errorf("-evolve-interval must be positive, got %v", f.Evolve.Interval))
+		}
+		if f.Evolve.Epochs < 0 {
+			errs = append(errs, fmt.Errorf("-evolve-epochs must be non-negative (0 = until shutdown), got %d", f.Evolve.Epochs))
+		}
+		if f.Evolve.Workers < 1 {
+			errs = append(errs, fmt.Errorf("-evolve-workers must be at least 1, got %d", f.Evolve.Workers))
+		}
+		if f.Evolve.OpenMinorSearchYear < 0 {
+			errs = append(errs, fmt.Errorf("-evolve-open-minor-search must be a year (0 = never), got %d", f.Evolve.OpenMinorSearchYear))
+		}
+	}
 	return errors.Join(errs...)
+}
+
+// validateWorld rejects flag/world combinations that could otherwise only
+// fail (or worse, panic) mid-serve. It runs after the world loads, in the
+// same loud-failure spirit as validate: evolution needs the mutable
+// adjacency graph, and worlds from binary snapshots or parallel generation
+// are frozen-only.
+func (f servingFlags) validateWorld(w *worldgen.World) error {
+	if f.Evolve.Enabled && w.Graph == nil {
+		return fmt.Errorf("-evolve requires a mutable world, but this one is frozen-only " +
+			"(binary snapshots and parallel generation carry no mutable graph); " +
+			"serve a JSON snapshot or generate with -scenario instead")
+	}
+	return nil
 }

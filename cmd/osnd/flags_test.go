@@ -1,6 +1,7 @@
 package main
 
 import (
+	"hsprofiler/internal/worldgen"
 	"strings"
 	"testing"
 	"time"
@@ -80,5 +81,75 @@ func TestServingFlagsZeroServerConfig(t *testing.T) {
 	f.Server = osnhttp.ServerConfig{}
 	if err := f.validate(); err != nil {
 		t.Fatalf("zero ServerConfig rejected (WithDefaults not applied): %v", err)
+	}
+}
+
+// goodEvolveFlags is a baseline -evolve invocation.
+func goodEvolveFlags() servingFlags {
+	f := goodFlags()
+	f.Evolve = evolveFlags{Enabled: true, Interval: 30 * time.Second, Epochs: 3, Workers: 4}
+	return f
+}
+
+func TestEvolveFlagsValidate(t *testing.T) {
+	if err := goodEvolveFlags().validate(); err != nil {
+		t.Fatalf("baseline evolve flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*servingFlags)
+		want string
+	}{
+		{"zero interval", func(f *servingFlags) { f.Evolve.Interval = 0 }, "-evolve-interval"},
+		{"negative interval", func(f *servingFlags) { f.Evolve.Interval = -time.Second }, "-evolve-interval"},
+		{"negative epochs", func(f *servingFlags) { f.Evolve.Epochs = -1 }, "-evolve-epochs"},
+		{"zero workers", func(f *servingFlags) { f.Evolve.Workers = 0 }, "-evolve-workers"},
+		{"negative flip year", func(f *servingFlags) { f.Evolve.OpenMinorSearchYear = -2013 }, "-evolve-open-minor-search"},
+	}
+	for _, tc := range cases {
+		f := goodEvolveFlags()
+		tc.mut(&f)
+		err := f.validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Evolve disabled: the sub-flags are ignored, not validated.
+	f := goodFlags()
+	f.Evolve = evolveFlags{Enabled: false, Interval: 0, Workers: 0}
+	if err := f.validate(); err != nil {
+		t.Fatalf("disabled evolve flags validated anyway: %v", err)
+	}
+}
+
+// TestValidateWorldRejectsFrozenOnly is the startup half of the
+// frozen-only guard: -evolve against a world without a mutable graph
+// (binary snapshot, parallel generation) must be a clear flag error, not a
+// runtime panic in the evolution loop.
+func TestValidateWorldRejectsFrozenOnly(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := goodEvolveFlags().validateWorld(w); err != nil {
+		t.Fatalf("mutable world rejected: %v", err)
+	}
+	frozen := &worldgen.World{Seed: w.Seed, Now: w.Now, Schools: w.Schools, People: w.People}
+	frozen.SetFrozen(w.Frozen())
+	err = goodEvolveFlags().validateWorld(frozen)
+	if err == nil {
+		t.Fatal("frozen-only world accepted with -evolve")
+	}
+	if !strings.Contains(err.Error(), "frozen-only") {
+		t.Fatalf("error %q does not explain the frozen-only cause", err)
+	}
+	// Without -evolve a frozen-only world is fine (that is the normal
+	// binary-snapshot serving path).
+	if err := goodFlags().validateWorld(frozen); err != nil {
+		t.Fatalf("frozen-only world rejected without -evolve: %v", err)
 	}
 }

@@ -54,6 +54,11 @@ func main() {
 	inflightSearch := flag.Int("inflight-search", 0, "max concurrent search requests; excess shed with 503 (0 = unlimited)")
 	inflightProfile := flag.Int("inflight-profile", 0, "max concurrent profile requests; excess shed with 503 (0 = unlimited)")
 	inflightFriends := flag.Int("inflight-friends", 0, "max concurrent friend-list requests; excess shed with 503 (0 = unlimited)")
+	evolve := flag.Bool("evolve", false, "advance the world one simulated year per -evolve-interval and rotate the serving epoch (requires a mutable world: -scenario or a JSON snapshot)")
+	evolveInterval := flag.Duration("evolve-interval", 30*time.Second, "wall-clock time per simulated year under -evolve")
+	evolveEpochs := flag.Int("evolve-epochs", 0, "stop evolving after this many epochs (0 = until shutdown)")
+	evolveWorkers := flag.Int("evolve-workers", 4, "worker goroutines for the evolution step (any count yields bit-identical worlds)")
+	evolveOpenMinorSearch := flag.Int("evolve-open-minor-search", 0, "simulated year at which the policy flips to list minors in search, like Facebook in 2013 (0 = never)")
 	flag.Parse()
 
 	sf := servingFlags{
@@ -62,6 +67,13 @@ func main() {
 		ThrottleLimit:  *throttleLimit,
 		ThrottleWindow: *throttleWindow,
 		FaultRate:      *faultRate,
+		Evolve: evolveFlags{
+			Enabled:             *evolve,
+			Interval:            *evolveInterval,
+			Epochs:              *evolveEpochs,
+			Workers:             *evolveWorkers,
+			OpenMinorSearchYear: *evolveOpenMinorSearch,
+		},
 		Server: osnhttp.ServerConfig{
 			ReadHeaderTimeout: *readHeaderTimeout,
 			ReadTimeout:       *readTimeout,
@@ -102,6 +114,9 @@ func main() {
 		err = fmt.Errorf("one of -world or -scenario is required")
 	}
 	if err != nil {
+		fatal(err)
+	}
+	if err := sf.validateWorld(w); err != nil {
 		fatal(err)
 	}
 
@@ -188,6 +203,40 @@ func main() {
 		})
 		rate := cfg.ServerError + cfg.Throttle + cfg.Reset + cfg.Truncate + cfg.Garble
 		fmt.Printf("osnd: injecting faults at rate %.2f (seed %d)\n", rate, *faultSeed)
+	}
+
+	// The temporal loop: one simulated year per interval, then an epoch
+	// swap. Mutation runs entirely off the read path — serving continues on
+	// the previous epoch until AdvanceEpoch publishes the next one.
+	if sf.Evolve.Enabled {
+		fmt.Printf("osnd: evolving every %v (epochs: %s, workers: %d)\n",
+			sf.Evolve.Interval, epochBound(sf.Evolve.Epochs), sf.Evolve.Workers)
+		go func() {
+			evCfg := worldgen.DefaultEvolveConfig()
+			cur := pol
+			ticker := time.NewTicker(sf.Evolve.Interval)
+			defer ticker.Stop()
+			for epoch := 1; sf.Evolve.Epochs == 0 || epoch <= sf.Evolve.Epochs; epoch++ {
+				<-ticker.C
+				d, err := worldgen.Evolve(w, evCfg, epoch, sf.Evolve.Workers)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "osnd: evolve: %v\n", err)
+					return
+				}
+				if y := sf.Evolve.OpenMinorSearchYear; y != 0 && w.Now.Year >= y && !cur.MinorsSearchable {
+					flipped := *cur
+					flipped.Name = cur.Name + "+minors-searchable"
+					flipped.MinorsSearchable = true
+					cur = &flipped
+					platform.SetPolicy(cur)
+					fmt.Printf("osnd: year %d: policy flip, minors now searchable\n", w.Now.Year)
+				}
+				st := platform.AdvanceEpoch(ctx)
+				fmt.Printf("osnd: epoch %d (year %d): +%d/-%d edges, graduated %d, built in %s\n",
+					st.Seq, st.Year, len(d.Added), len(d.Removed), d.Graduated,
+					st.Build.Round(time.Millisecond))
+			}
+		}()
 	}
 
 	srv := serverCfg.HTTPServer(*addr, handler)
@@ -298,6 +347,14 @@ func metricsMux(reg *obs.Registry) *http.ServeMux {
 }
 
 var startTime = time.Now()
+
+// epochBound renders the -evolve-epochs bound for the startup banner.
+func epochBound(n int) string {
+	if n == 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", n)
+}
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "osnd: %v\n", err)

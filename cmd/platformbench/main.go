@@ -4,20 +4,28 @@
 // runs the same mixed Profile / FriendPage / SchoolSearch workload as the
 // root BenchmarkPlatformConcurrent, spread over per-worker accounts.
 //
+// With -rotate the same sweep runs while a background driver evolves the
+// world and rotates the serving epoch on an interval — the artefact that
+// tracks what epoch rotation costs the read path (BENCH_epoch.json).
+//
 // Usage:
 //
 //	platformbench -out BENCH_platform.json
 //	platformbench -procs 1,4,8 -scenario tiny
+//	platformbench -rotate 50ms -out BENCH_epoch.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -36,17 +44,32 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// EpochRotation summarizes the background rotations that ran under the
+// sweep in -rotate mode: how often the epoch swapped and what each swap
+// cost wall-clock (world evolution excluded — only the AdvanceEpoch
+// build+swap the serving plane pays for). benchdiff decodes reports with
+// encoding/json and ignores fields it does not know, so this block rides
+// along without a schema change there.
+type EpochRotation struct {
+	Rotations  int     `json:"rotations"`
+	IntervalMS float64 `json:"interval_ms"`
+	SwapP50MS  float64 `json:"swap_p50_ms"`
+	SwapP99MS  float64 `json:"swap_p99_ms"`
+	SwapMaxMS  float64 `json:"swap_max_ms"`
+}
+
 // Report is the full BENCH_platform.json document.
 type Report struct {
-	Scenario   string    `json:"scenario"`
-	Seed       uint64    `json:"seed"`
-	Workers    int       `json:"workers"`
-	NumCPU     int       `json:"num_cpu"`
-	GoVersion  string    `json:"go_version"`
-	Results    []Result  `json:"results"`
-	SpeedupMax float64   `json:"speedup_max_vs_1"`
-	FrozenIn   string    `json:"freeze_duration"`
-	Timestamp  time.Time `json:"timestamp"`
+	Scenario   string         `json:"scenario"`
+	Seed       uint64         `json:"seed"`
+	Workers    int            `json:"workers"`
+	NumCPU     int            `json:"num_cpu"`
+	GoVersion  string         `json:"go_version"`
+	Results    []Result       `json:"results"`
+	SpeedupMax float64        `json:"speedup_max_vs_1"`
+	FrozenIn   string         `json:"freeze_duration"`
+	Epoch      *EpochRotation `json:"epoch_rotation,omitempty"`
+	Timestamp  time.Time      `json:"timestamp"`
 }
 
 func main() {
@@ -55,6 +78,7 @@ func main() {
 	seed := flag.Uint64("seed", 11, "world seed")
 	procsFlag := flag.String("procs", "1,4,8", "comma-separated GOMAXPROCS settings to sweep")
 	workers := flag.Int("workers", 64, "accounts hammering the platform")
+	rotate := flag.Duration("rotate", 0, "evolve the world and rotate the serving epoch on this interval during each sweep point (0 = static world)")
 	flag.Parse()
 
 	var cfg worldgen.Config
@@ -119,10 +143,55 @@ func main() {
 		FrozenIn:  p.FreezeDuration().String(),
 		Timestamp: time.Now().UTC(),
 	}
+	// In -rotate mode a background driver keeps evolving the world and
+	// swapping epochs underneath the sweep; the reported throughput is the
+	// read path's cost WHILE rotation happens, and the swap latencies feed
+	// the epoch_rotation block. The simulated year keeps advancing across
+	// sweep points — one continuous timeline, like a live deployment.
+	// Note: testing.Benchmark charges the rotator's allocations to the
+	// process, so allocs_per_op is only meaningful in static mode.
+	var (
+		swapMu sync.Mutex
+		swaps  []time.Duration
+		year   int
+	)
+	evCfg := worldgen.DefaultEvolveConfig()
+	startRotator := func() (stop func()) {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(*rotate)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					year++
+					if _, err := worldgen.Evolve(w, evCfg, year, 4); err != nil {
+						fatal(fmt.Errorf("evolve year %d: %w", year, err))
+					}
+					start := time.Now()
+					p.AdvanceEpoch(context.Background())
+					swapMu.Lock()
+					swaps = append(swaps, time.Since(start))
+					swapMu.Unlock()
+				}
+			}
+		}()
+		return func() { close(done); wg.Wait() }
+	}
+
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
 	for _, n := range procs {
 		runtime.GOMAXPROCS(n)
+		var stopRotator func()
+		if *rotate > 0 {
+			stopRotator = startRotator()
+		}
 		br := testing.Benchmark(func(b *testing.B) {
 			var next atomic.Int64
 			b.ReportAllocs()
@@ -143,6 +212,9 @@ func main() {
 				}
 			})
 		})
+		if stopRotator != nil {
+			stopRotator()
+		}
 		nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
 		rep.Results = append(rep.Results, Result{
 			Procs:       n,
@@ -161,6 +233,20 @@ func main() {
 				rep.SpeedupMax = s
 			}
 		}
+	}
+	if *rotate > 0 {
+		if len(swaps) == 0 {
+			fatal(fmt.Errorf("-rotate %v produced no epoch swaps; lengthen the run or shorten the interval", *rotate))
+		}
+		rep.Epoch = &EpochRotation{
+			Rotations:  len(swaps),
+			IntervalMS: float64(rotate.Nanoseconds()) / 1e6,
+			SwapP50MS:  ms(percentile(swaps, 0.50)),
+			SwapP99MS:  ms(percentile(swaps, 0.99)),
+			SwapMaxMS:  ms(percentile(swaps, 1)),
+		}
+		fmt.Fprintf(os.Stderr, "platformbench: %d epoch rotations, swap p50 %.2fms p99 %.2fms max %.2fms\n",
+			rep.Epoch.Rotations, rep.Epoch.SwapP50MS, rep.Epoch.SwapP99MS, rep.Epoch.SwapMaxMS)
 	}
 
 	f := os.Stdout
@@ -181,6 +267,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "platformbench: wrote %s\n", *out)
 	}
 }
+
+// percentile returns the q-th quantile of the swap latencies (q in (0,1];
+// q=1 is the max). The slice is sorted in place.
+func percentile(ds []time.Duration, q float64) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(q*float64(len(ds))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "platformbench: %v\n", err)

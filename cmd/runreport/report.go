@@ -98,6 +98,7 @@ func report(w io.Writer, m *obs.Manifest, events []event, topK int) error {
 	phases(w, m)
 	quantiles(w, m)
 	accounting(w, m, events)
+	epochs(w, m, events)
 	slowest(w, events, topK)
 	tables(w, m)
 	return nil
@@ -213,6 +214,84 @@ func accounting(w io.Writer, m *obs.Manifest, events []event) {
 	}
 	if n := countMap(suspensionTally(events)); n != "" {
 		fmt.Fprintf(w, "  account suspensions seen: %s\n", n)
+	}
+}
+
+// epochs renders the temporal story of a run against an evolving platform:
+// the epoch-advance timeline (from the platform's "osn.epoch" events) and
+// every epoch-stamped event — the server's access log carries the serving
+// epoch id — tallied per epoch, so a longitudinal run reads as a sequence
+// of per-epoch workloads instead of one undifferentiated stream. Static
+// runs emit neither, and the section disappears.
+func epochs(w io.Writer, m *obs.Manifest, events []event) {
+	type advance struct {
+		epoch, year, users, edges int
+		buildMS                   float64
+	}
+	var advances []advance
+	retired := 0
+	perEpoch := map[int]map[string]int{}
+	for _, e := range events {
+		if e.Cat == "osn.epoch" {
+			switch e.Msg {
+			case "epoch advanced":
+				a := advance{}
+				if v, ok := e.f("epoch"); ok {
+					a.epoch = int(v)
+				}
+				if v, ok := e.f("year"); ok {
+					a.year = int(v)
+				}
+				if v, ok := e.f("users"); ok {
+					a.users = int(v)
+				}
+				if v, ok := e.f("edges"); ok {
+					a.edges = int(v)
+				}
+				a.buildMS, _ = e.f("build")
+				advances = append(advances, a)
+			case "epoch retired":
+				retired++
+			}
+			continue
+		}
+		if v, ok := e.f("epoch"); ok {
+			id := int(v)
+			if perEpoch[id] == nil {
+				perEpoch[id] = map[string]int{}
+			}
+			perEpoch[id][e.Cat]++
+		}
+	}
+	if len(advances) == 0 && len(perEpoch) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "\nepochs:")
+	if n := prefixSum(m, "osn_epoch_advances_total"); n > 0 || len(advances) > 0 {
+		if n == 0 {
+			n = float64(len(advances))
+		}
+		fmt.Fprintf(w, "  advances: %.0f (%d retired after drain)\n", n, retired)
+	}
+	for _, a := range advances {
+		fmt.Fprintf(w, "    epoch %d: year %d, %d users / %d edges, built in %.1f ms\n",
+			a.epoch, a.year, a.users, a.edges, a.buildMS)
+	}
+	if len(perEpoch) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(perEpoch))
+	for id := range perEpoch {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Fprintln(w, "  events by serving epoch:")
+	for _, id := range ids {
+		total := 0
+		for _, n := range perEpoch[id] {
+			total += n
+		}
+		fmt.Fprintf(w, "    epoch %d: %d events (%s)\n", id, total, countMap(perEpoch[id]))
 	}
 }
 

@@ -87,4 +87,40 @@ func TestReportSections(t *testing.T) {
 	if strings.Contains(out, "friends/u2/0\n") && strings.Index(out, "friends/u2/0") < strings.Index(out, "friends/u1/0") {
 		t.Error("slowest requests not sorted by latency")
 	}
+	if strings.Contains(out, "epochs:") {
+		t.Error("static run grew an epochs section")
+	}
+}
+
+const temporalLog = `{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"http","msg":"served","path":"/api/v1/profile","ms":0.8,"epoch":0}
+{"t":"2026-01-01T00:00:01Z","lvl":"info","cat":"osn.epoch","msg":"epoch advanced","epoch":1,"year":2013,"build":1.25,"users":900,"edges":4200}
+{"t":"2026-01-01T00:00:01Z","lvl":"info","cat":"osn.epoch","msg":"epoch retired","epoch":0}
+{"t":"2026-01-01T00:00:02Z","lvl":"info","cat":"http","msg":"served","path":"/api/v1/search","ms":0.5,"epoch":1}
+{"t":"2026-01-01T00:00:02Z","lvl":"info","cat":"http","msg":"served","path":"/api/v1/friends","ms":0.6,"epoch":1}
+`
+
+func TestReportEpochSection(t *testing.T) {
+	events, err := parseEvents(strings.NewReader(temporalLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewManifest("osnd")
+	m.Counters = map[string]float64{"osn_epoch_advances_total": 1}
+
+	var buf bytes.Buffer
+	if err := report(&buf, m, events, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"epochs:",
+		"advances: 1 (1 retired after drain)",
+		"epoch 1: year 2013, 900 users / 4200 edges, built in 1.2 ms",
+		"epoch 0: 1 events (http 1)",
+		"epoch 1: 2 events (http 2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
 }

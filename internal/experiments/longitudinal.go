@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hsprofiler/internal/core"
+	"hsprofiler/internal/crawler"
+	"hsprofiler/internal/eval"
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/report"
+	"hsprofiler/internal/worldgen"
+)
+
+// LongitudinalYear is one row of the longitudinal crawl: the attack re-run
+// against the same school after another year of world evolution and an
+// epoch rotation, scored against that year's ground truth.
+type LongitudinalYear struct {
+	Epoch            uint64
+	Year             int
+	MinorsSearchable bool
+	StudentsOnOSN    int
+	FoundFrac        float64
+	CorrectYearFrac  float64
+	FPRate           float64
+	// SwapLatency is the wall-clock cost of AdvanceEpoch (build + swap) —
+	// zero for the baseline year, which serves epoch 0 as built.
+	SwapLatency time.Duration
+}
+
+// Longitudinal crawls the same school once per simulated year while the
+// platform evolves underneath: students graduate, cohorts roll forward,
+// friendships churn, and (optionally) the policy flips to list minors in
+// search the way Facebook's 2013 Graph Search did. Each year the attack
+// runs from scratch with fresh accounts and is scored against that year's
+// roster — the paper's one-shot profiling recast as a panel study. flipYear
+// schedules the MinorsSearchable flip (0 = never); the before/after rows
+// quantify how much of the attack's accuracy the minor-search protection
+// was worth.
+//
+// The world is generated fresh from the scenario (never taken from a Lab:
+// evolution mutates it, and Lab worlds are shared).
+func Longitudinal(sc Scenario, years, flipYear, threshold int) ([]LongitudinalYear, *report.Table, error) {
+	world, err := worldgen.Generate(sc.Config, sc.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	pol := osn.Facebook()
+	platform := osn.NewPlatform(world, pol, osn.Config{SearchPerAccount: sc.SearchPerAccount})
+	evCfg := worldgen.DefaultEvolveConfig()
+
+	var rows []LongitudinalYear
+	for y := 0; y <= years; y++ {
+		var swap time.Duration
+		if y > 0 {
+			if _, err := worldgen.Evolve(world, evCfg, y, 4); err != nil {
+				return nil, nil, fmt.Errorf("evolve year %d: %w", y, err)
+			}
+			if flipYear != 0 && world.Now.Year >= flipYear && !pol.MinorsSearchable {
+				flipped := *pol
+				flipped.Name = pol.Name + "+minors-searchable"
+				flipped.MinorsSearchable = true
+				pol = &flipped
+				platform.SetPolicy(pol)
+			}
+			start := time.Now()
+			platform.AdvanceEpoch(context.Background())
+			swap = time.Since(start)
+		}
+
+		// A fresh crawl with fresh accounts each year: the attacker of year
+		// N+1 does not inherit year N's cursors, exactly like re-running
+		// the paper's collection a year later.
+		direct, err := crawler.NewDirect(platform, sc.SeedAccounts)
+		if err != nil {
+			return nil, nil, err
+		}
+		params := RunEnhanced.params(sc)
+		params.SchoolName = world.Schools[0].Name
+		// The senior class moved with the clock; the attack targets the
+		// school's *current* four-year window, not the seed year's.
+		params.CurrentYear = world.Schools[0].GradYears[0]
+		res, err := core.Run(crawler.NewSession(direct), params)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crawl year %d: %w", y, err)
+		}
+		truth := eval.NewGroundTruth(platform, 0)
+		o := truth.Evaluate(res.Select(threshold, true))
+		rows = append(rows, LongitudinalYear{
+			Epoch:            platform.EpochSeq(),
+			Year:             world.Now.Year,
+			MinorsSearchable: pol.MinorsSearchable,
+			StudentsOnOSN:    o.M,
+			FoundFrac:        o.FoundFrac(),
+			CorrectYearFrac:  o.CorrectYearFrac(),
+			FPRate:           o.FPRate(),
+			SwapLatency:      swap,
+		})
+	}
+
+	tbl := &report.Table{
+		Title: fmt.Sprintf("Longitudinal: %s re-crawled over %d years (t=%d, minor search opens %s)",
+			sc.Label, years, threshold, flipLabel(flipYear)),
+		Headers: []string{"epoch", "year", "minors searchable", "on OSN", "found", "correct year", "false pos", "epoch swap"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Epoch, r.Year, yesNo(r.MinorsSearchable), r.StudentsOnOSN,
+			report.Pct(r.FoundFrac), report.Pct(r.CorrectYearFrac), report.Pct(r.FPRate),
+			swapLabel(r.SwapLatency))
+	}
+	return rows, tbl, nil
+}
+
+func flipLabel(year int) string {
+	if year == 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", year)
+}
+
+func yesNo(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}
+
+func swapLabel(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// longitudinalExperiment is the registry entry: HS1 re-crawled for four
+// years with the search-policy flip one year in — the before/after decay
+// table for the paper's protection claims.
+func longitudinalExperiment() Experiment {
+	hs1 := HS1()
+	return Experiment{
+		ID:    "longitudinal",
+		Title: "Extension: longitudinal crawl of HS1 across epochs with the 2013 minor-search opening",
+		Run: func(*Lab) (string, error) {
+			_, tbl, err := Longitudinal(hs1, 4, hs1.CurrentYear()+1, 400)
+			return render(tbl, err)
+		},
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLongitudinalTiny runs the panel study end-to-end on the tiny world:
+// per-year crawls against an evolving platform, epoch ids advancing with
+// the clock, and the minor-search flip landing on schedule.
+func TestLongitudinalTiny(t *testing.T) {
+	sc := Tiny()
+	flip := sc.CurrentYear() + 1
+	const years = 2
+	rows, tbl, err := Longitudinal(sc, years, flip, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != years+1 {
+		t.Fatalf("%d rows, want %d", len(rows), years+1)
+	}
+	for i, r := range rows {
+		if r.Epoch != uint64(i) {
+			t.Errorf("row %d: epoch %d, want %d", i, r.Epoch, i)
+		}
+		if r.Year != sc.CurrentYear()+i {
+			t.Errorf("row %d: year %d, want %d", i, r.Year, sc.CurrentYear()+i)
+		}
+		if want := r.Year >= flip; r.MinorsSearchable != want {
+			t.Errorf("row %d (year %d): minors searchable %v, want %v", i, r.Year, r.MinorsSearchable, want)
+		}
+		if r.StudentsOnOSN == 0 {
+			t.Errorf("row %d: empty ground truth", i)
+		}
+		if i > 0 && r.SwapLatency <= 0 {
+			t.Errorf("row %d: no epoch-swap latency recorded", i)
+		}
+	}
+	if rows[0].FoundFrac <= 0 {
+		t.Error("baseline year found nothing")
+	}
+	out := tbl.String()
+	for _, want := range []string{"epoch", "minors searchable", "yes", "no"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

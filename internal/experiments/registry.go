@@ -136,7 +136,8 @@ func All() []Experiment {
 	}
 	base = append(base, auxExperiments()...)
 	base = append(base, aux2Experiments()...)
-	return append(base, auxPolicyExperiment())
+	base = append(base, auxPolicyExperiment())
+	return append(base, longitudinalExperiment())
 }
 
 // Lookup finds an experiment by ID.

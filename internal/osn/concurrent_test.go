@@ -245,7 +245,7 @@ func TestConcurrentRegistration(t *testing.T) {
 func someVisibleProfile(t testing.TB, p *Platform) PublicID {
 	t.Helper()
 	for _, person := range p.world.People {
-		if person.HasAccount && p.read.friendVisible[person.ID] {
+		if person.HasAccount && p.cur.Load().read.friendVisible[person.ID] {
 			return p.pub[person.ID]
 		}
 	}

@@ -1,0 +1,209 @@
+package osn
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hsprofiler/internal/obs"
+	"hsprofiler/internal/obs/evlog"
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/socialgraph"
+)
+
+// epoch is one generation of the immutable serving state: the frozen CSR
+// graph, the pre-resolved policy views, the search indexes with their
+// interned scope keys, and the temporal context (collection date, current
+// classes) every request needs. An epoch is never written after its build;
+// the platform publishes the current one through an atomic pointer and
+// requests pin it for their duration, so a swap never blocks serving and a
+// paginated walk that stays within one epoch id can never see a torn view.
+type epoch struct {
+	seq    uint64
+	now    sim.Date
+	policy *Policy
+	read   *readPlane
+
+	// searchIndex[schoolID] lists discoverable account holders whose
+	// profile names the school, as of this epoch's build.
+	searchIndex [][]socialgraph.UserID
+	// viewScope[schoolID] is the stable scope string hashed into the
+	// per-account view permutation ("school:N"). It is identical across
+	// epochs on purpose: an account's permutation is a property of
+	// (account, scope), so its view stays recognizable over time and the
+	// epoch-0 views are bit-identical to the pre-epoch platform's.
+	viewScope []string
+	// cacheKey[schoolID] is the epoch-qualified account-cache key
+	// ("e3/school:N"): per-account cached views and rendered pages are
+	// keyed by it, so a cursor computed in one epoch can never serve a
+	// page from another.
+	cacheKey    []string
+	cachePrefix string
+	cityIndex   map[string][]socialgraph.UserID
+
+	// schools and currentYear are this epoch's copy of the school table:
+	// GradYears shift as the world evolves, and serving must read the
+	// values the epoch was built from, not the live world's.
+	schools     []SchoolRef
+	currentYear []int
+
+	// pins counts in-flight requests served from this epoch. retiring is
+	// set when a newer epoch replaces this one; the last unpin (or the
+	// swap itself, if idle) releases it. released guards the once-only
+	// retirement accounting.
+	pins     atomic.Int64
+	retiring atomic.Bool
+	released atomic.Bool
+}
+
+// buildEpoch runs the freeze step against the platform's world and the
+// given policy snapshot: public IDs are fixed for the platform's lifetime,
+// everything else — search indexes, pre-resolved profiles, friend lists,
+// policy gates, school table — is resolved fresh. Runs off the read path;
+// serving continues on the previous epoch meanwhile.
+func (p *Platform) buildEpoch(seq uint64, pol *Policy) *epoch {
+	w := p.world
+	e := &epoch{
+		seq:         seq,
+		now:         w.Now,
+		policy:      pol,
+		cachePrefix: "e" + strconv.FormatUint(seq, 10) + "/",
+		cityIndex:   make(map[string][]socialgraph.UserID),
+	}
+	e.schools = make([]SchoolRef, len(w.Schools))
+	e.currentYear = make([]int, len(w.Schools))
+	e.searchIndex = make([][]socialgraph.UserID, len(w.Schools))
+	e.viewScope = make([]string, len(w.Schools))
+	e.cacheKey = make([]string, len(w.Schools))
+	for i, s := range w.Schools {
+		e.schools[i] = SchoolRef{ID: s.ID, Name: s.Name, City: s.City}
+		e.currentYear[i] = s.GradYears[0]
+		e.viewScope[i] = "school:" + strconv.Itoa(i)
+		e.cacheKey[i] = e.cachePrefix + e.viewScope[i]
+	}
+	for _, person := range w.People {
+		if !person.HasAccount || !person.Privacy.PublicSearch {
+			continue
+		}
+		if person.SchoolID >= 0 && person.ListsSchool {
+			e.searchIndex[person.SchoolID] = append(e.searchIndex[person.SchoolID], person.ID)
+		}
+		if person.ListsCity && person.CurrentCity != "" {
+			key := strings.ToLower(person.CurrentCity)
+			e.cityIndex[key] = append(e.cityIndex[key], person.ID)
+		}
+	}
+	for _, idx := range e.searchIndex {
+		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	}
+	for _, idx := range e.cityIndex {
+		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	}
+	e.read = buildReadPlane(w, pol, p.pub)
+	return e
+}
+
+// pin returns the current epoch with its pin count raised. The re-check
+// loop closes the load/pin race with a concurrent swap: if the pointer
+// moved in between, the pin lands on a possibly-draining epoch and is
+// moved to the new one. Atomic ops only — the read path stays
+// allocation-free.
+func (p *Platform) pin() *epoch {
+	for {
+		e := p.cur.Load()
+		e.pins.Add(1)
+		if p.cur.Load() == e {
+			return e
+		}
+		p.unpin(e)
+	}
+}
+
+// unpin drops a request's pin; the last pin out of a retiring epoch
+// releases it.
+func (p *Platform) unpin(e *epoch) {
+	if e.pins.Add(-1) == 0 && e.retiring.Load() {
+		p.release(e)
+	}
+}
+
+// release retires an epoch exactly once: the drain-before-retire
+// accounting (gauge, counter, event). The epoch's memory is reclaimed by
+// GC once the last reader drops its pointer; what release guarantees is
+// that the platform observed the drain.
+func (p *Platform) release(e *epoch) {
+	if !e.released.CompareAndSwap(false, true) {
+		return
+	}
+	p.epochsLiveG.Dec()
+	p.epochRetired.Inc()
+	p.lg.Info(context.Background(), "osn.epoch", "epoch retired",
+		evlog.I64("epoch", int64(e.seq)))
+}
+
+// EpochSeq reports the current epoch id — the value the wire layer stamps
+// into every /api/v1 response and /healthz.
+func (p *Platform) EpochSeq() uint64 { return p.cur.Load().seq }
+
+// EpochNow reports the collection date the current epoch was built at.
+func (p *Platform) EpochNow() sim.Date { return p.cur.Load().now }
+
+// SetPolicy replaces the policy used by the NEXT epoch build — the
+// scheduled-flip hook (e.g. opening minor profiles to search in 2013).
+// The current epoch keeps serving its own policy snapshot until
+// AdvanceEpoch swaps. Call from the evolution driver only; it must not
+// race AdvanceEpoch.
+func (p *Platform) SetPolicy(pol *Policy) { p.policy = pol }
+
+// EpochStats summarizes one epoch advance.
+type EpochStats struct {
+	Seq   uint64
+	Year  int
+	Build time.Duration
+	Users int
+	Edges int
+}
+
+// AdvanceEpoch rebuilds the serving state from the platform's (typically
+// just-evolved) world and current policy, atomically swaps it in, and
+// marks the previous epoch for drain-before-retire. Serving never blocks:
+// in-flight requests finish on the epoch they pinned; new requests land on
+// the new one. The caller drives mutation strictly before calling this
+// (worldgen.Evolve, SetPolicy); AdvanceEpoch itself must not be called
+// concurrently with another AdvanceEpoch.
+func (p *Platform) AdvanceEpoch(ctx context.Context) EpochStats {
+	_, span := obs.StartSpan(ctx, "osn.epoch")
+	defer span.End()
+	start := time.Now()
+	old := p.cur.Load()
+	next := p.buildEpoch(old.seq+1, p.policy)
+	build := time.Since(start)
+	p.cur.Store(next)
+	old.retiring.Store(true)
+	if old.pins.Load() == 0 {
+		p.release(old)
+	}
+	p.epochsLiveG.Inc()
+	p.epochSeqG.Set(float64(next.seq))
+	p.epochBuildG.Set(build.Seconds())
+	p.epochAdvances.Inc()
+	p.frozenUsersG.Set(float64(next.read.frozen.NumUsers()))
+	p.frozenEdgesG.Set(float64(next.read.frozen.NumEdges()))
+	st := EpochStats{
+		Seq:   next.seq,
+		Year:  next.now.Year,
+		Build: build,
+		Users: next.read.frozen.NumUsers(),
+		Edges: next.read.frozen.NumEdges(),
+	}
+	p.lg.Info(ctx, "osn.epoch", "epoch advanced",
+		evlog.I64("epoch", int64(st.Seq)),
+		evlog.Int("year", st.Year),
+		evlog.Dur("build", st.Build),
+		evlog.Int("users", st.Users),
+		evlog.Int("edges", st.Edges))
+	return st
+}

@@ -51,25 +51,40 @@ func (q GraphQuery) matches(pp *PublicProfile, schoolName string, currentYear in
 // profile fields, so one request expresses what would otherwise need a
 // profile download per seed.
 func (p *Platform) GraphSearch(token string, q GraphQuery, page int) (results []SearchResult, more bool, err error) {
+	results, more, _, err = p.GraphSearchEpoch(token, q, page)
+	return results, more, err
+}
+
+// GraphSearchEpoch is GraphSearch plus the id of the epoch that served the
+// page. The school's current class window is the epoch's copy — a query for
+// "current students" answers against the classes of the epoch it ran in.
+func (p *Platform) GraphSearchEpoch(token string, q GraphQuery, page int) (results []SearchResult, more bool, epochID uint64, err error) {
+	e := p.pin()
+	defer p.unpin(e)
+	results, more, err = p.graphSearch(e, token, q, page)
+	return results, more, e.seq, err
+}
+
+func (p *Platform) graphSearch(e *epoch, token string, q GraphQuery, page int) (results []SearchResult, more bool, err error) {
 	if err := p.charge(token); err != nil {
 		return nil, false, err
 	}
 	p.readReq.Inc()
-	if q.SchoolID < 0 || q.SchoolID >= len(p.searchIndex) {
+	if q.SchoolID < 0 || q.SchoolID >= len(e.searchIndex) {
 		return nil, false, ErrNoSchool
 	}
 	if page < 0 {
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
-	school := p.world.Schools[q.SchoolID]
-	currentYear := school.GradYears[0]
-	view := p.accountView(token, q.SchoolID)
+	schoolName := e.schools[q.SchoolID].Name
+	currentYear := e.currentYear[q.SchoolID]
+	view := p.accountView(e, token, q.SchoolID)
 	var matched []SearchResult
 	for _, u := range view {
-		// The read plane pre-resolved every stranger view at freeze time;
-		// Graph Search filters over those immutable profiles lock-free.
-		pp := p.read.profiles[u]
-		if q.matches(pp, school.Name, currentYear) {
+		// The epoch pre-resolved every stranger view at build time; Graph
+		// Search filters over those immutable profiles lock-free.
+		pp := e.read.profiles[u]
+		if q.matches(pp, schoolName, currentYear) {
 			matched = append(matched, SearchResult{ID: pp.ID, Name: pp.Name})
 		}
 	}

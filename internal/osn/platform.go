@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hsprofiler/internal/obs"
@@ -119,37 +119,46 @@ type FriendRef struct {
 
 // Platform serves a world under a policy. It is split into two planes:
 //
-//   - The read plane (pub/byPub, the search indexes, and the readPlane's
-//     pre-resolved profiles, friend lists and policy gates) is immutable
-//     after construction. Search, Profile, FriendPage and GraphSearch read
-//     it with no lock at all, so read throughput scales with cores.
+//   - The read plane is an immutable epoch object (the frozen CSR graph,
+//     pre-resolved profiles, friend lists, policy gates, search indexes
+//     and the school table) behind an atomic pointer. Search, Profile,
+//     FriendPage and GraphSearch pin the current epoch for the request's
+//     duration and read it with no lock at all, so read throughput scales
+//     with cores and an epoch swap never blocks serving.
 //   - The control plane holds the only mutable state — per-account
 //     throttle windows, request budgets, suspensions and cached search
 //     views — sharded by token hash with per-shard locks, so accounts
 //     never contend with each other.
 //
+// A static platform has exactly one epoch for its lifetime. Temporal
+// serving mutates the world off the read path (worldgen.Evolve) and calls
+// AdvanceEpoch to build-swap-retire: in-flight pagination cursors stay
+// consistent within the epoch they pinned, and the retired epoch is
+// released once its last reader drains.
+//
 // All exported methods are safe for concurrent use (the HTTP front end
 // calls them from many goroutines).
 type Platform struct {
-	world  *worldgen.World
+	world *worldgen.World
+	// policy is the policy for the NEXT epoch build (SetPolicy replaces
+	// it); each epoch carries its own policy snapshot for serving.
 	policy *Policy
 	cfg    Config
+	// seed is the world's seed, copied so the per-account view hash never
+	// reads the world struct while evolution mutates it.
+	seed uint64
 
+	// pub/byPub map world IDs to public IDs. The population is fixed at
+	// generation (evolution changes roles and edges, never the ID space),
+	// so the mapping is platform-global and immortal across epochs.
 	pub   []PublicID
 	byPub map[PublicID]socialgraph.UserID
-	// searchIndex[schoolID] lists account holders whose profile names the
-	// school and who are discoverable (public-search enabled). Registered
-	// minors are filtered at query time per policy.
-	searchIndex [][]socialgraph.UserID
-	// schoolScope[schoolID] is the interned per-school view-cache key
-	// ("school:N"), precomputed so searches never build key strings.
-	schoolScope []string
-	// cityIndex lists discoverable account holders by the current city
-	// their profile shows (lowercased key).
-	cityIndex map[string][]socialgraph.UserID
-	// read is the pre-resolved immutable serving state (the freeze step).
-	read *readPlane
-	// freezeDur is how long the freeze step took (exposed via Instrument).
+
+	// cur is the current serving epoch (see epoch.go).
+	cur atomic.Pointer[epoch]
+
+	// freezeDur is how long the construction freeze step took (exposed via
+	// Instrument).
 	freezeDur time.Duration
 
 	ctl *controlPlane
@@ -157,6 +166,10 @@ type Platform struct {
 	// readReq/ctlReq count requests by plane; nil until Instrument, which
 	// must run before serving starts.
 	readReq, ctlReq *obs.Counter
+	// Epoch-rotation instruments (nil-safe until Instrument).
+	epochSeqG, epochsLiveG, epochBuildG *obs.Gauge
+	frozenUsersG, frozenEdgesG          *obs.Gauge
+	epochAdvances, epochRetired         *obs.Counter
 
 	// lg is the event logger (nil = silent); set by WithLog before serving.
 	lg *evlog.Logger
@@ -180,12 +193,12 @@ func NewPlatformContext(ctx context.Context, w *worldgen.World, pol *Policy, cfg
 		world:  w,
 		policy: pol,
 		cfg:    cfg.withDefaults(),
+		seed:   w.Seed,
 		byPub:  make(map[PublicID]socialgraph.UserID),
 		ctl:    newControlPlane(),
 	}
 	p.assignPublicIDs()
-	p.buildSearchIndex()
-	p.read = buildReadPlane(w, pol, p.pub)
+	p.cur.Store(p.buildEpoch(0, pol))
 	p.freezeDur = time.Since(start)
 	return p
 }
@@ -194,17 +207,17 @@ func NewPlatformContext(ctx context.Context, w *worldgen.World, pol *Policy, cfg
 // layer only; attack code must not touch it.
 func (p *Platform) World() *worldgen.World { return p.world }
 
-// Policy returns the active policy.
-func (p *Platform) Policy() *Policy { return p.policy }
+// Policy returns the policy the current epoch serves under.
+func (p *Platform) Policy() *Policy { return p.cur.Load().policy }
 
 // FriendPageSize reports the pagination constant p (paper: 20), which the
 // effort model A·R + |S| + |C|·f/p needs.
 func (p *Platform) FriendPageSize() int { return p.cfg.FriendPageSize }
 
-// FrozenGraph exposes the read plane's CSR snapshot of the friendship
+// FrozenGraph exposes the current epoch's CSR snapshot of the friendship
 // graph, for evaluation and analysis code that would otherwise hash its
 // way through the mutable graph. Attack code must not touch it.
-func (p *Platform) FrozenGraph() *socialgraph.Frozen { return p.read.frozen }
+func (p *Platform) FrozenGraph() *socialgraph.Frozen { return p.cur.Load().read.frozen }
 
 // FreezeDuration reports how long the construction-time freeze step took.
 func (p *Platform) FreezeDuration() time.Duration { return p.freezeDur }
@@ -227,9 +240,19 @@ func (p *Platform) Instrument(reg *obs.Registry) *Platform {
 			obs.L("shard", strconv.Itoa(i)),
 		)
 	}
+	e := p.cur.Load()
 	reg.Gauge("osn_freeze_seconds", "Duration of the construction-time freeze step.").Set(p.freezeDur.Seconds())
-	reg.Gauge("osn_frozen_users", "Users in the frozen social graph.").Set(float64(p.read.frozen.NumUsers()))
-	reg.Gauge("osn_frozen_edges", "Friendships in the frozen social graph.").Set(float64(p.read.frozen.NumEdges()))
+	p.frozenUsersG = reg.Gauge("osn_frozen_users", "Users in the frozen social graph.")
+	p.frozenUsersG.Set(float64(e.read.frozen.NumUsers()))
+	p.frozenEdgesG = reg.Gauge("osn_frozen_edges", "Friendships in the frozen social graph.")
+	p.frozenEdgesG.Set(float64(e.read.frozen.NumEdges()))
+	p.epochSeqG = reg.Gauge("osn_epoch_seq", "Current serving epoch id (monotonic).")
+	p.epochSeqG.Set(float64(e.seq))
+	p.epochsLiveG = reg.Gauge("osn_epochs_live", "Epochs not yet drained (current + retiring).")
+	p.epochsLiveG.Set(1)
+	p.epochBuildG = reg.Gauge("osn_epoch_build_seconds", "Duration of the last epoch build (off the read path).")
+	p.epochAdvances = reg.Counter("osn_epoch_advances_total", "Epoch swaps since start.")
+	p.epochRetired = reg.Counter("osn_epochs_retired_total", "Epochs fully drained and retired.")
 	return p
 }
 
@@ -250,7 +273,7 @@ func (p *Platform) WithLog(lg *evlog.Logger) *Platform {
 }
 
 func (p *Platform) assignPublicIDs() {
-	rng := sim.New(p.world.Seed).Stream("publicids")
+	rng := sim.New(p.seed).Stream("publicids")
 	p.pub = make([]PublicID, len(p.world.People))
 	for _, person := range p.world.People {
 		if !person.HasAccount {
@@ -268,40 +291,25 @@ func (p *Platform) assignPublicIDs() {
 	}
 }
 
-func (p *Platform) buildSearchIndex() {
-	p.searchIndex = make([][]socialgraph.UserID, len(p.world.Schools))
-	p.cityIndex = make(map[string][]socialgraph.UserID)
-	// Pre-build the per-school cache scope keys: composing them per request
-	// would put one string concatenation on the hot search path.
-	p.schoolScope = make([]string, len(p.world.Schools))
-	for i := range p.schoolScope {
-		p.schoolScope[i] = "school:" + strconv.Itoa(i)
-	}
-	for _, person := range p.world.People {
-		if !person.HasAccount || !person.Privacy.PublicSearch {
-			continue
-		}
-		if person.SchoolID >= 0 && person.ListsSchool {
-			p.searchIndex[person.SchoolID] = append(p.searchIndex[person.SchoolID], person.ID)
-		}
-		if person.ListsCity && person.CurrentCity != "" {
-			key := strings.ToLower(person.CurrentCity)
-			p.cityIndex[key] = append(p.cityIndex[key], person.ID)
-		}
-	}
-	for _, idx := range p.searchIndex {
-		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
-	}
-	for _, idx := range p.cityIndex {
-		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
-	}
-}
-
 // CitySearch returns one page of users whose profiles place them in the
 // city, as seen by the account. Like the school search it never returns
 // registered minors ("does not list minors when searching for users by
 // high school or city") and caps each account's view.
 func (p *Platform) CitySearch(token, city string, page int) (results []SearchResult, more bool, err error) {
+	results, more, _, err = p.CitySearchEpoch(token, city, page)
+	return results, more, err
+}
+
+// CitySearchEpoch is CitySearch plus the id of the epoch that served the
+// page (the wire layer's consistency token).
+func (p *Platform) CitySearchEpoch(token, city string, page int) (results []SearchResult, more bool, epochID uint64, err error) {
+	e := p.pin()
+	defer p.unpin(e)
+	results, more, err = p.citySearch(e, token, city, page)
+	return results, more, e.seq, err
+}
+
+func (p *Platform) citySearch(e *epoch, token, city string, page int) (results []SearchResult, more bool, err error) {
 	if err := p.charge(token); err != nil {
 		return nil, false, err
 	}
@@ -310,7 +318,8 @@ func (p *Platform) CitySearch(token, city string, page int) (results []SearchRes
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
 	key := strings.ToLower(city)
-	view := p.cachedResults(token, "city:"+key, p.cityIndex[key])
+	scope := "city:" + key
+	view := p.cachedResults(e, token, scope, e.cachePrefix+scope, e.cityIndex[key])
 	start := page * p.cfg.SearchPageSize
 	if start >= len(view) {
 		return nil, false, nil
@@ -339,12 +348,17 @@ func (p *Platform) UserIDOf(id PublicID) (socialgraph.UserID, bool) {
 }
 
 // RegisterAccount creates a third-party account. This is where the COPPA
-// age gate lives: a birth date under 13 years before the world's current
-// date is rejected — which is exactly why the paper's under-13 users lied.
+// age gate lives: a birth date under 13 years before the serving epoch's
+// current date is rejected — which is exactly why the paper's under-13
+// users lied. The gate reads the pinned epoch's clock, never the live
+// world, so registration during an evolution step sees a consistent date.
 func (p *Platform) RegisterAccount(name string, birth sim.Date) (token string, err error) {
-	if birth.AgeAt(p.world.Now) < 13 {
+	e := p.pin()
+	now := e.now
+	p.unpin(e)
+	if birth.AgeAt(now) < 13 {
 		p.lg.Warn(context.Background(), "osn.gate", "underage registration rejected",
-			evlog.Str("name", name), evlog.Int("age", birth.AgeAt(p.world.Now)))
+			evlog.Str("name", name), evlog.Int("age", birth.AgeAt(now)))
 		return "", ErrUnderage
 	}
 	p.ctlReq.Inc()
@@ -422,20 +436,23 @@ func (p *Platform) RequestsServed(token string) int {
 	return 0
 }
 
-// Schools lists the schools known to the search portal.
+// Schools lists the schools known to the search portal, as of the current
+// epoch.
 func (p *Platform) Schools() []SchoolRef {
-	out := make([]SchoolRef, 0, len(p.world.Schools))
-	for _, s := range p.world.Schools {
-		out = append(out, SchoolRef{ID: s.ID, Name: s.Name, City: s.City})
-	}
+	e := p.pin()
+	defer p.unpin(e)
+	out := make([]SchoolRef, len(e.schools))
+	copy(out, e.schools)
 	return out
 }
 
 // LookupSchool finds a school by exact name.
 func (p *Platform) LookupSchool(name string) (SchoolRef, error) {
-	for _, s := range p.world.Schools {
+	e := p.pin()
+	defer p.unpin(e)
+	for _, s := range e.schools {
 		if s.Name == name {
-			return SchoolRef{ID: s.ID, Name: s.Name, City: s.City}, nil
+			return s, nil
 		}
 	}
 	return SchoolRef{}, ErrNoSchool
@@ -445,8 +462,11 @@ func (p *Platform) LookupSchool(name string) (SchoolRef, error) {
 // the platform shows each searcher an (account-dependent) subset capped at
 // SearchPerAccount — which is why the paper used multiple fake accounts to
 // widen the seed set. Registered minors are excluded per policy (the gate
-// is pre-resolved in the read plane).
-func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []socialgraph.UserID {
+// is pre-resolved in the read plane). The permutation hashes the STABLE
+// scope string, never the epoch-qualified cache key: an account's view
+// ordering is a property of (account, scope), so under a static world every
+// epoch serves bit-identical views to the pre-epoch platform.
+func (p *Platform) capView(e *epoch, token, scope string, idx []socialgraph.UserID) []socialgraph.UserID {
 	h := uint64(17)
 	for i := 0; i < len(token); i++ {
 		h = h*31 + uint64(token[i])
@@ -454,7 +474,7 @@ func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []soci
 	for i := 0; i < len(scope); i++ {
 		h = h*131 + uint64(scope[i])
 	}
-	rng := sim.New(p.world.Seed ^ h)
+	rng := sim.New(p.seed ^ h)
 	perm := rng.Perm(len(idx))
 	n := p.cfg.SearchPerAccount
 	if n > len(idx) {
@@ -465,7 +485,7 @@ func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []soci
 	for _, k := range perm {
 		u := idx[k]
 		// Policy: registered minors never appear in search results.
-		if !p.read.searchEligible[u] {
+		if !e.read.searchEligible[u] {
 			excluded++
 			continue
 		}
@@ -482,64 +502,68 @@ func (p *Platform) capView(token, scope string, idx []socialgraph.UserID) []soci
 
 // cachedView returns the account's capped view for a scope, computing and
 // caching it in the account's control-plane state on first use (the view
-// is deterministic per (token, scope), so a racing double-compute is
-// harmless). Unknown tokens — impossible after a successful charge — fall
-// back to an uncached compute.
-func (p *Platform) cachedView(token, scope string, idx []socialgraph.UserID) []socialgraph.UserID {
+// is deterministic per (token, scope, epoch), so a racing double-compute is
+// harmless). cacheKey is the epoch-qualified key; inserting under a new
+// epoch drops every older epoch's cached views first, so retired epochs
+// are not kept alive through account state. Unknown tokens — impossible
+// after a successful charge — fall back to an uncached compute.
+func (p *Platform) cachedView(e *epoch, token, scope, cacheKey string, idx []socialgraph.UserID) []socialgraph.UserID {
 	s := p.ctl.shardFor(token)
 	s.lock()
 	a := s.lookup(token)
 	if a != nil {
-		if v, ok := a.views[scope]; ok {
+		if v, ok := a.views[cacheKey]; ok {
 			s.mu.Unlock()
 			return v
 		}
 	}
 	s.mu.Unlock()
-	v := p.capView(token, scope, idx) // O(index) work outside the lock
+	v := p.capView(e, token, scope, idx) // O(index) work outside the lock
 	if a != nil {
 		s.lock()
+		a.evictStale(e.seq)
 		if a.views == nil {
 			a.views = make(map[string][]socialgraph.UserID)
 		}
-		a.views[scope] = v
+		a.views[cacheKey] = v
 		s.mu.Unlock()
 	}
 	return v
 }
 
 // accountView is the cached capped view over a school's index.
-func (p *Platform) accountView(token string, schoolID int) []socialgraph.UserID {
-	return p.cachedView(token, p.schoolScope[schoolID], p.searchIndex[schoolID])
+func (p *Platform) accountView(e *epoch, token string, schoolID int) []socialgraph.UserID {
+	return p.cachedView(e, token, e.viewScope[schoolID], e.cacheKey[schoolID], e.searchIndex[schoolID])
 }
 
 // cachedResults returns the account's rendered search results for a scope:
 // the capped view resolved to SearchResults once, cached in the account's
-// shard state. The search endpoints page through this slice zero-copy, so
-// steady-state searches allocate nothing. Callers must not modify the
-// returned slice.
-func (p *Platform) cachedResults(token, scope string, idx []socialgraph.UserID) []SearchResult {
+// shard state under the epoch-qualified key. The search endpoints page
+// through this slice zero-copy, so steady-state searches allocate nothing.
+// Callers must not modify the returned slice.
+func (p *Platform) cachedResults(e *epoch, token, scope, cacheKey string, idx []socialgraph.UserID) []SearchResult {
 	s := p.ctl.shardFor(token)
 	s.lock()
 	a := s.lookup(token)
 	if a != nil {
-		if r, ok := a.pages[scope]; ok {
+		if r, ok := a.pages[cacheKey]; ok {
 			s.mu.Unlock()
 			return r
 		}
 	}
 	s.mu.Unlock()
-	view := p.cachedView(token, scope, idx)
+	view := p.cachedView(e, token, scope, cacheKey, idx)
 	r := make([]SearchResult, len(view))
 	for i, u := range view {
-		r[i] = SearchResult{ID: p.pub[u], Name: p.read.names[u]}
+		r[i] = SearchResult{ID: p.pub[u], Name: e.read.names[u]}
 	}
 	if a != nil {
 		s.lock()
+		a.evictStale(e.seq)
 		if a.pages == nil {
 			a.pages = make(map[string][]SearchResult)
 		}
-		a.pages[scope] = r
+		a.pages[cacheKey] = r
 		s.mu.Unlock()
 	}
 	return r
@@ -549,17 +573,31 @@ func (p *Platform) cachedResults(token, scope string, idx []socialgraph.UserID) 
 // as seen by the account. Scrolling (increasing page) eventually exhausts
 // the account's view; more reports whether another page exists.
 func (p *Platform) SchoolSearch(token string, schoolID, page int) (results []SearchResult, more bool, err error) {
+	results, more, _, err = p.SchoolSearchEpoch(token, schoolID, page)
+	return results, more, err
+}
+
+// SchoolSearchEpoch is SchoolSearch plus the id of the epoch that served
+// the page: the page content and the label come from the same pinned epoch.
+func (p *Platform) SchoolSearchEpoch(token string, schoolID, page int) (results []SearchResult, more bool, epochID uint64, err error) {
+	e := p.pin()
+	defer p.unpin(e)
+	results, more, err = p.schoolSearch(e, token, schoolID, page)
+	return results, more, e.seq, err
+}
+
+func (p *Platform) schoolSearch(e *epoch, token string, schoolID, page int) (results []SearchResult, more bool, err error) {
 	if err := p.charge(token); err != nil {
 		return nil, false, err
 	}
 	p.readReq.Inc()
-	if schoolID < 0 || schoolID >= len(p.searchIndex) {
+	if schoolID < 0 || schoolID >= len(e.searchIndex) {
 		return nil, false, ErrNoSchool
 	}
 	if page < 0 {
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
-	view := p.cachedResults(token, p.schoolScope[schoolID], p.searchIndex[schoolID])
+	view := p.cachedResults(e, token, e.viewScope[schoolID], e.cacheKey[schoolID], e.searchIndex[schoolID])
 	start := page * p.cfg.SearchPageSize
 	if start >= len(view) {
 		return nil, false, nil
@@ -572,9 +610,21 @@ func (p *Platform) SchoolSearch(token string, schoolID, page int) (results []Sea
 }
 
 // Profile renders the stranger view of a public profile. The returned
-// profile is the read plane's shared pre-resolved instance: do not modify
-// it.
+// profile is the epoch's shared pre-resolved instance: do not modify it.
 func (p *Platform) Profile(token string, id PublicID) (*PublicProfile, error) {
+	prof, _, err := p.ProfileEpoch(token, id)
+	return prof, err
+}
+
+// ProfileEpoch is Profile plus the serving epoch's id.
+func (p *Platform) ProfileEpoch(token string, id PublicID) (*PublicProfile, uint64, error) {
+	e := p.pin()
+	defer p.unpin(e)
+	prof, err := p.profile(e, token, id)
+	return prof, e.seq, err
+}
+
+func (p *Platform) profile(e *epoch, token string, id PublicID) (*PublicProfile, error) {
 	if err := p.charge(token); err != nil {
 		return nil, err
 	}
@@ -584,16 +634,31 @@ func (p *Platform) Profile(token string, id PublicID) (*PublicProfile, error) {
 		p.lg.Debug(context.Background(), "osn.gate", "profile not found", evlog.Str("id", string(id)))
 		return nil, ErrNotFound
 	}
-	return p.read.profiles[u], nil
+	return e.read.profiles[u], nil
 }
 
 // FriendPage returns one page (FriendPageSize entries) of a user's friend
 // list, or ErrHidden if the list is not stranger-visible. When the policy's
 // HiddenListsInReverseLookup is false (the §8 countermeasure), entries whose
 // own friend lists are hidden are omitted — they become undiscoverable by
-// reverse lookup. The page is a subslice of the read plane's pre-paginated
+// reverse lookup. The page is a subslice of the epoch's pre-paginated
 // view: zero-copy, and not to be modified by the caller.
 func (p *Platform) FriendPage(token string, id PublicID, page int) (friends []FriendRef, more bool, err error) {
+	friends, more, _, err = p.FriendPageEpoch(token, id, page)
+	return friends, more, err
+}
+
+// FriendPageEpoch is FriendPage plus the serving epoch's id. A crawler that
+// walks a friend list across pages can detect an epoch boundary by the id
+// changing between pages.
+func (p *Platform) FriendPageEpoch(token string, id PublicID, page int) (friends []FriendRef, more bool, epochID uint64, err error) {
+	e := p.pin()
+	defer p.unpin(e)
+	friends, more, err = p.friendPage(e, token, id, page)
+	return friends, more, e.seq, err
+}
+
+func (p *Platform) friendPage(e *epoch, token string, id PublicID, page int) (friends []FriendRef, more bool, err error) {
 	if err := p.charge(token); err != nil {
 		return nil, false, err
 	}
@@ -606,11 +671,11 @@ func (p *Platform) FriendPage(token string, id PublicID, page int) (friends []Fr
 		p.lg.Debug(context.Background(), "osn.gate", "friend list not found", evlog.Str("id", string(id)))
 		return nil, false, ErrNotFound
 	}
-	if !p.read.friendVisible[u] {
+	if !e.read.friendVisible[u] {
 		p.lg.Debug(context.Background(), "osn.gate", "friend list hidden", evlog.Str("id", string(id)))
 		return nil, false, ErrHidden
 	}
-	all := p.read.friendRefs[u]
+	all := e.read.friendRefs[u]
 	start := page * p.cfg.FriendPageSize
 	if start >= len(all) {
 		return nil, false, nil

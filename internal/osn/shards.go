@@ -27,13 +27,29 @@ type account struct {
 	// (a sliding-window ring, oldest first).
 	recent []time.Time
 	// views caches the account's capped, deterministic search views by
-	// scope ("school:3", "city:x") — the account's search cursors. The
-	// slices are computed once and read-only afterwards.
+	// epoch-qualified scope key ("e0/school:3", "e2/city:x") — the
+	// account's search cursors. The slices are computed once and read-only
+	// afterwards.
 	views map[string][]socialgraph.UserID
-	// pages caches the rendered search results for each scope, so the
+	// pages caches the rendered search results for each scope key, so the
 	// search endpoints page through a pre-resolved slice zero-copy
 	// instead of re-rendering (and re-allocating) per request.
 	pages map[string][]SearchResult
+	// viewEpoch is the epoch the cached views/pages belong to. An insert
+	// under a newer epoch drops the whole cache first (evictStale), so an
+	// account's state never keeps a retired epoch's slices reachable.
+	viewEpoch uint64
+}
+
+// evictStale drops cached views and pages built under an older epoch.
+// Callers hold the shard lock.
+func (a *account) evictStale(seq uint64) {
+	if a.viewEpoch == seq {
+		return
+	}
+	a.viewEpoch = seq
+	a.views = nil
+	a.pages = nil
 }
 
 // shard is one lock domain of the control plane. Padding keeps neighbouring

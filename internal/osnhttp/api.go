@@ -70,6 +70,10 @@ func (e *enc) sep(i int) {
 	}
 }
 func (e *enc) int(n int) { e.b = strconv.AppendInt(e.b, int64(n), 10) }
+
+// epoch appends an epoch id — the consistency token every /api/v1 response
+// carries so a client can tell when pagination crossed a snapshot rotation.
+func (e *enc) epoch(seq uint64) { e.b = strconv.AppendUint(e.b, seq, 10) }
 func (e *enc) bool(v bool) {
 	if v {
 		e.raw("true")
@@ -362,7 +366,9 @@ func (s *Server) apiSchools(w http.ResponseWriter) {
 		e.field("city", sc.City)
 		e.raw(`}`)
 	}
-	e.raw(`]}`)
+	e.raw(`],"epoch":`)
+	e.epoch(s.platform.EpochSeq())
+	e.raw(`}`)
 	e.flush(w, 0)
 	putEnc(e)
 }
@@ -378,7 +384,7 @@ type idName = struct {
 func writeResultPage[T ~struct {
 	ID   osn.PublicID
 	Name string
-}](w http.ResponseWriter, key string, rows []T, more bool) {
+}](w http.ResponseWriter, key string, rows []T, more bool, epoch uint64) {
 	e := getEnc()
 	e.raw(`{"n":`)
 	e.int(len(rows))
@@ -395,6 +401,8 @@ func writeResultPage[T ~struct {
 	}
 	e.raw(`],"more":`)
 	e.bool(more)
+	e.raw(`,"epoch":`)
+	e.epoch(epoch)
 	e.raw(`}`)
 	e.flush(w, 0)
 	putEnc(e)
@@ -411,6 +419,7 @@ func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
 	var (
 		results []osn.SearchResult
 		more    bool
+		epoch   uint64
 		err     error
 	)
 	city := queryParam(raw, "city")
@@ -427,7 +436,7 @@ func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
 			apiError(w, http.StatusBadRequest, "bad_request", "after/before must be numeric years")
 			return
 		}
-		results, more, err = s.platform.GraphSearch(acct, osn.GraphQuery{
+		results, more, epoch, err = s.platform.GraphSearchEpoch(acct, osn.GraphQuery{
 			SchoolID:        school,
 			CurrentStudents: queryParam(raw, "current") == "1",
 			GradYearAfter:   after,
@@ -435,7 +444,7 @@ func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
 			City:            city,
 		}, page)
 	case city != "" && queryParam(raw, "school") == "":
-		results, more, err = s.platform.CitySearch(acct, city, page)
+		results, more, epoch, err = s.platform.CitySearchEpoch(acct, city, page)
 	default:
 		v := queryParam(raw, "school")
 		school, aerr := strconv.Atoi(v)
@@ -443,17 +452,17 @@ func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
 			apiError(w, http.StatusBadRequest, "bad_request", "school must be a numeric id")
 			return
 		}
-		results, more, err = s.platform.SchoolSearch(acct, school, page)
+		results, more, epoch, err = s.platform.SchoolSearchEpoch(acct, school, page)
 	}
 	if err != nil {
 		apiFail(w, err)
 		return
 	}
-	writeResultPage(w, "results", results, more)
+	writeResultPage(w, "results", results, more, epoch)
 }
 
 func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request, id string) {
-	pp, err := s.platform.Profile(queryParam(r.URL.RawQuery, "acct"), osn.PublicID(id))
+	pp, epoch, err := s.platform.ProfileEpoch(queryParam(r.URL.RawQuery, "acct"), osn.PublicID(id))
 	if err != nil {
 		apiFail(w, err)
 		return
@@ -514,7 +523,9 @@ func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request, id string) {
 	if pp.Searchable {
 		e.fieldBool("searchable", true)
 	}
-	e.raw(`}}`)
+	e.raw(`},"epoch":`)
+	e.epoch(epoch)
+	e.raw(`}`)
 	e.flush(w, 0)
 	putEnc(e)
 }
@@ -526,20 +537,24 @@ func (s *Server) apiFriends(w http.ResponseWriter, r *http.Request, id string) {
 		apiError(w, http.StatusBadRequest, "bad_request", "page must be a non-negative integer")
 		return
 	}
-	friends, more, err := s.platform.FriendPage(queryParam(raw, "acct"), osn.PublicID(id), page)
+	friends, more, epoch, err := s.platform.FriendPageEpoch(queryParam(raw, "acct"), osn.PublicID(id), page)
 	if err != nil {
 		apiFail(w, err)
 		return
 	}
-	writeResultPage(w, "friends", friends, more)
+	writeResultPage(w, "friends", friends, more, epoch)
 }
 
 // handleHealthz serves the load-balancer probe on the main listener: a
 // deployment should not need -metrics-addr to know the process is alive.
+// The epoch id makes the probe double as the rotation watchdog — a healthy
+// -evolve deployment shows it increasing.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	e := getEnc()
 	e.raw(`{"status":"ok","inflight":`)
 	e.int(int(s.inflight.Load()))
+	e.raw(`,"epoch":`)
+	e.epoch(s.platform.EpochSeq())
 	e.raw(`}`)
 	e.flush(w, 0)
 	putEnc(e)

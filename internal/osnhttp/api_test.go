@@ -1,6 +1,7 @@
 package osnhttp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -254,4 +255,52 @@ func BenchmarkJSONAPIServe(b *testing.B) {
 
 func mustDate(y, m, d int) sim.Date {
 	return sim.Date{Year: y, Month: m, Day: d}
+}
+
+// TestAPIEpochLabel: every /api/v1 response and /healthz carry the id of
+// the epoch that served them, and the label follows AdvanceEpoch — the wire
+// half of the snapshot-rotation contract.
+func TestAPIEpochLabel(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	srv := httptest.NewServer(NewServer(p))
+	t.Cleanup(srv.Close)
+	tok, err := p.RegisterAccount("epoch-probe", mustDate(1985, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc := url.QueryEscape(tok)
+	res, _, err := p.SchoolSearch(tok, 0, 0)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("seed search: %d results, err=%v", len(res), err)
+	}
+	paths := []string{
+		"/api/v1/schools",
+		"/api/v1/search?school=0&page=0&acct=" + esc,
+		"/api/v1/profile/" + string(res[0].ID) + "?acct=" + esc,
+		"/healthz",
+	}
+	check := func(epoch string) {
+		t.Helper()
+		for _, path := range paths {
+			code, body := rawGet(t, srv, path)
+			if code != http.StatusOK {
+				t.Fatalf("%s: status %d", path, code)
+			}
+			if !strings.Contains(body, `"epoch":`+epoch) {
+				t.Fatalf("%s: body missing \"epoch\":%s: %s", path, epoch, body)
+			}
+		}
+	}
+	check("0")
+	if _, err := worldgen.Evolve(w, worldgen.DefaultEvolveConfig(), 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.AdvanceEpoch(context.Background()); st.Seq != 1 {
+		t.Fatalf("advance returned seq %d", st.Seq)
+	}
+	check("1")
 }

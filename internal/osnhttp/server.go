@@ -147,6 +147,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		evlog.Str("method", r.Method),
 		evlog.Str("path", r.URL.RequestURI()),
 		evlog.Int("code", rec.code),
+		evlog.I64("epoch", int64(s.platform.EpochSeq())),
 		evlog.Dur("ms", elapsed))
 	rec.ResponseWriter = nil
 	recPool.Put(rec)

@@ -1,0 +1,77 @@
+package socialgraph
+
+import "fmt"
+
+// ApplyDelta builds the next CSR snapshot from f plus an edge delta,
+// without ever materializing a mutable Graph: the surviving edges of f are
+// streamed straight into a FrozenBuilder alongside the additions, so the
+// cost is two linear passes over the edge set — the incremental rebuild
+// path epoch rotation runs off the read path.
+//
+// Both slices must be normalized (see NormalizeEdges). Every edge in
+// removes must exist in f; no edge in adds may exist in f (an edge removed
+// by the same delta cannot be re-added — the delta is one atomic step, not
+// a log). Endpoints of adds must be present users of f: a delta changes
+// friendships, never the population. The present set carries over
+// unchanged, so users who lose their last friendship stay present.
+//
+// sortWorkers parallelizes the final per-row sort; the result is identical
+// at any worker count.
+func ApplyDelta(f *Frozen, adds, removes []Edge, sortWorkers int) (*Frozen, error) {
+	n := len(f.present)
+	b := NewFrozenBuilder(n)
+	for u := 0; u < n; u++ {
+		if f.present[u] {
+			if err := b.AddUser(UserID(u)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range adds {
+		if e.A < 0 || int(e.B) >= n || !f.present[e.A] || !f.present[e.B] {
+			return nil, fmt.Errorf("socialgraph: delta adds edge (%d,%d) with absent endpoint", e.A, e.B)
+		}
+	}
+	// Surviving edges, in one pass. Walking users ascending and each sorted
+	// row ascending (keeping only u < v) visits every undirected edge
+	// exactly once in global (A, B) order — the same order removes is
+	// sorted in, so a single merge pointer strikes the removals.
+	kept := make([]Edge, 0, f.edges-len(removes)+1)
+	ri := 0
+	for u := 0; u < n; u++ {
+		for _, v := range f.row(UserID(u)) {
+			if v <= UserID(u) {
+				continue
+			}
+			e := Edge{UserID(u), v}
+			for ri < len(removes) && edgeLess(removes[ri], e) {
+				return nil, fmt.Errorf("socialgraph: delta removes edge (%d,%d) not in snapshot", removes[ri].A, removes[ri].B)
+			}
+			if ri < len(removes) && removes[ri] == e {
+				ri++
+				continue
+			}
+			kept = append(kept, e)
+		}
+	}
+	if ri != len(removes) {
+		return nil, fmt.Errorf("socialgraph: delta removes edge (%d,%d) not in snapshot", removes[ri].A, removes[ri].B)
+	}
+	if err := b.AddShard(kept); err != nil {
+		return nil, err
+	}
+	if err := b.AddShard(adds); err != nil {
+		return nil, err
+	}
+	// Build also rejects any add that duplicates a kept edge (the
+	// cross-shard duplicate check), enforcing the adds-are-new contract.
+	return b.Build(sortWorkers)
+}
+
+// edgeLess orders edges by (A, B) — NormalizeEdges order.
+func edgeLess(a, b Edge) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}

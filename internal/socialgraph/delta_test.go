@@ -1,0 +1,89 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestApplyDeltaMatchesMutableRebuild: the incremental CSR rebuild must be
+// structurally identical to mutating the map graph and re-freezing.
+func TestApplyDeltaMatchesMutableRebuild(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g := randomGraph(t, 200, 800, 7)
+		f := g.Freeze()
+		rng := rand.New(rand.NewSource(11))
+
+		var removes []Edge
+		for u := 0; u < 200; u++ {
+			for _, v := range f.row(UserID(u)) {
+				if v > UserID(u) && rng.Float64() < 0.2 {
+					removes = append(removes, Edge{UserID(u), v})
+				}
+			}
+		}
+		var adds []Edge
+		for len(adds) < 150 {
+			a := UserID(rng.Intn(200))
+			b := UserID(rng.Intn(200))
+			if a == b || f.AreFriends(a, b) {
+				continue
+			}
+			adds = append(adds, Edge{a, b})
+		}
+		adds = NormalizeEdges(adds)
+		removes = NormalizeEdges(removes)
+
+		next, err := ApplyDelta(f, adds, removes, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := next.CheckInvariants(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+
+		for _, e := range removes {
+			g.RemoveFriendship(e.A, e.B)
+		}
+		for _, e := range adds {
+			if err := g.AddFriendship(e.A, e.B); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := g.Freeze()
+		if !next.Equal(want) {
+			t.Fatalf("workers=%d: incremental rebuild diverges from mutate-and-freeze", workers)
+		}
+	}
+}
+
+// TestApplyDeltaRejectsBadDeltas: removals of absent edges, re-adds of
+// existing edges, and adds touching absent users must all fail loudly
+// instead of corrupting the snapshot.
+func TestApplyDeltaRejectsBadDeltas(t *testing.T) {
+	g := New()
+	for u := 0; u < 4; u++ {
+		g.AddUser(UserID(u))
+	}
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	f := g.Freeze()
+
+	if _, err := ApplyDelta(f, nil, []Edge{{0, 2}}, 1); err == nil {
+		t.Fatal("removing a non-existent edge did not fail")
+	}
+	if _, err := ApplyDelta(f, []Edge{{0, 1}}, nil, 1); err == nil {
+		t.Fatal("re-adding an existing edge did not fail")
+	}
+	if _, err := ApplyDelta(f, []Edge{{3, 9}}, nil, 1); err == nil {
+		t.Fatal("adding an edge outside the ID space did not fail")
+	}
+
+	// The empty delta is the identity.
+	same, err := ApplyDelta(f, nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Equal(f) {
+		t.Fatal("empty delta changed the snapshot")
+	}
+}

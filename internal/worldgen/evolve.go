@@ -1,0 +1,464 @@
+package worldgen
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"hsprofiler/internal/sim"
+	"hsprofiler/internal/socialgraph"
+)
+
+// EvolveConfig tunes one simulated year of world evolution. Rates are
+// annual. The defaults are calibrated against the paper's observations:
+// HS1's 10-20% student body churn across four years (§5.1), friendship
+// accretion dominated by in-cohort ties, and privacy settings that drift
+// slowly compared to the population dynamics.
+type EvolveConfig struct {
+	// Churn is the probability a student transfers out during the year
+	// (becoming RoleFormer — the false-positive population §5.1 names).
+	Churn float64
+	// FormerRetainFrac is the fraction of in-school friendships a
+	// transferred-out student keeps.
+	FormerRetainFrac float64
+	// Intake is the incoming-transfer target per school, as a fraction of
+	// current enrollment. Recruits are outside-pool teens whose age fits a
+	// current class; the world's population is fixed, people change roles.
+	Intake float64
+	// IntakeListsSchool is the probability an incoming transfer's profile
+	// names the new school.
+	IntakeListsSchool float64
+	// FormInCohort / FormCrossCohort / FormOutside are the mean numbers of
+	// new friendships a student initiates per year, scaled by Sociality,
+	// toward classmates, other cohorts, and the outside pool.
+	FormInCohort    float64
+	FormCrossCohort float64
+	FormOutside     float64
+	// Dissolve is the probability an existing friendship dissolves during
+	// the year.
+	Dissolve float64
+	// PrivacyDrift is the probability an account toggles one privacy
+	// switch during the year (including ListsSchool — drifting in or out
+	// of the attack's seed set).
+	PrivacyDrift float64
+	// GradMoveAway is the probability a graduating senior's current city
+	// changes (alumni scatter is what decays city-scoped searches).
+	GradMoveAway float64
+}
+
+// DefaultEvolveConfig returns the calibrated annual rates.
+func DefaultEvolveConfig() EvolveConfig {
+	return EvolveConfig{
+		Churn:             0.04,
+		FormerRetainFrac:  0.30,
+		Intake:            0.04,
+		IntakeListsSchool: 0.55,
+		FormInCohort:      2.5,
+		FormCrossCohort:   0.8,
+		FormOutside:       1.0,
+		Dissolve:          0.04,
+		PrivacyDrift:      0.08,
+		GradMoveAway:      0.35,
+	}
+}
+
+// Delta records what one evolution step changed: the edge delta feeds the
+// incremental CSR rebuild (socialgraph.ApplyDelta) and the epoch-advance
+// event log; the counters feed metrics and reports.
+type Delta struct {
+	Epoch int
+	Now   sim.Date
+	// Added and Removed are the normalized edge delta against the
+	// snapshot the step started from.
+	Added, Removed []socialgraph.Edge
+	// Role and profile transitions.
+	Graduated      int
+	TransferredOut int
+	TransferredIn  int
+	PrivacyChanged int
+	MovedAway      int
+}
+
+// Evolve advances the world by one simulated year: the clock ticks, cohorts
+// shift (seniors graduate to alumni, a new class year opens), students
+// transfer out and in, privacy settings drift, and friendships form and
+// dissolve. The mutable graph is updated through Mutate and the next CSR
+// snapshot is built incrementally with ApplyDelta — the epoch-rotation
+// rebuild path — so after Evolve returns, w.Frozen() is the new epoch's
+// snapshot without a full map re-freeze.
+//
+// Determinism: every decision draws from a stream keyed by
+// (seed, "evolve/<epoch>/<phase>", personID) via sim.StreamN, never from a
+// shared sequential stream, so the result is a pure function of
+// (world, config, epoch) — bit-identical at any worker count. workers
+// shards the per-person phases (dissolution, formation) and the row sort.
+//
+// Evolve requires a world with a mutable graph; frozen-only worlds
+// (GenerateParallel output, binary snapshots) are rejected — which is why
+// osnd refuses -evolve for them at flag-validation time.
+func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
+	if w.Graph == nil {
+		return nil, fmt.Errorf("worldgen: cannot evolve a frozen-only world (no mutable graph)")
+	}
+	if epoch < 1 {
+		return nil, fmt.Errorf("worldgen: evolve epoch must be >= 1, got %d", epoch)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	prev := w.Frozen()
+	root := sim.New(w.Seed)
+	label := func(phase string) string {
+		return "evolve/" + strconv.Itoa(epoch) + "/" + phase
+	}
+	d := &Delta{Epoch: epoch}
+
+	// 1. The clock: one simulated year. Cohorts shift with it — last
+	// year's seniors are no longer a current class, a new class year opens
+	// at the bottom.
+	w.Now = w.Now.AddYears(1)
+	d.Now = w.Now
+	for _, s := range w.Schools {
+		for i := range s.GradYears {
+			s.GradYears[i]++
+		}
+	}
+
+	cities := distinctCities(w)
+	var removed, added []socialgraph.Edge
+
+	// 2. Graduation: students whose class is no longer current become
+	// alumni. Some move away — the city scatter that ages city-scoped
+	// searches.
+	for _, p := range w.People {
+		if p.Role != RoleStudent {
+			continue
+		}
+		if w.Schools[p.SchoolID].CohortIndex(p.GradYear) >= 0 {
+			continue
+		}
+		rng := root.StreamN(label("grad"), int(p.ID))
+		p.Role = RoleAlumnus
+		d.Graduated++
+		if rng.Bool(cfg.GradMoveAway) && len(cities) > 1 {
+			if c := cities[rng.Intn(len(cities))]; c != p.CurrentCity {
+				p.CurrentCity = c
+				d.MovedAway++
+			}
+		}
+	}
+
+	// 3. Transfer churn, out: a former student keeps only a fraction of
+	// their in-school ties.
+	for _, p := range w.People {
+		if p.Role != RoleStudent {
+			continue
+		}
+		rng := root.StreamN(label("churn"), int(p.ID))
+		if !rng.Bool(cfg.Churn) {
+			continue
+		}
+		p.Role = RoleFormer
+		d.TransferredOut++
+		if !p.HasAccount {
+			continue
+		}
+		for _, q := range prev.Friends(p.ID) {
+			if w.People[q].SchoolID == p.SchoolID && !rng.Bool(cfg.FormerRetainFrac) {
+				removed = append(removed, normEdge(p.ID, q))
+			}
+		}
+	}
+
+	// 4. Transfer churn, in: outside-pool teens young enough for a current
+	// class convert to students. Population is fixed; the pool shrinks as
+	// schools refill.
+	d.TransferredIn = evolveIntake(w, cfg, root, label("intake"))
+
+	// 5. Privacy drift: accounts toggle one switch a year with small
+	// probability. PublicSearch and ListsSchool flips move people in and
+	// out of the search indexes — re-resolved at the next epoch build.
+	for _, p := range w.People {
+		if !p.HasAccount {
+			continue
+		}
+		rng := root.StreamN(label("privacy"), int(p.ID))
+		if !rng.Bool(cfg.PrivacyDrift) {
+			continue
+		}
+		togglePrivacy(p, rng.Intn(11))
+		d.PrivacyChanged++
+	}
+
+	// 6. Dissolution (sharded): each person decides the fate of the edges
+	// they own (u < v) in the pre-step snapshot, from their own stream.
+	dissolved := shardEdges(w, prev, workers, func(u socialgraph.UserID, out *[]socialgraph.Edge) {
+		rng := root.StreamN(label("dissolve"), int(u))
+		for _, v := range prev.Friends(u) {
+			if v > u && rng.Bool(cfg.Dissolve) {
+				*out = append(*out, socialgraph.Edge{A: u, B: v})
+			}
+		}
+	})
+	removed = append(removed, dissolved...)
+
+	// 7. Formation (sharded): students initiate new ties into their
+	// cohort, the rest of the school, and the outside pool. Partners come
+	// from pools built in ID order; picks that duplicate an existing
+	// pre-step edge are skipped, so adds never collide with kept edges.
+	pools := buildFormationPools(w)
+	formed := shardEdges(w, prev, workers, func(u socialgraph.UserID, out *[]socialgraph.Edge) {
+		p := w.People[u]
+		if p.Role != RoleStudent || !p.HasAccount || p.SchoolID < 0 {
+			return
+		}
+		rng := root.StreamN(label("form"), int(u))
+		ci := w.Schools[p.SchoolID].CohortIndex(p.GradYear)
+		formTies(rng, prev, u, pools.cohort[p.SchoolID][ci], rng.Poisson(cfg.FormInCohort*p.Sociality), out)
+		formTies(rng, prev, u, pools.school[p.SchoolID], rng.Poisson(cfg.FormCrossCohort*p.Sociality), out)
+		formTies(rng, prev, u, pools.outside, rng.Poisson(cfg.FormOutside*p.Sociality), out)
+	})
+	added = append(added, formed...)
+
+	d.Removed = socialgraph.NormalizeEdges(removed)
+	d.Added = socialgraph.NormalizeEdges(added)
+
+	// Apply to the mutable control plane (through Mutate, so the stale
+	// memoized snapshot is invalidated) …
+	if err := w.Mutate(func(g *socialgraph.Graph) error {
+		for _, e := range d.Removed {
+			g.RemoveFriendship(e.A, e.B)
+		}
+		return addAll(g, d.Added)
+	}); err != nil {
+		return nil, err
+	}
+	// … then build the next snapshot incrementally off the pre-step CSR:
+	// the rebuild path epoch rotation uses, two linear passes instead of a
+	// full map freeze.
+	next, err := socialgraph.ApplyDelta(prev, d.Added, d.Removed, workers)
+	if err != nil {
+		return nil, fmt.Errorf("worldgen: evolve epoch %d: %w", epoch, err)
+	}
+	w.SetFrozen(next)
+	return d, nil
+}
+
+func addAll(g *socialgraph.Graph, edges []socialgraph.Edge) error {
+	for _, e := range edges {
+		if err := g.AddFriendship(e.A, e.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func normEdge(a, b socialgraph.UserID) socialgraph.Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return socialgraph.Edge{A: a, B: b}
+}
+
+// distinctCities collects the cities people live in, in first-seen (ID)
+// order — a deterministic move-away destination pool.
+func distinctCities(w *World) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range w.People {
+		if p.CurrentCity != "" && !seen[p.CurrentCity] {
+			seen[p.CurrentCity] = true
+			out = append(out, p.CurrentCity)
+		}
+	}
+	return out
+}
+
+// evolveIntake converts outside-pool teens into incoming transfer
+// students, refilling each school toward its target. Candidates and
+// assignments are drawn in ID order from one labelled stream, so the
+// outcome is independent of everything else in the step.
+func evolveIntake(w *World, cfg EvolveConfig, root *sim.Rand, lbl string) int {
+	targets := make([]int, len(w.Schools))
+	for _, p := range w.People {
+		if p.Role == RoleStudent {
+			targets[p.SchoolID]++
+		}
+	}
+	for i := range targets {
+		targets[i] = int(float64(targets[i]) * cfg.Intake)
+	}
+	in := 0
+	for _, p := range w.People {
+		if p.Role != RoleOutside || !p.HasAccount {
+			continue
+		}
+		age := p.TrueBirth.AgeAt(w.Now)
+		if age < 13 || age > 16 {
+			continue
+		}
+		rng := root.StreamN(lbl, int(p.ID))
+		school := -1
+		for sid, left := range targets {
+			if left > 0 {
+				school = sid
+				break
+			}
+		}
+		if school < 0 {
+			break
+		}
+		// Thin the candidate stream so intake is not simply the lowest
+		// IDs: each eligible teen transfers with probability 1/2 per year
+		// until targets fill.
+		if !rng.Bool(0.5) {
+			continue
+		}
+		targets[school]--
+		s := w.Schools[school]
+		p.Role = RoleStudent
+		p.SchoolID = school
+		// Ages 13-16 map inside the current four-class window; clamp for
+		// the odd birthday edge cases.
+		gy := w.Now.Year + (17 - age)
+		if gy < s.GradYears[0] {
+			gy = s.GradYears[0]
+		}
+		if gy > s.GradYears[3] {
+			gy = s.GradYears[3]
+		}
+		p.GradYear = gy
+		p.ListsSchool = rng.Bool(cfg.IntakeListsSchool)
+		if rng.Bool(0.8) {
+			p.CurrentCity = s.City
+		}
+		in++
+	}
+	return in
+}
+
+// togglePrivacy flips one of the eleven drift-able profile switches.
+func togglePrivacy(p *Person, which int) {
+	pv := &p.Privacy
+	switch which {
+	case 0:
+		pv.FriendListPublic = !pv.FriendListPublic
+	case 1:
+		pv.PublicSearch = !pv.PublicSearch
+	case 2:
+		pv.MessageLink = !pv.MessageLink
+	case 3:
+		pv.ShowRelationship = !pv.ShowRelationship
+	case 4:
+		pv.ShowInterestedIn = !pv.ShowInterestedIn
+	case 5:
+		pv.ShowBirthday = !pv.ShowBirthday
+	case 6:
+		pv.ShowHometown = !pv.ShowHometown
+	case 7:
+		pv.ShowPhotos = !pv.ShowPhotos
+	case 8:
+		pv.ShowContact = !pv.ShowContact
+	case 9:
+		pv.ListsNetwork = !pv.ListsNetwork
+	case 10:
+		p.ListsSchool = !p.ListsSchool
+	}
+}
+
+// formationPools are the deterministic partner pools formation draws from,
+// built in ID order after the step's role transitions.
+type formationPools struct {
+	cohort  [][4][]socialgraph.UserID // [school][cohortIndex]
+	school  [][]socialgraph.UserID
+	outside []socialgraph.UserID
+}
+
+func buildFormationPools(w *World) *formationPools {
+	pools := &formationPools{
+		cohort: make([][4][]socialgraph.UserID, len(w.Schools)),
+		school: make([][]socialgraph.UserID, len(w.Schools)),
+	}
+	for _, p := range w.People {
+		if !p.HasAccount {
+			continue
+		}
+		switch p.Role {
+		case RoleStudent:
+			ci := w.Schools[p.SchoolID].CohortIndex(p.GradYear)
+			if ci >= 0 {
+				pools.cohort[p.SchoolID][ci] = append(pools.cohort[p.SchoolID][ci], p.ID)
+			}
+			pools.school[p.SchoolID] = append(pools.school[p.SchoolID], p.ID)
+		case RoleOutside:
+			pools.outside = append(pools.outside, p.ID)
+		}
+	}
+	return pools
+}
+
+// formTies draws k partners for u from pool, skipping self-picks,
+// pre-existing friendships, and same-step duplicates. Failed picks are
+// simply dropped — the rates are means, not exact quotas.
+func formTies(rng *sim.Rand, prev *socialgraph.Frozen, u socialgraph.UserID, pool []socialgraph.UserID, k int, out *[]socialgraph.Edge) {
+	if len(pool) == 0 {
+		return
+	}
+	for i := 0; i < k; i++ {
+		v := pool[rng.Intn(len(pool))]
+		if v == u || prev.AreFriends(u, v) || containsEdge(*out, normEdge(u, v)) {
+			continue
+		}
+		*out = append(*out, normEdge(u, v))
+	}
+}
+
+// containsEdge scans a person's (short) same-step add list.
+func containsEdge(edges []socialgraph.Edge, e socialgraph.Edge) bool {
+	for _, x := range edges {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// shardEdges runs fn for every user ID across workers goroutines and
+// concatenates the per-worker edge lists in shard order. fn must derive all
+// randomness from identity-keyed streams, so the concatenation order never
+// matters once NormalizeEdges sorts the result.
+func shardEdges(w *World, prev *socialgraph.Frozen, workers int, fn func(socialgraph.UserID, *[]socialgraph.Edge)) []socialgraph.Edge {
+	n := len(w.People)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var out []socialgraph.Edge
+		for u := 0; u < n; u++ {
+			fn(socialgraph.UserID(u), &out)
+		}
+		return out
+	}
+	outs := make([][]socialgraph.Edge, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			for u := lo; u < hi; u++ {
+				fn(socialgraph.UserID(u), &outs[i])
+			}
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	var out []socialgraph.Edge
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
+}

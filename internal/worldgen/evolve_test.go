@@ -1,0 +1,184 @@
+package worldgen
+
+import (
+	"reflect"
+	"testing"
+
+	"hsprofiler/internal/socialgraph"
+)
+
+// TestFrozenInvalidate is the regression test for the stale-memoization
+// hazard: Frozen used to CompareAndSwap(nil, …) once and serve that first
+// freeze forever, so a mutation after the first Frozen call was invisible
+// to every later caller.
+func TestFrozenInvalidate(t *testing.T) {
+	w, err := Generate(TinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.Frozen()
+	// Find two account holders who are not friends.
+	var a, b socialgraph.UserID = -1, -1
+outer:
+	for _, p := range w.People {
+		if !p.HasAccount {
+			continue
+		}
+		for _, q := range w.People {
+			if q.HasAccount && q.ID != p.ID && !w.Graph.AreFriends(p.ID, q.ID) {
+				a, b = p.ID, q.ID
+				break outer
+			}
+		}
+	}
+	if a < 0 {
+		t.Fatal("no non-adjacent account pair in tiny world")
+	}
+	if err := w.Mutate(func(g *socialgraph.Graph) error {
+		return g.AddFriendship(a, b)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := w.Frozen()
+	if after == before || after.NumEdges() != before.NumEdges()+1 {
+		t.Fatalf("post-mutation freeze served stale snapshot: %d edges before, %d after",
+			before.NumEdges(), after.NumEdges())
+	}
+	if !after.AreFriends(a, b) {
+		t.Fatal("new friendship missing from re-frozen snapshot")
+	}
+	// The old snapshot is immutable: in-flight readers keep a consistent view.
+	if before.AreFriends(a, b) {
+		t.Fatal("pre-mutation snapshot mutated in place")
+	}
+}
+
+// TestMutateRejectsFrozenOnly: frozen-only worlds (binary snapshots,
+// parallel generation) have no mutable graph; Mutate and Evolve must fail
+// loudly instead of panicking.
+func TestMutateRejectsFrozenOnly(t *testing.T) {
+	w, err := Generate(TinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &World{Seed: w.Seed, Now: w.Now, Schools: w.Schools, People: w.People}
+	fw.SetFrozen(w.Frozen())
+	if err := fw.Mutate(func(*socialgraph.Graph) error { return nil }); err == nil {
+		t.Fatal("Mutate on frozen-only world did not fail")
+	}
+	if _, err := Evolve(fw, DefaultEvolveConfig(), 1, 1); err == nil {
+		t.Fatal("Evolve on frozen-only world did not fail")
+	}
+	// Invalidate must be a no-op rather than bricking the only snapshot.
+	fw.Invalidate()
+	if fw.Frozen() == nil {
+		t.Fatal("Invalidate dropped a frozen-only world's snapshot")
+	}
+}
+
+// evolveYears runs n evolution steps and returns the deltas.
+func evolveYears(t *testing.T, w *World, n, workers int) []*Delta {
+	t.Helper()
+	cfg := DefaultEvolveConfig()
+	var out []*Delta
+	for e := 1; e <= n; e++ {
+		d, err := Evolve(w, cfg, e, workers)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestEvolveDeterministicAcrossWorkers: identity-keyed streams make the
+// evolved world a pure function of (world, config, epoch) — bit-identical
+// at any worker count.
+func TestEvolveDeterministicAcrossWorkers(t *testing.T) {
+	worlds := make([]*World, 0, 3)
+	for _, workers := range []int{1, 4, 13} {
+		w, err := Generate(TinyConfig(), 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evolveYears(t, w, 3, workers)
+		worlds = append(worlds, w)
+	}
+	base := worlds[0]
+	for i, w := range worlds[1:] {
+		if w.Now != base.Now {
+			t.Fatalf("world %d clock diverged: %v vs %v", i+1, w.Now, base.Now)
+		}
+		if !reflect.DeepEqual(w.Schools, base.Schools) {
+			t.Fatalf("world %d schools diverged", i+1)
+		}
+		if !reflect.DeepEqual(w.People, base.People) {
+			t.Fatalf("world %d people diverged", i+1)
+		}
+		if !w.Frozen().Equal(base.Frozen()) {
+			t.Fatalf("world %d graph diverged", i+1)
+		}
+	}
+}
+
+// TestEvolveInvariantsAndDynamics: the evolved world keeps every
+// structural invariant, the clock and cohorts advance together, and the
+// incremental snapshot matches a from-scratch freeze of the mutated graph.
+func TestEvolveInvariantsAndDynamics(t *testing.T) {
+	w, err := Generate(TinyConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	year0 := w.Now.Year
+	students0 := w.CountRole(RoleStudent)
+	alumni0 := w.CountRole(RoleAlumnus)
+	deltas := evolveYears(t, w, 3, 2)
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Now.Year != year0+3 {
+		t.Fatalf("clock at %d, want %d", w.Now.Year, year0+3)
+	}
+	if got := w.Schools[0].GradYears[0]; got != year0+3 {
+		t.Fatalf("senior class %d, want %d", got, year0+3)
+	}
+	grads := 0
+	for _, d := range deltas {
+		grads += d.Graduated
+		if len(d.Added) == 0 || len(d.Removed) == 0 {
+			t.Fatalf("epoch %d: degenerate delta (+%d/-%d)", d.Epoch, len(d.Added), len(d.Removed))
+		}
+	}
+	if grads == 0 {
+		t.Fatal("no cohort graduated in three years")
+	}
+	if got := w.CountRole(RoleAlumnus); got != alumni0+grads {
+		t.Fatalf("alumni %d, want %d", got, alumni0+grads)
+	}
+	if w.CountRole(RoleStudent) == students0 && deltas[0].TransferredOut+deltas[0].TransferredIn == 0 {
+		t.Fatal("no churn at default rates")
+	}
+	// The incremental ApplyDelta snapshot must equal a full re-freeze of
+	// the mutated mutable graph.
+	if !w.Frozen().Equal(w.Graph.Freeze()) {
+		t.Fatal("incremental snapshot diverges from full freeze")
+	}
+}
+
+// TestEvolveStaticWorldUntouched: generation alone never runs evolution —
+// a freshly generated world is byte-identical whether or not evolve code
+// exists (golden fingerprints cover the cross-version half; this guards
+// that building a platform-style Frozen after generation changes nothing).
+func TestEvolveStaticWorldUntouched(t *testing.T) {
+	w1, err := Generate(TinyConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(TinyConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1.People, w2.People) || !w1.Frozen().Equal(w2.Frozen()) {
+		t.Fatal("generation is not reproducible")
+	}
+}

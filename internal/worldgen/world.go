@@ -86,6 +86,35 @@ func (w *World) Frozen() *socialgraph.Frozen {
 	return w.frozen.Load()
 }
 
+// Invalidate drops the cached CSR snapshot after a structural mutation of
+// Graph, so the next Frozen call re-freezes instead of silently serving the
+// pre-mutation graph (the memoization in Frozen caches the first freeze
+// forever). No-op on frozen-only worlds: they have no mutable graph to have
+// diverged from, and dropping their only snapshot would brick them.
+// Not safe to call concurrently with readers; mutation happens off the
+// serving path (epoch rotation builds the next snapshot before swapping).
+func (w *World) Invalidate() {
+	if w.Graph == nil {
+		return
+	}
+	w.frozen.Store(nil)
+}
+
+// Mutate runs fn against the mutable graph and invalidates the cached
+// snapshot, so a freeze after the mutation can never serve stale adjacency.
+// It fails on frozen-only worlds (GenerateParallel output, binary
+// snapshots): structural mutation needs the map graph.
+func (w *World) Mutate(fn func(*socialgraph.Graph) error) error {
+	if w.Graph == nil {
+		return fmt.Errorf("worldgen: cannot mutate a frozen-only world (no mutable graph)")
+	}
+	if err := fn(w.Graph); err != nil {
+		return err
+	}
+	w.Invalidate()
+	return nil
+}
+
 // Person returns the person with the given ID, or nil if out of range.
 func (w *World) Person(id socialgraph.UserID) *Person {
 	if id < 0 || int(id) >= len(w.People) {
