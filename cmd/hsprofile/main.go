@@ -156,17 +156,26 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the run's span tree to this file (\"-\" for stderr) and show live phase progress")
 	manifestOut := flag.String("manifest-out", "", "write a JSON run manifest (params, git describe, phase timings, effort counters) to this file")
 	eventsOut := flag.String("events-out", "", "write the structured event log (JSONL) to this file; also arms the flight recorder dumped to stderr on interrupt")
+	reqSeed := flag.Uint64("req-seed", 1, "request-id seed: every request carries a deterministic X-Osn-Request-Id derived from this seed and its path, so attacker-side wire events join to the server's access log")
 	flag.Parse()
 
 	if *school == "" {
 		fmt.Fprintln(os.Stderr, "hsprofile: -school is required")
 		os.Exit(2)
 	}
+	// Observability artifacts (metrics, trace, manifest, event log) exist
+	// whenever their outputs are asked for; nil handles keep every layer a
+	// no-op otherwise. Built before the client so registration traffic is
+	// already on the wire log.
+	out, err := newRunOutputs(*traceOut, *manifestOut, *eventsOut)
+	if err != nil {
+		fatal(err)
+	}
 	var pacer osnhttp.Pacer = osnhttp.NoPace{}
 	if *pace > 0 {
 		pacer = osnhttp.SleepPace{Interval: *pace}
 	}
-	client := osnhttp.NewClient(*url, nil, pacer)
+	client := osnhttp.NewClient(*url, nil, pacer).WithSeed(*reqSeed).WithLog(out.lg)
 	if err := client.RegisterAccounts(*accounts); err != nil {
 		fatal(err)
 	}
@@ -189,13 +198,6 @@ func main() {
 			st.Profiles, st.FriendLists+st.HiddenLists, st.PartialLists)
 	}
 	cached := store.NewCachedClient(client, crawlStore)
-	// Observability artifacts (metrics, trace, manifest, event log) exist
-	// whenever their outputs are asked for; nil handles keep every layer a
-	// no-op otherwise.
-	out, err := newRunOutputs(*traceOut, *manifestOut, *eventsOut)
-	if err != nil {
-		fatal(err)
-	}
 	sess := crawler.NewSession(cached).Instrument(out.reg).WithLog(out.lg)
 	sess.Timeout = *reqTimeout
 

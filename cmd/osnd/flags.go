@@ -22,6 +22,19 @@ type servingFlags struct {
 	FaultRate      float64
 	Server         osnhttp.ServerConfig
 	Evolve         evolveFlags
+	Admin          adminFlags
+}
+
+// adminFlags shape the defender's watchtower: -admin turns on behavioral
+// telemetry recording, the /api/v1/admin/telemetry endpoint, and the
+// background aggregator.
+type adminFlags struct {
+	Enabled bool
+	// TelemetryWindow is the per-account feature window; features
+	// aggregate over the current + previous window.
+	TelemetryWindow time.Duration
+	// TelemetryRollup is the aggregator's publish interval.
+	TelemetryRollup time.Duration
 }
 
 // evolveFlags shape the temporal loop: with -evolve the daemon advances the
@@ -59,6 +72,14 @@ func (f servingFlags) validate() error {
 	}
 	if err := f.Server.WithDefaults().Validate(); err != nil {
 		errs = append(errs, err)
+	}
+	if f.Admin.Enabled {
+		if f.Admin.TelemetryWindow <= 0 {
+			errs = append(errs, fmt.Errorf("-telemetry-window must be positive, got %v", f.Admin.TelemetryWindow))
+		}
+		if f.Admin.TelemetryRollup <= 0 {
+			errs = append(errs, fmt.Errorf("-telemetry-rollup must be positive, got %v", f.Admin.TelemetryRollup))
+		}
 	}
 	if f.Evolve.Enabled {
 		if f.Evolve.Interval <= 0 {

@@ -84,6 +84,42 @@ func TestServingFlagsZeroServerConfig(t *testing.T) {
 	}
 }
 
+func TestAdminFlagsValidate(t *testing.T) {
+	f := goodFlags()
+	f.Admin = adminFlags{Enabled: true, TelemetryWindow: time.Minute, TelemetryRollup: 10 * time.Second}
+	if err := f.validate(); err != nil {
+		t.Fatalf("baseline admin flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*servingFlags)
+		want string
+	}{
+		{"zero window", func(f *servingFlags) { f.Admin.TelemetryWindow = 0 }, "-telemetry-window"},
+		{"negative window", func(f *servingFlags) { f.Admin.TelemetryWindow = -time.Second }, "-telemetry-window"},
+		{"zero rollup", func(f *servingFlags) { f.Admin.TelemetryRollup = 0 }, "-telemetry-rollup"},
+	}
+	for _, tc := range cases {
+		f := goodFlags()
+		f.Admin = adminFlags{Enabled: true, TelemetryWindow: time.Minute, TelemetryRollup: 10 * time.Second}
+		tc.mut(&f)
+		err := f.validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Admin disabled: the sub-flags are ignored, not validated.
+	f = goodFlags()
+	f.Admin = adminFlags{Enabled: false, TelemetryWindow: 0, TelemetryRollup: 0}
+	if err := f.validate(); err != nil {
+		t.Fatalf("disabled admin flags validated anyway: %v", err)
+	}
+}
+
 // goodEvolveFlags is a baseline -evolve invocation.
 func goodEvolveFlags() servingFlags {
 	f := goodFlags()

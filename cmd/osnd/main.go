@@ -18,6 +18,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"hsprofiler/internal/obs"
 	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
+	"hsprofiler/internal/osn/telemetry"
 	"hsprofiler/internal/osnhttp"
 	"hsprofiler/internal/worldgen"
 )
@@ -59,6 +61,9 @@ func main() {
 	evolveEpochs := flag.Int("evolve-epochs", 0, "stop evolving after this many epochs (0 = until shutdown)")
 	evolveWorkers := flag.Int("evolve-workers", 4, "worker goroutines for the evolution step (any count yields bit-identical worlds)")
 	evolveOpenMinorSearch := flag.Int("evolve-open-minor-search", 0, "simulated year at which the policy flips to list minors in search, like Facebook in 2013 (0 = never)")
+	admin := flag.Bool("admin", false, "enable behavioral telemetry and the /api/v1/admin/telemetry introspection endpoint (excluded from fault injection like /healthz)")
+	telemetryWindow := flag.Duration("telemetry-window", time.Minute, "per-account telemetry window length under -admin; features aggregate over the current + previous window")
+	telemetryRollup := flag.Duration("telemetry-rollup", 10*time.Second, "how often the telemetry aggregator publishes osn_telemetry_* series and osn.telemetry events under -admin")
 	flag.Parse()
 
 	sf := servingFlags{
@@ -67,6 +72,11 @@ func main() {
 		ThrottleLimit:  *throttleLimit,
 		ThrottleWindow: *throttleWindow,
 		FaultRate:      *faultRate,
+		Admin: adminFlags{
+			Enabled:         *admin,
+			TelemetryWindow: *telemetryWindow,
+			TelemetryRollup: *telemetryRollup,
+		},
 		Evolve: evolveFlags{
 			Enabled:             *evolve,
 			Interval:            *evolveInterval,
@@ -170,6 +180,23 @@ func main() {
 		ThrottleLimit:    *throttleLimit,
 		ThrottleWindow:   *throttleWindow,
 	}).Instrument(reg).WithLog(lg)
+	// The defender's watchtower: -admin attaches the behavioral telemetry
+	// table to the serving path and a background aggregator that publishes
+	// per-account crawler-likeness features as metrics and events.
+	var tel *telemetry.Table
+	var agg *telemetry.Aggregator
+	if sf.Admin.Enabled {
+		tel = telemetry.NewTable(sf.Admin.TelemetryWindow)
+		platform.WithTelemetry(tel)
+		agg = telemetry.NewAggregator(tel, telemetry.AggregatorOptions{
+			Interval: sf.Admin.TelemetryRollup,
+			Registry: reg,
+			Log:      lg,
+		})
+		agg.Start()
+		fmt.Printf("osnd: admin telemetry on /api/v1/admin/telemetry (window %v, rollup %v)\n",
+			sf.Admin.TelemetryWindow, sf.Admin.TelemetryRollup)
+	}
 	for _, s := range platform.Schools() {
 		fmt.Printf("serving school %q (%s)\n", s.Name, s.City)
 	}
@@ -181,7 +208,8 @@ func main() {
 	// injected 503s land in faults_injected_total, not in the platform's
 	// own throttle series.
 	server := osnhttp.NewServer(platform).Instrument(reg).WithLog(lg).
-		WithLimits(*inflightSearch, *inflightProfile, *inflightFriends)
+		WithLimits(*inflightSearch, *inflightProfile, *inflightFriends).
+		WithTelemetry(tel)
 	var handler http.Handler = server
 	var injector *faults.Injector
 	if *faultRate > 0 || *faultLatency > 0 {
@@ -193,9 +221,11 @@ func main() {
 		injector = faults.New(cfg).Instrument(reg).WithLog(lg)
 		faulty := injector.Middleware(handler)
 		// The load balancer's liveness probe must stay reliable even on a
-		// deliberately hostile platform, so /healthz bypasses the injector.
+		// deliberately hostile platform, so /healthz bypasses the injector —
+		// and so does the admin introspection surface: the defender's view
+		// of a hostile platform must not itself be hostile.
 		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.URL.Path == "/healthz" {
+			if r.URL.Path == "/healthz" || strings.HasPrefix(r.URL.Path, "/api/v1/admin/") {
 				server.ServeHTTP(w, r)
 				return
 			}
@@ -281,6 +311,11 @@ func main() {
 		defer cancel()
 		metricsSrv.Shutdown(ctx)
 	}
+	// Final telemetry rollup before the event log closes: a run shorter
+	// than one rollup interval still publishes its defender view.
+	if agg != nil {
+		agg.Stop()
+	}
 	if injector != nil {
 		fmt.Printf("osnd: %s\n", injector.Stats())
 	}
@@ -297,7 +332,7 @@ func main() {
 			"addr": *addr, "policy": pol.Name, "scenario": *scenario, "world": *worldFile,
 			"search-cap": *searchCap, "request-budget": *budget,
 			"throttle-limit": *throttleLimit, "throttle-window": throttleWindow.String(),
-			"faults": *faultRate,
+			"faults": *faultRate, "admin": sf.Admin.Enabled,
 		})
 	}
 }

@@ -4,21 +4,28 @@
 // methodology phase took, latency quantiles, the fault/retry story, the
 // slowest requests with their event chains, and the paper-table summary.
 //
+// With -server-events it also merges the daemon's event log and joins the
+// two sides by request id (the wire-correlation section) and renders the
+// defender's telemetry view of each account.
+//
 // Usage:
 //
 //	hsprofile ... -manifest-out run.json -events-out events.jsonl
-//	runreport -manifest run.json -events events.jsonl
+//	osnd ... -events-out server.jsonl
+//	runreport -manifest run.json -events events.jsonl -server-events server.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
 func main() {
 	manifestPath := flag.String("manifest", "", "run manifest JSON written by -manifest-out (required)")
-	eventsPath := flag.String("events", "", "event log JSONL written by -events-out (optional)")
+	eventsPath := flag.String("events", "", "client event log JSONL written by -events-out (optional)")
+	serverEventsPath := flag.String("server-events", "", "server event log JSONL written by osnd -events-out (optional)")
 	topK := flag.Int("top", 10, "how many slowest requests to list")
 	flag.Parse()
 
@@ -26,23 +33,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "runreport: -manifest is required")
 		os.Exit(2)
 	}
-	m, err := readManifest(*manifestPath)
-	if err != nil {
-		fatal(err)
-	}
-	var events []event
-	if *eventsPath != "" {
-		events, err = readEvents(*eventsPath)
-		if err != nil {
-			fatal(err)
-		}
-	}
-	if err := report(os.Stdout, m, events, *topK); err != nil {
-		fatal(err)
+	if err := run(os.Stdout, *manifestPath, *eventsPath, *serverEventsPath, *topK); err != nil {
+		fmt.Fprintf(os.Stderr, "runreport: %v\n", err)
+		os.Exit(1)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "runreport: %v\n", err)
-	os.Exit(1)
+// run assembles the report. A missing or empty events file downgrades that
+// side of the report with a one-line note rather than failing: the manifest
+// alone still tells the run's story, and partial artifacts (a crashed run, a
+// not-yet-copied server log) should not block a post-mortem.
+func run(w io.Writer, manifestPath, eventsPath, serverEventsPath string, topK int) error {
+	m, err := readManifest(manifestPath)
+	if err != nil {
+		return err
+	}
+	events, err := loadEvents(w, eventsPath, "events")
+	if err != nil {
+		return err
+	}
+	serverEvents, err := loadEvents(w, serverEventsPath, "server events")
+	if err != nil {
+		return err
+	}
+	return report(w, m, append(events, serverEvents...), topK)
+}
+
+// loadEvents reads one JSONL event file, degrading to a note (and an empty
+// slice) when the file is absent or holds no events. Malformed JSON is still
+// a hard error from readEvents — silently skipping a corrupt log would lie.
+func loadEvents(w io.Writer, path, label string) ([]event, error) {
+	if path == "" {
+		return nil, nil
+	}
+	events, err := readEvents(path)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(w, "note: %s file %s not found; reporting from manifest only\n", label, path)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(w, "note: %s file %s holds no events; reporting from manifest only\n", label, path)
+	}
+	return events, nil
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hsprofiler/internal/obs"
+)
+
+func writeManifest(t *testing.T, dir string) string {
+	t.Helper()
+	m := obs.NewManifest("hsprofile")
+	m.SetParam("school", "Test High")
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunMissingEventsFile: a run that crashed before flushing (or a log not
+// yet copied over) must still produce the manifest-only report, with a note,
+// not an error.
+func TestRunMissingEventsFile(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	var buf bytes.Buffer
+	err := run(&buf, manifest, filepath.Join(dir, "nope.jsonl"), "", 10)
+	if err != nil {
+		t.Fatalf("missing events file became an error: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "note: events file") || !strings.Contains(out, "manifest only") {
+		t.Errorf("missing-file note absent:\n%s", out)
+	}
+	if !strings.Contains(out, "run report: hsprofile") {
+		t.Errorf("manifest-only report not rendered:\n%s", out)
+	}
+}
+
+func TestRunEmptyEventsFile(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	empty := filepath.Join(dir, "events.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, manifest, empty, "", 10); err != nil {
+		t.Fatalf("empty events file became an error: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "holds no events") {
+		t.Errorf("empty-file note absent:\n%s", out)
+	}
+	if !strings.Contains(out, "run report: hsprofile") {
+		t.Errorf("manifest-only report not rendered:\n%s", out)
+	}
+}
+
+// TestRunMergesServerEvents: -server-events merges the daemon's log so the
+// wire section can join the two sides.
+func TestRunMergesServerEvents(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	client := filepath.Join(dir, "client.jsonl")
+	server := filepath.Join(dir, "server.jsonl")
+	clientLog := `{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"wire","msg":"request","id":"aa11","path":"/api/v1/profile?id=u1","code":200,"ms":4.0}` + "\n"
+	serverLog := `{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"http","msg":"request","req_id":"aa11","path":"/api/v1/profile?id=u1","code":200,"ms":3.0}` + "\n"
+	if err := os.WriteFile(client, []byte(clientLog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(server, []byte(serverLog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, manifest, client, server, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "joined: 1/1 (100.0%)") {
+		t.Errorf("server events not merged into the wire join:\n%s", out)
+	}
+}
+
+// TestRunMalformedEventsStillFails: corruption must stay loud — only
+// absent/empty logs degrade.
+func TestRunMalformedEventsStillFails(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir)
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"lvl":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, manifest, bad, "", 10); err == nil {
+		t.Fatal("malformed events file silently skipped")
+	}
+}

@@ -100,6 +100,8 @@ func report(w io.Writer, m *obs.Manifest, events []event, topK int) error {
 	accounting(w, m, events)
 	epochs(w, m, events)
 	slowest(w, events, topK)
+	wire(w, events, topK)
+	defender(w, events)
 	tables(w, m)
 	return nil
 }

@@ -124,3 +124,101 @@ func TestReportEpochSection(t *testing.T) {
 		}
 	}
 }
+
+// wireLog is a two-sided log: client "wire" events and server "http" access
+// events sharing request ids, plus one client request the server never
+// logged (dropped before the handler).
+const wireLog = `{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"wire","msg":"request","trace":"hsprofile","id":"aa11","path":"/api/v1/profile?id=u1","code":200,"ms":4.0}
+{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"wire","msg":"request","trace":"hsprofile","id":"bb22","path":"/api/v1/search?scope=school","code":200,"ms":9.0}
+{"t":"2026-01-01T00:00:01Z","lvl":"info","cat":"wire","msg":"request","trace":"hsprofile","id":"cc33","path":"/api/v1/friends?id=u1","code":0,"ms":1.0}
+{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"http","msg":"request","trace":"osnd","endpoint":"profile","path":"/api/v1/profile?id=u1","req_id":"aa11","code":200,"ms":3.0}
+{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"http","msg":"request","trace":"osnd","endpoint":"search","path":"/api/v1/search?scope=school","req_id":"bb22","code":200,"ms":7.5}
+{"t":"2026-01-01T00:00:02Z","lvl":"info","cat":"http","msg":"request","trace":"osnd","endpoint":"healthz","path":"/healthz","req_id":"","code":200,"ms":0.1}
+`
+
+func TestWireSection(t *testing.T) {
+	events, err := parseEvents(strings.NewReader(wireLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	wire(&buf, events, 10)
+	out := buf.String()
+	for _, want := range []string{
+		"wire correlation",
+		"client requests: 3 (3 distinct ids)   server access events: 3",
+		"joined: 2/3 (66.7%)",
+		"client-minus-server overhead",
+		"/api/v1/search?scope=school", // slowest joined request listed
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wire section missing %q:\n%s", want, out)
+		}
+	}
+	// Slowest-first: the 9ms search outranks the 4ms profile.
+	if strings.Index(out, "search?scope") > strings.Index(out, "profile?id") {
+		t.Errorf("slowest joined request not first:\n%s", out)
+	}
+	// Unstamped server events (empty req_id) must not be joined.
+	if strings.Contains(out, "/healthz") {
+		t.Errorf("unstamped /healthz event leaked into the join:\n%s", out)
+	}
+}
+
+func TestWireSectionAbsentWithoutWireEvents(t *testing.T) {
+	events, err := parseEvents(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	wire(&buf, events, 10)
+	if buf.Len() != 0 {
+		t.Fatalf("wire section rendered with no wire events:\n%s", buf.String())
+	}
+}
+
+const telemetryLog = `{"t":"2026-01-01T00:00:10Z","lvl":"info","cat":"osn.telemetry","msg":"account features","token":"acct-1-loadgen0","requests":40,"fanout":0,"profiles":30,"friend_pages":10,"distinct":12,"coverage":1.2,"harvest":0.4,"ia_cv":0.3,"overlap":0,"score":3.7}
+{"t":"2026-01-01T00:00:10Z","lvl":"info","cat":"osn.telemetry","msg":"account features","token":"acct-2-crawler0","requests":300,"fanout":45,"profiles":200,"friend_pages":55,"distinct":198,"coverage":3.4,"harvest":0.99,"ia_cv":0.1,"overlap":0,"score":19.2}
+{"t":"2026-01-01T00:00:20Z","lvl":"info","cat":"osn.telemetry","msg":"account features","token":"acct-2-crawler0","requests":340,"fanout":50,"profiles":220,"friend_pages":65,"distinct":210,"coverage":3.5,"harvest":0.99,"ia_cv":0.1,"overlap":0,"score":20.1}
+{"t":"2026-01-01T00:00:20Z","lvl":"warn","cat":"osn.telemetry","msg":"crawler-likeness threshold crossed","token":"acct-2-crawler0","feature":"fanout","score":20.1}
+`
+
+func TestDefenderSection(t *testing.T) {
+	events, err := parseEvents(strings.NewReader(telemetryLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	defender(&buf, events)
+	out := buf.String()
+	for _, want := range []string{
+		"defender view",
+		"1 flagged",
+		"acct-2-crawler0",
+		"acct-1-loadgen0",
+		"20.10", // latest rollup wins, not the first
+		"fanout",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("defender section missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "crawler0") > strings.Index(out, "loadgen0") {
+		t.Errorf("accounts not ranked by score:\n%s", out)
+	}
+	if strings.Count(out, "acct-2-crawler0") != 1 {
+		t.Errorf("stale rollup rows not collapsed:\n%s", out)
+	}
+}
+
+func TestDefenderSectionAbsentWithoutTelemetry(t *testing.T) {
+	events, err := parseEvents(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	defender(&buf, events)
+	if buf.Len() != 0 {
+		t.Fatalf("defender section rendered with no telemetry events:\n%s", buf.String())
+	}
+}

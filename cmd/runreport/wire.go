@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The wire-correlation and defender-view sections. Both sides of a run
+// write events: the attacker's client stamps every request with a
+// deterministic X-Osn-Request-Id and logs a "wire" event; the server
+// echoes the id into its "http" access event. Feed runreport both logs
+// (-events for the client's, -server-events for the server's) and these
+// sections join them into one cross-process timeline.
+
+// wire joins client "wire" events to server "http" access events by
+// request id: the join rate, the client-minus-server overhead
+// distribution (wire wait: dial, queueing, kernel, read), and the top-K
+// slowest joined requests with both sides' timings.
+func wire(w io.Writer, events []event, topK int) {
+	type side struct {
+		ms   float64
+		path string
+		code int
+	}
+	client := map[string]side{}
+	server := map[string]side{}
+	clientEvents, serverEvents := 0, 0
+	for _, e := range events {
+		switch {
+		case e.Cat == "wire" && e.Msg == "request":
+			clientEvents++
+			id := e.s("id")
+			if _, dup := client[id]; id == "" || dup {
+				continue // retried attempt: same id, keep the first timing
+			}
+			ms, _ := e.f("ms")
+			code, _ := e.f("code")
+			client[id] = side{ms: ms, path: e.s("path"), code: int(code)}
+		case e.Cat == "http" && e.Msg == "request":
+			serverEvents++
+			id := e.s("req_id")
+			if _, dup := server[id]; id == "" || dup {
+				continue
+			}
+			ms, _ := e.f("ms")
+			server[id] = side{ms: ms, path: e.s("path")}
+		}
+	}
+	if len(client) == 0 {
+		return
+	}
+	type joinedReq struct {
+		id                 string
+		clientMS, serverMS float64
+		path               string
+	}
+	var joined []joinedReq
+	var overheads []float64
+	for id, c := range client {
+		s, ok := server[id]
+		if !ok {
+			continue
+		}
+		joined = append(joined, joinedReq{id: id, clientMS: c.ms, serverMS: s.ms, path: c.path})
+		overheads = append(overheads, c.ms-s.ms)
+	}
+	fmt.Fprintln(w, "\nwire correlation (client ↔ server by request id):")
+	fmt.Fprintf(w, "  client requests: %d (%d distinct ids)   server access events: %d\n",
+		clientEvents, len(client), serverEvents)
+	rate := 100 * float64(len(joined)) / float64(len(client))
+	fmt.Fprintf(w, "  joined: %d/%d (%.1f%%)\n", len(joined), len(client), rate)
+	if len(joined) == 0 {
+		return
+	}
+	sort.Float64s(overheads)
+	fmt.Fprintf(w, "  client-minus-server overhead: p50 %.2f ms, p95 %.2f ms, max %.2f ms\n",
+		pick(overheads, 0.50), pick(overheads, 0.95), overheads[len(overheads)-1])
+	sort.Slice(joined, func(i, j int) bool {
+		if joined[i].clientMS != joined[j].clientMS {
+			return joined[i].clientMS > joined[j].clientMS
+		}
+		return joined[i].id < joined[j].id
+	})
+	if topK > len(joined) {
+		topK = len(joined)
+	}
+	if topK <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "  slowest joined requests (top %d):\n", topK)
+	fmt.Fprintf(w, "    %10s %10s %10s  %s\n", "client ms", "server ms", "overhead", "path")
+	for _, j := range joined[:topK] {
+		fmt.Fprintf(w, "    %10.2f %10.2f %10.2f  %s\n", j.clientMS, j.serverMS, j.clientMS-j.serverMS, j.path)
+	}
+}
+
+// pick returns the q-quantile of a sorted slice (nearest-rank).
+func pick(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// defender renders the platform's view of its third-party accounts: the
+// latest telemetry rollup per account (from the aggregator's
+// "osn.telemetry" events), ranked by crawler-likeness score, with
+// threshold-crossing anomalies called out. Runs without telemetry emit no
+// such events and the section disappears.
+func defender(w io.Writer, events []event) {
+	latest := map[string]event{}
+	var order []string
+	anomalies := map[string]string{}
+	for _, e := range events {
+		if e.Cat != "osn.telemetry" {
+			continue
+		}
+		switch e.Msg {
+		case "account features":
+			tok := e.s("token")
+			if _, seen := latest[tok]; !seen {
+				order = append(order, tok)
+			}
+			latest[tok] = e
+		case "crawler-likeness threshold crossed":
+			anomalies[e.s("token")] = e.s("feature")
+		}
+	}
+	if len(latest) == 0 {
+		return
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		si, _ := latest[order[i]].f("score")
+		sj, _ := latest[order[j]].f("score")
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j]
+	})
+	fmt.Fprintf(w, "\ndefender view (accounts by crawler-likeness, %d flagged):\n", len(anomalies))
+	fmt.Fprintf(w, "  %-24s %6s %7s %9s %9s %8s %7s %7s\n",
+		"account", "reqs", "fanout", "distinct", "coverage", "harvest", "ia_cv", "score")
+	for _, tok := range order {
+		e := latest[tok]
+		reqs, _ := e.f("requests")
+		fanout, _ := e.f("fanout")
+		distinct, _ := e.f("distinct")
+		coverage, _ := e.f("coverage")
+		harvest, _ := e.f("harvest")
+		cv, _ := e.f("ia_cv")
+		score, _ := e.f("score")
+		flag := ""
+		if feat, ok := anomalies[tok]; ok {
+			flag = "  ⚠ " + feat
+		}
+		fmt.Fprintf(w, "  %-24s %6.0f %7.0f %9.1f %9.2f %8.2f %7.2f %7.2f%s\n",
+			tok, reqs, fanout, distinct, coverage, harvest, cv, score, flag)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"sync"
+	"time"
 
 	"hsprofiler/internal/core"
 	"hsprofiler/internal/crawler"
@@ -11,6 +12,7 @@ import (
 	"hsprofiler/internal/eval"
 	"hsprofiler/internal/faults"
 	"hsprofiler/internal/osn"
+	"hsprofiler/internal/osn/telemetry"
 	"hsprofiler/internal/osnhttp"
 	"hsprofiler/internal/worldgen"
 )
@@ -30,6 +32,9 @@ type Lab struct {
 	workers   int
 	faultRate float64
 	transport Transport
+	// telemetry, when set, attaches a watchtower table to every new cell's
+	// platform so experiments can prove observation never perturbs results.
+	telemetry bool
 }
 
 // Transport selects which wire the lab's crawls ride: the HTML views the
@@ -94,7 +99,7 @@ func (l *Lab) Close() {
 func (l *Lab) env(sc Scenario) (*cell, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	key := fmt.Sprintf("%s/%d/%s", sc.Label, sc.Seed, l.transport)
+	key := fmt.Sprintf("%s/%d/%s/tel%t", sc.Label, sc.Seed, l.transport, l.telemetry)
 	if c, ok := l.cells[key]; ok {
 		return c, nil
 	}
@@ -102,7 +107,7 @@ func (l *Lab) env(sc Scenario) (*cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := buildCell(sc, world, l.transport)
+	c, err := buildCell(sc, world, l.transport, l.telemetry)
 	if err != nil {
 		return nil, err
 	}
@@ -117,11 +122,11 @@ func (l *Lab) env(sc Scenario) (*cell, error) {
 func (l *Lab) UseWorld(sc Scenario, world *worldgen.World) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	key := fmt.Sprintf("%s/%d/%s", sc.Label, sc.Seed, l.transport)
+	key := fmt.Sprintf("%s/%d/%s/tel%t", sc.Label, sc.Seed, l.transport, l.telemetry)
 	if _, ok := l.cells[key]; ok {
 		return fmt.Errorf("experiments: scenario %s already instantiated", key)
 	}
-	c, err := buildCell(sc, world, l.transport)
+	c, err := buildCell(sc, world, l.transport, l.telemetry)
 	if err != nil {
 		return err
 	}
@@ -137,12 +142,36 @@ func (l *Lab) SetTransport(t Transport) {
 	l.mu.Unlock()
 }
 
+// SetTelemetry turns the defender's watchtower on or off for subsequently
+// built cells. Cells and runs are keyed by the flag, so the telemetry
+// bit-identity experiment compares two genuinely separate environments.
+func (l *Lab) SetTelemetry(enabled bool) {
+	l.mu.Lock()
+	l.telemetry = enabled
+	l.mu.Unlock()
+}
+
+// Telemetry returns the scenario's watchtower table, or nil when the lab
+// runs unobserved.
+func (l *Lab) Telemetry(sc Scenario) (*telemetry.Table, error) {
+	c, err := l.env(sc)
+	if err != nil {
+		return nil, err
+	}
+	return c.platform.Telemetry(), nil
+}
+
 // buildCell assembles a scenario environment around a world: platform, HTTP
 // server, registered attacker accounts, fetch cache and ground truth.
-func buildCell(sc Scenario, world *worldgen.World, transport Transport) (*cell, error) {
+func buildCell(sc Scenario, world *worldgen.World, transport Transport, withTelemetry bool) (*cell, error) {
 	platform := osn.NewPlatform(world, osn.Facebook(), osn.Config{
 		SearchPerAccount: sc.SearchPerAccount,
 	})
+	if withTelemetry {
+		// A one-hour window so no rotation happens mid-experiment: the
+		// snapshot covers the whole run.
+		platform.WithTelemetry(telemetry.NewTable(time.Hour))
+	}
 	server := httptest.NewServer(osnhttp.NewServer(platform))
 	var client labClient
 	if transport == TransportJSON {
@@ -298,9 +327,9 @@ func (l *Lab) Run(sc Scenario, v RunVariant) (*core.Result, error) {
 // max-window run.
 func (l *Lab) RunThreshold(sc Scenario, v RunVariant, maxThreshold int) (*core.Result, error) {
 	l.mu.Lock()
-	workers, faultRate, transport := l.workers, l.faultRate, l.transport
+	workers, faultRate, transport, tel := l.workers, l.faultRate, l.transport, l.telemetry
 	l.mu.Unlock()
-	key := fmt.Sprintf("%s/%d/%d/%d/w%d/f%g/%s", sc.Label, sc.Seed, v, maxThreshold, workers, faultRate, transport)
+	key := fmt.Sprintf("%s/%d/%d/%d/w%d/f%g/%s/tel%t", sc.Label, sc.Seed, v, maxThreshold, workers, faultRate, transport, tel)
 	l.mu.Lock()
 	if r, ok := l.runs[key]; ok {
 		l.mu.Unlock()

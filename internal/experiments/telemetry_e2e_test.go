@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"testing"
+
+	"hsprofiler/internal/osn"
+	"hsprofiler/internal/sim"
+)
+
+// TestTelemetryObservationInvariance proves the watchtower is a pure
+// observer: a full HS1 run (Tables 2-4) against a platform with telemetry
+// accumulators recording every request must render byte-for-byte the same
+// tables as an unobserved run. Any divergence means the sensor layer
+// perturbed the serving plane it watches.
+func TestTelemetryObservationInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HS1 run; skipped with -short")
+	}
+	sc := HS1()
+
+	dark := NewLab()
+	defer dark.Close()
+
+	watched := NewLab()
+	watched.SetTelemetry(true)
+	defer watched.Close()
+
+	scenarios := []Scenario{sc}
+	_, t2Dark, err := Table2(dark, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2Watched, err := Table2(watched, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := t2Dark.String(), t2Watched.String(); a != b {
+		t.Errorf("Table 2 differs with telemetry on:\noff:\n%s\non:\n%s", a, b)
+	}
+
+	_, t3Dark, err := Table3(dark, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t3Watched, err := Table3(watched, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := t3Dark.String(), t3Watched.String(); a != b {
+		t.Errorf("Table 3 differs with telemetry on:\noff:\n%s\non:\n%s", a, b)
+	}
+
+	_, t4Dark, err := Table4(dark, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t4Watched, err := Table4(watched, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := t4Dark.String(), t4Watched.String(); a != b {
+		t.Errorf("Table 4 differs with telemetry on:\noff:\n%s\non:\n%s", a, b)
+	}
+
+	// The unobserved lab's table must stay nil; the watched one must have
+	// seen every crawler account.
+	if tel, err := dark.Telemetry(sc); err != nil || tel != nil {
+		t.Errorf("dark lab grew a telemetry table: %v, %v", tel, err)
+	}
+	tel, err := watched.Telemetry(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel == nil || tel.Accounts() == 0 {
+		t.Fatal("watched lab recorded nothing")
+	}
+}
+
+// TestDefenderViewRanksCrawler is the detectability claim end to end: after
+// a real HS1 attack run over HTTP, the platform's telemetry must rank every
+// crawler account's crawler-likeness score above that of a hand-simulated
+// organic browser on the same platform — the defender can tell the paper's
+// attack apart from a normal user without any attacker cooperation.
+func TestDefenderViewRanksCrawler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HS1 run; skipped with -short")
+	}
+	sc := HS1()
+	lab := NewLab()
+	lab.SetTelemetry(true)
+	defer lab.Close()
+
+	if _, err := lab.Run(sc, RunBasic); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lab.Platform(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate an organic member browsing alongside the crawl: one search,
+	// a handful of profiles viewed with revisits, first friend pages only.
+	tok, err := p.RegisterAccount("organic-bystander", sim.Date{Year: 1990, Month: 5, Day: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := p.SchoolSearch(tok, p.Schools()[0].ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 5 {
+		t.Fatalf("search too small to browse: %d results", len(res))
+	}
+	var visible []osn.PublicID
+	for i := 0; i < 30; i++ {
+		id := res[i%5].ID
+		pp, err := p.Profile(tok, id)
+		if err != nil {
+			continue // hidden profiles bounce organic users too
+		}
+		if pp.FriendListVisible && len(visible) < 3 {
+			visible = append(visible, id)
+		}
+	}
+	for _, id := range visible {
+		if _, _, err := p.FriendPage(tok, id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tel, err := lab.Telemetry(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := tel.Snapshot()
+	var organicScore float64
+	crawlerScores := map[string]float64{}
+	found := false
+	for _, s := range snaps {
+		if s.Token == tok {
+			organicScore = s.Score
+			found = true
+		} else {
+			crawlerScores[s.Token] = s.Score
+		}
+	}
+	if !found {
+		t.Fatal("organic account not tracked")
+	}
+	if len(crawlerScores) == 0 {
+		t.Fatal("no crawler accounts tracked")
+	}
+	for tok, score := range crawlerScores {
+		if score <= organicScore {
+			t.Errorf("crawler %s score %.2f not above organic %.2f", tok, score, organicScore)
+		}
+	}
+	// Snapshot ordering is by score, so the organic account must not be
+	// first.
+	if snaps[0].Token == tok {
+		t.Error("organic account tops the defender view")
+	}
+}

@@ -128,7 +128,9 @@ type Options struct {
 	// negative disables the ring.
 	RingSize int
 	// Sample keeps 1 in N events per category (unlisted categories keep
-	// everything; N ≤ 1 keeps everything). Sampling is deterministic per
+	// everything). A non-positive or 1 N is clamped to 1 — keep everything
+	// — at construction, so a miscomputed rate can never divide by zero or
+	// silently drop a whole category. Sampling is deterministic per
 	// category — the 1st, N+1st, 2N+1st... events pass — so two identical
 	// runs sample identically.
 	Sample map[string]int
@@ -172,6 +174,12 @@ func New(o Options) *Logger {
 	if len(o.Sample) > 0 {
 		l.samples = make(map[string]*sampleState, len(o.Sample))
 		for cat, every := range o.Sample {
+			// Clamp non-positive N to 1 (keep everything): a sampleState
+			// with every == 0 would panic on the modulo in pass, and
+			// every == 1 needs no state at all.
+			if every < 1 {
+				every = 1
+			}
 			if every > 1 {
 				l.samples[cat] = &sampleState{every: uint64(every)}
 			}

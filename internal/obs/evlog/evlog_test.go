@@ -125,6 +125,43 @@ func TestMinLevelAndSampling(t *testing.T) {
 	}
 }
 
+// TestSampleValidation pins the construction-time clamp: a non-positive
+// per-category N behaves exactly like N=1 (keep everything) instead of
+// producing a zero-every sampleState whose modulo would panic on the
+// first event.
+func TestSampleValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		every     int
+		emit      int
+		wantKept  int
+		wantDrops int64
+	}{
+		{"negative clamps to keep-everything", -5, 10, 10, 0},
+		{"zero clamps to keep-everything", 0, 10, 10, 0},
+		{"one keeps everything", 1, 10, 10, 0},
+		{"two keeps half", 2, 10, 5, 5},
+		{"ten keeps first of each decade", 10, 25, 3, 22},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf syncBuffer
+			l := New(Options{Sink: &buf, Sample: map[string]int{"cat": tc.every}})
+			ctx := context.Background()
+			for i := 0; i < tc.emit; i++ {
+				l.Info(ctx, "cat", "event")
+			}
+			if events := parseLines(t, buf.Bytes()); len(events) != tc.wantKept {
+				t.Fatalf("Sample[cat]=%d: kept %d of %d events, want %d",
+					tc.every, len(events), tc.emit, tc.wantKept)
+			}
+			if got := l.Sampled(); got != tc.wantDrops {
+				t.Fatalf("Sample[cat]=%d: Sampled() = %d, want %d", tc.every, got, tc.wantDrops)
+			}
+		})
+	}
+}
+
 // TestConcurrentWriters drives many goroutines through one sink and asserts
 // no line is torn or interleaved — every line must parse and carry one of
 // the writers' ids. Run under -race this is the concurrency guarantee.

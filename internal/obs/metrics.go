@@ -456,6 +456,11 @@ type HistogramSnapshot struct {
 // Quantile estimates the q-quantile from the snapshot's buckets, same
 // estimator as Histogram.Quantile — this is what cmd/runreport runs over a
 // manifest's embedded metrics.
+//
+// An empty snapshot (no observations, or no buckets at all) returns 0,
+// not NaN: report columns render as zeros and downstream arithmetic is
+// never poisoned. Callers that must distinguish "no data" from "all
+// observations were 0" check Count.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return bucketQuantile(s.Bounds, s.Counts, q)
 }

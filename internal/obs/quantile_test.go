@@ -58,6 +58,37 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestSnapshotQuantileEdgeCases(t *testing.T) {
+	// Empty snapshot: the documented contract is 0, not NaN, for every q —
+	// including a snapshot with no buckets at all (a manifest written
+	// before any histogram was registered).
+	var empty HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty snapshot Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	zeroed := HistogramSnapshot{Bounds: []float64{0.1, 1}, Counts: []int64{0, 0, 0}}
+	if got := zeroed.Quantile(0.5); got != 0 {
+		t.Fatalf("zero-count snapshot Quantile(0.5) = %v, want 0", got)
+	}
+
+	// Single bucket: every quantile interpolates inside (0, bound].
+	single := HistogramSnapshot{Bounds: []float64{2}, Counts: []int64{10, 0}, Sum: 10, Count: 10}
+	if got := single.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("single-bucket Quantile(0.5) = %v, want 1 (midpoint)", got)
+	}
+	if got := single.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("single-bucket Quantile(1) = %v, want upper bound 2", got)
+	}
+
+	// Only the +Inf bucket populated: clamps to the largest finite bound.
+	overflow := HistogramSnapshot{Bounds: []float64{2}, Counts: []int64{0, 3}, Sum: 30, Count: 3}
+	if got := overflow.Quantile(0.5); got != 2 {
+		t.Fatalf("+Inf-only snapshot Quantile(0.5) = %v, want 2", got)
+	}
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("reqs_total", "", L("endpoint", "profile")).Add(7)

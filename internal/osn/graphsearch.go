@@ -76,6 +76,7 @@ func (p *Platform) graphSearch(e *epoch, token string, q GraphQuery, page int) (
 	if page < 0 {
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
+	p.tel.RecordSearch(token)
 	schoolName := e.schools[q.SchoolID].Name
 	currentYear := e.currentYear[q.SchoolID]
 	view := p.accountView(e, token, q.SchoolID)

@@ -11,6 +11,7 @@ import (
 
 	"hsprofiler/internal/obs"
 	"hsprofiler/internal/obs/evlog"
+	"hsprofiler/internal/osn/telemetry"
 	"hsprofiler/internal/sim"
 	"hsprofiler/internal/socialgraph"
 	"hsprofiler/internal/worldgen"
@@ -173,6 +174,12 @@ type Platform struct {
 
 	// lg is the event logger (nil = silent); set by WithLog before serving.
 	lg *evlog.Logger
+
+	// tel is the behavioral telemetry table (nil = no recording); set by
+	// WithTelemetry before serving. Recording happens after a request
+	// passes the charge gate, so telemetry sees exactly the traffic that
+	// reached the read plane.
+	tel *telemetry.Table
 }
 
 // NewPlatform builds a platform over the world. The world must not be
@@ -272,6 +279,19 @@ func (p *Platform) WithLog(lg *evlog.Logger) *Platform {
 	return p
 }
 
+// WithTelemetry attaches the behavioral telemetry table: every serving
+// method records its request shape (account token, surface, target) after
+// the charge gate admits it. A nil table keeps recording a no-op.
+// Telemetry never touches response bytes — attack results are identical
+// with it on or off. Call before serving begins; returns p for chaining.
+func (p *Platform) WithTelemetry(t *telemetry.Table) *Platform {
+	p.tel = t
+	return p
+}
+
+// Telemetry returns the attached table (nil when telemetry is off).
+func (p *Platform) Telemetry() *telemetry.Table { return p.tel }
+
 func (p *Platform) assignPublicIDs() {
 	rng := sim.New(p.seed).Stream("publicids")
 	p.pub = make([]PublicID, len(p.world.People))
@@ -317,6 +337,7 @@ func (p *Platform) citySearch(e *epoch, token, city string, page int) (results [
 	if page < 0 {
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
+	p.tel.RecordSearch(token)
 	key := strings.ToLower(city)
 	scope := "city:" + key
 	view := p.cachedResults(e, token, scope, e.cachePrefix+scope, e.cityIndex[key])
@@ -597,6 +618,7 @@ func (p *Platform) schoolSearch(e *epoch, token string, schoolID, page int) (res
 	if page < 0 {
 		return nil, false, fmt.Errorf("osn: negative page")
 	}
+	p.tel.RecordSearch(token)
 	view := p.cachedResults(e, token, e.viewScope[schoolID], e.cacheKey[schoolID], e.searchIndex[schoolID])
 	start := page * p.cfg.SearchPageSize
 	if start >= len(view) {
@@ -634,6 +656,7 @@ func (p *Platform) profile(e *epoch, token string, id PublicID) (*PublicProfile,
 		p.lg.Debug(context.Background(), "osn.gate", "profile not found", evlog.Str("id", string(id)))
 		return nil, ErrNotFound
 	}
+	p.tel.RecordProfile(token, string(id))
 	return e.read.profiles[u], nil
 }
 
@@ -675,6 +698,7 @@ func (p *Platform) friendPage(e *epoch, token string, id PublicID, page int) (fr
 		p.lg.Debug(context.Background(), "osn.gate", "friend list hidden", evlog.Str("id", string(id)))
 		return nil, false, ErrHidden
 	}
+	p.tel.RecordFriendPage(token, string(id), page)
 	all := e.read.friendRefs[u]
 	start := page * p.cfg.FriendPageSize
 	if start >= len(all) {

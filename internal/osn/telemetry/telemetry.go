@@ -1,0 +1,438 @@
+// Package telemetry is the defender-side sensor layer of the serving
+// plane: per-account sliding-window aggregates of traffic shape, designed
+// so the platform can tell a systematic crawler from organic browsing
+// (ROADMAP item 3's prerequisite).
+//
+// The features tracked per account are the ones that separate the paper's
+// attack from ordinary use:
+//
+//   - distinct-profiles-viewed cardinality: a crawler harvests hundreds of
+//     distinct profiles and almost never revisits one (its cache absorbs
+//     repeats); an organic user views a handful, repeatedly.
+//   - search fan-out: page-fetches against the people-search surfaces per
+//     window. The attack's seed phase walks every result page.
+//   - friend-list page coverage: friend-list pages fetched per distinct
+//     list owner. The attack paginates every list to exhaustion; browsing
+//     rarely scrolls past the first page.
+//   - interarrival coefficient of variation: machine-paced traffic is
+//     far more regular (CV << 1) than human think-time.
+//   - cross-account co-access overlap: accounts operated by one crawler
+//     partition or share a target set; unrelated users overlap far less.
+//
+// Everything on the record path is fixed-size — Bloom filters for
+// cardinality, running sums for interarrival moments — so an account's
+// footprint never grows with traffic and the steady-state serving path
+// stays allocation-free. Accounts are sharded 64 ways with one mutex per
+// shard, mirroring the control plane's lock striping, so recording never
+// serializes unrelated accounts.
+//
+// Windowing uses two buckets (current + previous) rotated lazily on
+// activity: features are computed over both buckets, approximating a
+// sliding window of one to two window-lengths. Rotation is a struct copy;
+// it allocates nothing.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// shardCount mirrors the control plane's 64-way lock striping: the token
+// hash picks a shard, so two accounts contend only on a 1/64 collision.
+const shardCount = 64
+
+// Kind labels the serving surface a request hit. It is the record-path
+// vocabulary; features aggregate over it.
+type Kind uint8
+
+const (
+	// KindSearch covers the people-search surfaces (school, city, graph).
+	KindSearch Kind = iota
+	// KindProfile is a profile view.
+	KindProfile
+	// KindFriendPage is one page of a friend list.
+	KindFriendPage
+)
+
+// Table holds per-account telemetry. The zero value is not usable; call
+// NewTable. A nil *Table is a no-op on every method, so callers wire it
+// unconditionally and gate only its construction.
+type Table struct {
+	window int64 // ns
+	// clock is swappable for tests (SetClock); it must be set before
+	// serving starts and never changed while requests are in flight.
+	clock  func() time.Time
+	shards [shardCount]shard
+}
+
+type shard struct {
+	mu       sync.Mutex
+	accounts map[string]*account
+}
+
+// account is one tracked token's state. All fields are fixed-size: the
+// Bloom filters bound cardinality tracking, the interarrival moments are
+// three floats. Everything except token is owned by the shard mutex.
+type account struct {
+	token    string
+	curStart int64 // ns; start of the current window bucket
+	cur      bucket
+	prev     bucket
+	// Interarrival moments accumulate across the account's lifetime (the
+	// CV of a machine-paced crawler is stable, so lifetime moments are a
+	// better estimate than a window's worth).
+	lastNanos int64
+	iaCount   int64
+	iaSum     float64 // seconds
+	iaSumSq   float64
+	total     int64
+}
+
+// bucket is one window's worth of counters for an account.
+type bucket struct {
+	requests    int64
+	searches    int64
+	profiles    int64
+	friendPages int64
+	// distinctProfiles tracks profile-view cardinality; friendTargets
+	// tracks distinct friend-list owners (the coverage denominator).
+	distinctProfiles bloom
+	friendTargets    bloom
+}
+
+// NewTable builds a telemetry table with the given window length.
+// Non-positive windows default to one minute.
+func NewTable(window time.Duration) *Table {
+	if window <= 0 {
+		window = time.Minute
+	}
+	t := &Table{window: int64(window), clock: time.Now}
+	for i := range t.shards {
+		t.shards[i].accounts = make(map[string]*account)
+	}
+	return t
+}
+
+// Window reports the configured window length.
+func (t *Table) Window() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.window)
+}
+
+// SetClock replaces the time source. Test-only; must be called before any
+// Record and never concurrently with serving.
+func (t *Table) SetClock(clock func() time.Time) {
+	if t != nil && clock != nil {
+		t.clock = clock
+	}
+}
+
+// enter locks the token's shard, rotates the window if it elapsed, and
+// applies the per-request accounting shared by every kind. It returns the
+// shard still locked; the caller updates kind-specific fields and must
+// call s.mu.Unlock. Written without closures or defer so the record path
+// stays allocation-free.
+func (t *Table) enter(token string) (*shard, *account) {
+	s := &t.shards[tokenHash(token)&(shardCount-1)]
+	now := t.clock().UnixNano()
+	s.mu.Lock()
+	a := s.accounts[token]
+	if a == nil {
+		// First sight of an account allocates its fixed-size state; every
+		// later request reuses it.
+		a = &account{token: token, curStart: now}
+		s.accounts[token] = a
+	}
+	if elapsed := now - a.curStart; elapsed >= t.window {
+		if elapsed >= 2*t.window {
+			// The account went quiet for a full window: the previous
+			// bucket is stale too.
+			a.prev = bucket{}
+		} else {
+			a.prev = a.cur
+		}
+		a.cur = bucket{}
+		a.curStart = now
+	}
+	if a.lastNanos != 0 {
+		gap := float64(now-a.lastNanos) / 1e9
+		a.iaCount++
+		a.iaSum += gap
+		a.iaSumSq += gap * gap
+	}
+	a.lastNanos = now
+	a.total++
+	a.cur.requests++
+	return s, a
+}
+
+// RecordSearch notes one served search page (school, city, or graph
+// search). Fan-out is the count of these per window — the seed phase of
+// the attack walks every result page, so the count alone is the feature.
+func (t *Table) RecordSearch(token string) {
+	if t == nil || token == "" {
+		return
+	}
+	s, a := t.enter(token)
+	a.cur.searches++
+	s.mu.Unlock()
+}
+
+// RecordProfile notes one served profile view.
+func (t *Table) RecordProfile(token, id string) {
+	if t == nil || token == "" {
+		return
+	}
+	s, a := t.enter(token)
+	a.cur.profiles++
+	a.cur.distinctProfiles.add(strHash(id))
+	s.mu.Unlock()
+}
+
+// RecordFriendPage notes one served friend-list page for list owner id.
+func (t *Table) RecordFriendPage(token, id string, page int) {
+	if t == nil || token == "" {
+		return
+	}
+	s, a := t.enter(token)
+	a.cur.friendPages++
+	a.cur.friendTargets.add(strHash(id))
+	s.mu.Unlock()
+}
+
+// AccountSnapshot is one account's feature vector at snapshot time,
+// computed over the current + previous window buckets.
+type AccountSnapshot struct {
+	Token       string `json:"token"`
+	Requests    int64  `json:"requests"`
+	Searches    int64  `json:"searches"`
+	Profiles    int64  `json:"profiles"`
+	FriendPages int64  `json:"friend_pages"`
+	// DistinctProfiles and DistinctFriendTargets are Bloom estimates —
+	// approximate, fixed-memory cardinalities (±~5% at hundreds of items).
+	DistinctProfiles      float64 `json:"distinct_profiles"`
+	DistinctFriendTargets float64 `json:"distinct_friend_targets"`
+	// Coverage is friend-list pages per distinct list owner: the
+	// paginate-to-exhaustion signature. Organic browsing sits near 1.
+	Coverage float64 `json:"coverage"`
+	// HarvestRatio is distinct profiles per profile request: a crawler
+	// behind a cache never revisits (≈1); organic browsing revisits (<1).
+	HarvestRatio float64 `json:"harvest_ratio"`
+	// InterarrivalCV is stddev/mean of request gaps; 0 until the account
+	// has at least two gaps.
+	InterarrivalCV float64 `json:"interarrival_cv"`
+	// MaxOverlap is the highest Jaccard overlap of this account's distinct
+	// profile set with any other account's (co-access: split-crawl
+	// accounts share or partition one target pool).
+	MaxOverlap  float64 `json:"max_overlap"`
+	OverlapWith string  `json:"overlap_with,omitempty"`
+	// Score is the crawler-likeness combination documented in DESIGN.md
+	// ("Watchtower"): log2(1+distinct) + log2(1+fanout)
+	// + 2·max(0, coverage−1) + 2·harvest ratio.
+	Score float64 `json:"score"`
+}
+
+// Snapshot computes every tracked account's feature vector, sorted by
+// descending Score (ties broken by token, so output is deterministic).
+// It takes each shard lock briefly to copy state, then computes features
+// and pairwise overlap outside the locks.
+func (t *Table) Snapshot() []AccountSnapshot {
+	if t == nil {
+		return nil
+	}
+	type acctCopy struct {
+		account
+		profBloom bloom
+	}
+	var copies []acctCopy
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, a := range s.accounts {
+			c := acctCopy{account: *a}
+			c.profBloom = a.cur.distinctProfiles
+			c.profBloom.union(&a.prev.distinctProfiles)
+			copies = append(copies, c)
+		}
+		s.mu.Unlock()
+	}
+	out := make([]AccountSnapshot, 0, len(copies))
+	for i := range copies {
+		a := &copies[i]
+		var ft bloom
+		ft = a.cur.friendTargets
+		ft.union(&a.prev.friendTargets)
+		snap := AccountSnapshot{
+			Token:       a.token,
+			Requests:    a.cur.requests + a.prev.requests,
+			Searches:    a.cur.searches + a.prev.searches,
+			Profiles:    a.cur.profiles + a.prev.profiles,
+			FriendPages: a.cur.friendPages + a.prev.friendPages,
+		}
+		snap.DistinctProfiles = a.profBloom.estimate()
+		snap.DistinctFriendTargets = ft.estimate()
+		if snap.DistinctFriendTargets >= 1 {
+			snap.Coverage = float64(snap.FriendPages) / snap.DistinctFriendTargets
+		}
+		if snap.Profiles > 0 {
+			snap.HarvestRatio = math.Min(1, snap.DistinctProfiles/float64(snap.Profiles))
+		}
+		if a.iaCount >= 2 {
+			mean := a.iaSum / float64(a.iaCount)
+			variance := a.iaSumSq/float64(a.iaCount) - mean*mean
+			if variance > 0 && mean > 0 {
+				snap.InterarrivalCV = math.Sqrt(variance) / mean
+			}
+		}
+		for j := range copies {
+			if i == j {
+				continue
+			}
+			ov := jaccard(&a.profBloom, &copies[j].profBloom)
+			if ov > snap.MaxOverlap {
+				snap.MaxOverlap = ov
+				snap.OverlapWith = copies[j].token
+			}
+		}
+		snap.Score = score(snap)
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Token < out[j].Token
+	})
+	return out
+}
+
+// Accounts reports how many accounts are currently tracked.
+func (t *Table) Accounts() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.accounts)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// score is the crawler-likeness combination. Log-scaled cardinality and
+// fan-out keep any one feature from dominating; coverage beyond one page
+// per list and a near-1 harvest ratio are the strongest attack
+// signatures, so they carry double weight.
+func score(s AccountSnapshot) float64 {
+	v := math.Log2(1+s.DistinctProfiles) + math.Log2(1+float64(s.Searches))
+	if s.Coverage > 1 {
+		v += 2 * (s.Coverage - 1)
+	}
+	v += 2 * s.HarvestRatio
+	return v
+}
+
+// --- Bloom filter: 1024 bits, two hashes per item ---------------------
+
+const (
+	bloomWords = 16
+	bloomBits  = bloomWords * 64
+)
+
+// bloom is a fixed 1024-bit filter with k=2 probes per item — enough for
+// cardinality estimates up to a few hundred distinct items at single-digit
+// percent error, in 128 bytes, with no allocation ever.
+type bloom [bloomWords]uint64
+
+func (b *bloom) add(h uint64) {
+	// FNV-1a's upper bits barely move across short, similar ids (user-1,
+	// user-2, ...), which would collapse the second probe onto a handful of
+	// positions and halve the cardinality estimate. A murmur-style
+	// finalizer diffuses every input bit across the word first.
+	h = mix64(h)
+	h1 := uint32(h) & (bloomBits - 1)
+	h2 := uint32(h>>32) & (bloomBits - 1)
+	b[h1>>6] |= 1 << (h1 & 63)
+	b[h2>>6] |= 1 << (h2 & 63)
+}
+
+// mix64 is the murmur3 fmix64 finalizer: a bijective avalanche so both
+// bloom probes see independent-looking bits.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func (b *bloom) ones() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// estimate inverts the expected fill rate: n̂ = −(m/k)·ln(1−X/m) for X set
+// bits out of m with k probes. A saturated filter reports the asymptote m/k
+// scaled by a large factor — "too many to count" rather than +Inf.
+func (b *bloom) estimate() float64 {
+	x := float64(b.ones())
+	if x == 0 {
+		return 0
+	}
+	if x >= bloomBits {
+		return bloomBits * 8
+	}
+	return -(bloomBits / 2.0) * math.Log(1-x/bloomBits)
+}
+
+func (b *bloom) union(o *bloom) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// jaccard estimates |A∩B|/|A∪B| from the filters' cardinality estimates:
+// inter = est(A) + est(B) − est(A∪B), clamped to [0,1].
+func jaccard(a, b *bloom) float64 {
+	u := *a
+	u.union(b)
+	eu := u.estimate()
+	if eu <= 0 {
+		return 0
+	}
+	inter := a.estimate() + b.estimate() - eu
+	if inter <= 0 {
+		return 0
+	}
+	j := inter / eu
+	if j > 1 {
+		j = 1
+	}
+	return j
+}
+
+// --- hashing ----------------------------------------------------------
+
+// strHash is 64-bit FNV-1a, inlined so hashing a token or id never
+// allocates.
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func tokenHash(s string) uint64 { return strHash(s) }

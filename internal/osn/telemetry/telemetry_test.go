@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for window tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) tick(d time.Duration) { c.now = c.now.Add(d) }
+func (c *fakeClock) fn() func() time.Time { return func() time.Time { return c.now } }
+
+func newTestTable(window time.Duration) (*Table, *fakeClock) {
+	t := NewTable(window)
+	c := &fakeClock{now: time.Unix(1_700_000_000, 0)}
+	t.SetClock(c.fn())
+	return t, c
+}
+
+func snapFor(t *testing.T, tab *Table, token string) AccountSnapshot {
+	t.Helper()
+	for _, s := range tab.Snapshot() {
+		if s.Token == token {
+			return s
+		}
+	}
+	t.Fatalf("account %q not in snapshot", token)
+	return AccountSnapshot{}
+}
+
+func TestNilTableIsNoOp(t *testing.T) {
+	var tab *Table
+	tab.RecordSearch("a")
+	tab.RecordProfile("a", "u1")
+	tab.RecordFriendPage("a", "u1", 0)
+	if tab.Snapshot() != nil || tab.Accounts() != 0 || tab.Window() != 0 {
+		t.Fatal("nil table not inert")
+	}
+}
+
+func TestWindowRotation(t *testing.T) {
+	tab, clk := newTestTable(time.Minute)
+
+	// Ten requests in the first window.
+	for i := 0; i < 10; i++ {
+		tab.RecordProfile("acct", fmt.Sprintf("u%d", i))
+		clk.tick(time.Second)
+	}
+	if got := snapFor(t, tab, "acct").Requests; got != 10 {
+		t.Fatalf("first window: %d requests, want 10", got)
+	}
+
+	// Cross into the next window: old counts move to prev, features still
+	// cover both buckets.
+	clk.tick(time.Minute)
+	tab.RecordProfile("acct", "u-new")
+	if got := snapFor(t, tab, "acct").Requests; got != 11 {
+		t.Fatalf("after one rotation: %d requests, want 11 (cur+prev)", got)
+	}
+
+	// Go quiet for over two windows: both buckets are stale, so the next
+	// request starts fresh.
+	clk.tick(3 * time.Minute)
+	tab.RecordProfile("acct", "u-later")
+	if got := snapFor(t, tab, "acct").Requests; got != 1 {
+		t.Fatalf("after a quiet gap: %d requests, want 1", got)
+	}
+}
+
+func TestBloomEstimateAccuracy(t *testing.T) {
+	var b bloom
+	const n = 200
+	for i := 0; i < n; i++ {
+		b.add(strHash(fmt.Sprintf("user-%d", i)))
+	}
+	est := b.estimate()
+	if math.Abs(est-n) > 0.10*n {
+		t.Fatalf("estimate %.1f for %d items: outside 10%%", est, n)
+	}
+	// Idempotent: re-adding the same items must not move the estimate.
+	for i := 0; i < n; i++ {
+		b.add(strHash(fmt.Sprintf("user-%d", i)))
+	}
+	if again := b.estimate(); again != est {
+		t.Fatalf("re-adding items moved the estimate: %.1f -> %.1f", est, again)
+	}
+}
+
+// TestScoreSeparatesCrawlerFromOrganic drives two synthetic accounts — a
+// paper-style crawl (wide search fan-out, hundreds of distinct profiles,
+// friend lists paginated to exhaustion) and an organic browser (few
+// profiles, revisits, first pages only) — and checks the score orders them.
+func TestScoreSeparatesCrawlerFromOrganic(t *testing.T) {
+	tab, clk := newTestTable(time.Hour)
+
+	// Crawler: machine-paced, never revisits, paginates friend lists.
+	for i := 0; i < 30; i++ {
+		tab.RecordSearch("crawler")
+		clk.tick(50 * time.Millisecond)
+	}
+	for i := 0; i < 200; i++ {
+		tab.RecordProfile("crawler", fmt.Sprintf("u%d", i))
+		clk.tick(50 * time.Millisecond)
+	}
+	for i := 0; i < 40; i++ {
+		for page := 0; page < 3; page++ {
+			tab.RecordFriendPage("crawler", fmt.Sprintf("u%d", i), page)
+			clk.tick(50 * time.Millisecond)
+		}
+	}
+
+	// Organic: one search, a handful of profiles viewed repeatedly with
+	// human think-time, only first friend pages.
+	tab.RecordSearch("organic")
+	for i := 0; i < 30; i++ {
+		tab.RecordProfile("organic", fmt.Sprintf("u%d", i%8))
+		clk.tick(time.Duration(3+i%9) * time.Second)
+	}
+	for i := 0; i < 3; i++ {
+		tab.RecordFriendPage("organic", fmt.Sprintf("u%d", i), 0)
+		clk.tick(7 * time.Second)
+	}
+
+	crawler := snapFor(t, tab, "crawler")
+	organic := snapFor(t, tab, "organic")
+	if crawler.Score <= organic.Score {
+		t.Fatalf("crawler score %.2f not above organic %.2f\ncrawler: %+v\norganic: %+v",
+			crawler.Score, organic.Score, crawler, organic)
+	}
+	if crawler.Coverage < 2.5 {
+		t.Errorf("crawler coverage %.2f, want ~3 (paginated to exhaustion)", crawler.Coverage)
+	}
+	if organic.Coverage > 1.5 {
+		t.Errorf("organic coverage %.2f, want ~1 (first pages only)", organic.Coverage)
+	}
+	if crawler.HarvestRatio < 0.85 {
+		t.Errorf("crawler harvest ratio %.2f, want ~1 (never revisits)", crawler.HarvestRatio)
+	}
+	if organic.HarvestRatio > 0.5 {
+		t.Errorf("organic harvest ratio %.2f, want well under 1 (revisits)", organic.HarvestRatio)
+	}
+	if crawler.InterarrivalCV > organic.InterarrivalCV {
+		t.Errorf("machine pacing CV %.2f above human CV %.2f", crawler.InterarrivalCV, organic.InterarrivalCV)
+	}
+	// Snapshot order: crawler first (highest score).
+	if snaps := tab.Snapshot(); snaps[0].Token != "crawler" {
+		t.Errorf("snapshot not sorted by score: %q first", snaps[0].Token)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	tab, _ := newTestTable(time.Hour)
+	// Two split-crawl accounts share a target pool; a bystander views
+	// different profiles entirely.
+	for i := 0; i < 100; i++ {
+		tab.RecordProfile("crawl-a", fmt.Sprintf("u%d", i))
+		tab.RecordProfile("crawl-b", fmt.Sprintf("u%d", i))
+		tab.RecordProfile("bystander", fmt.Sprintf("other-%d", i))
+	}
+	a := snapFor(t, tab, "crawl-a")
+	by := snapFor(t, tab, "bystander")
+	if a.MaxOverlap < 0.8 || a.OverlapWith != "crawl-b" {
+		t.Errorf("shared-pool overlap %.2f with %q, want ~1 with crawl-b", a.MaxOverlap, a.OverlapWith)
+	}
+	if by.MaxOverlap > 0.3 {
+		t.Errorf("disjoint bystander overlap %.2f, want near 0", by.MaxOverlap)
+	}
+}
+
+// TestRecordZeroAlloc proves the steady-state record path allocates
+// nothing: the only allocation is the first sighting of an account.
+func TestRecordZeroAlloc(t *testing.T) {
+	tab := NewTable(time.Hour)
+	tab.RecordProfile("acct", "u0")
+	tab.RecordSearch("acct")
+	tab.RecordFriendPage("acct", "u0", 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tab.RecordProfile("acct", "u1")
+		tab.RecordSearch("acct")
+		tab.RecordFriendPage("acct", "u1", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state record path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	tab, _ := newTestTable(time.Hour)
+	for i := 0; i < 8; i++ {
+		tok := fmt.Sprintf("acct-%d", i)
+		for j := 0; j <= i; j++ {
+			tab.RecordProfile(tok, fmt.Sprintf("u%d", j))
+		}
+	}
+	first := tab.Snapshot()
+	for n := 0; n < 5; n++ {
+		again := tab.Snapshot()
+		if len(again) != len(first) {
+			t.Fatalf("snapshot length changed: %d vs %d", len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("snapshot %d differs at %d:\n%+v\n%+v", n, i, again[i], first[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package osnhttp
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"hsprofiler/internal/osn/telemetry"
+)
+
+// The defender's introspection surface. /api/v1/admin/telemetry exposes
+// the behavioral telemetry table — per-account crawler-likeness features,
+// ranked — as JSON. It exists only when a Table is attached (osnd -admin);
+// otherwise the whole admin/ subtree 404s like any unknown route, so the
+// surface is invisible on ordinary deployments.
+//
+// Unlike the /api/v1 read endpoints this handler is not allocation-free:
+// it renders with encoding/json at operator-query rates, not crawler
+// rates, and never sits in a request hot path.
+
+// WithTelemetry attaches the behavioral telemetry table, enabling the
+// /api/v1/admin/telemetry endpoint. Returns the server for chaining.
+func (s *Server) WithTelemetry(t *telemetry.Table) *Server {
+	s.tel = t
+	return s
+}
+
+// adminTelemetryResponse is the endpoint's wire shape.
+type adminTelemetryResponse struct {
+	WindowSeconds float64                     `json:"window_seconds"`
+	Accounts      []telemetry.AccountSnapshot `json:"accounts"`
+	Epoch         uint64                      `json:"epoch"`
+}
+
+// serveAdmin routes the admin/ subtree. rest is the path after
+// "/api/v1/admin/".
+func (s *Server) serveAdmin(w http.ResponseWriter, r *http.Request, rest string) {
+	if s.tel == nil {
+		apiError(w, r, http.StatusNotFound, "not_found", "unknown API route")
+		return
+	}
+	switch rest {
+	case "telemetry":
+		resp := adminTelemetryResponse{
+			WindowSeconds: s.tel.Window().Seconds(),
+			Accounts:      s.tel.Snapshot(),
+			Epoch:         s.platform.EpochSeq(),
+		}
+		if resp.Accounts == nil {
+			resp.Accounts = []telemetry.AccountSnapshot{}
+		}
+		w.Header()["Content-Type"] = ctJSON
+		json.NewEncoder(w).Encode(resp)
+	default:
+		apiError(w, r, http.StatusNotFound, "not_found", "unknown admin route")
+	}
+}

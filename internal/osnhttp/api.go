@@ -276,14 +276,22 @@ func apiCode(err error) (int, string) {
 	}
 }
 
-// apiError writes the error envelope at the given status.
-func apiError(w http.ResponseWriter, code int, codeStr, msg string) {
+// apiError writes the error envelope at the given status. When the
+// request carries a client-minted id, the envelope echoes it as
+// "request_id" — the wire-correlation contract: an attacker-side retry
+// and a defender-side error row share one id.
+func apiError(w http.ResponseWriter, r *http.Request, code int, codeStr, msg string) {
 	e := getEnc()
 	e.raw(`{"error":{"code":`)
 	e.str(codeStr)
 	e.raw(`,"message":`)
 	e.str(msg)
-	e.raw(`}}`)
+	e.raw(`}`)
+	if id := r.Header.Get(RequestIDHeader); id != "" {
+		e.raw(`,"request_id":`)
+		e.str(id)
+	}
+	e.raw(`}`)
 	if code == http.StatusServiceUnavailable {
 		w.Header()["Retry-After"] = retryAfter1
 	}
@@ -292,9 +300,9 @@ func apiError(w http.ResponseWriter, code int, codeStr, msg string) {
 }
 
 // apiFail maps a platform error onto the envelope.
-func apiFail(w http.ResponseWriter, err error) {
+func apiFail(w http.ResponseWriter, r *http.Request, err error) {
 	code, codeStr := apiCode(err)
-	apiError(w, code, codeStr, err.Error())
+	apiError(w, r, code, codeStr, err.Error())
 }
 
 // serveAPI routes /api/v1/ requests. Routing is by hand — prefix slicing
@@ -305,14 +313,14 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 	rest := r.URL.Path[len(apiPrefix):]
 	if rest == "register" {
 		if r.Method != http.MethodPost {
-			apiError(w, http.StatusMethodNotAllowed, "method_not_allowed", "register is POST-only")
+			apiError(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "register is POST-only")
 			return
 		}
 		s.apiRegister(w, r)
 		return
 	}
 	if r.Method != http.MethodGet {
-		apiError(w, http.StatusMethodNotAllowed, "method_not_allowed", "API endpoints are GET-only")
+		apiError(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "API endpoints are GET-only")
 		return
 	}
 	switch {
@@ -324,24 +332,26 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 		s.apiProfile(w, r, rest[len("profile/"):])
 	case strings.HasPrefix(rest, "friends/"):
 		s.apiFriends(w, r, rest[len("friends/"):])
+	case strings.HasPrefix(rest, "admin/"):
+		s.serveAdmin(w, r, rest[len("admin/"):])
 	default:
-		apiError(w, http.StatusNotFound, "not_found", "unknown API route")
+		apiError(w, r, http.StatusNotFound, "not_found", "unknown API route")
 	}
 }
 
 func (s *Server) apiRegister(w http.ResponseWriter, r *http.Request) {
 	if err := r.ParseForm(); err != nil {
-		apiError(w, http.StatusBadRequest, "bad_request", err.Error())
+		apiError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	var birth sim.Date
 	if _, err := fmt.Sscanf(r.PostFormValue("birth"), "%d-%d-%d", &birth.Year, &birth.Month, &birth.Day); err != nil {
-		apiError(w, http.StatusBadRequest, "bad_request", "birth must be YYYY-MM-DD")
+		apiError(w, r, http.StatusBadRequest, "bad_request", "birth must be YYYY-MM-DD")
 		return
 	}
 	token, err := s.platform.RegisterAccount(r.PostFormValue("name"), birth)
 	if err != nil {
-		apiFail(w, err)
+		apiFail(w, r, err)
 		return
 	}
 	e := getEnc()
@@ -413,7 +423,7 @@ func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
 	acct := queryParam(raw, "acct")
 	page, ok := queryInt(raw, "page")
 	if !ok || page < 0 {
-		apiError(w, http.StatusBadRequest, "bad_request", "page must be a non-negative integer")
+		apiError(w, r, http.StatusBadRequest, "bad_request", "page must be a non-negative integer")
 		return
 	}
 	var (
@@ -427,13 +437,13 @@ func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
 	case queryParam(raw, "graph") == "1":
 		school, ok := queryInt(raw, "school")
 		if !ok {
-			apiError(w, http.StatusBadRequest, "bad_request", "school must be a numeric id")
+			apiError(w, r, http.StatusBadRequest, "bad_request", "school must be a numeric id")
 			return
 		}
 		after, okA := queryInt(raw, "after")
 		before, okB := queryInt(raw, "before")
 		if !okA || !okB {
-			apiError(w, http.StatusBadRequest, "bad_request", "after/before must be numeric years")
+			apiError(w, r, http.StatusBadRequest, "bad_request", "after/before must be numeric years")
 			return
 		}
 		results, more, epoch, err = s.platform.GraphSearchEpoch(acct, osn.GraphQuery{
@@ -449,13 +459,13 @@ func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
 		v := queryParam(raw, "school")
 		school, aerr := strconv.Atoi(v)
 		if aerr != nil {
-			apiError(w, http.StatusBadRequest, "bad_request", "school must be a numeric id")
+			apiError(w, r, http.StatusBadRequest, "bad_request", "school must be a numeric id")
 			return
 		}
 		results, more, epoch, err = s.platform.SchoolSearchEpoch(acct, school, page)
 	}
 	if err != nil {
-		apiFail(w, err)
+		apiFail(w, r, err)
 		return
 	}
 	writeResultPage(w, "results", results, more, epoch)
@@ -464,7 +474,7 @@ func (s *Server) apiSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request, id string) {
 	pp, epoch, err := s.platform.ProfileEpoch(queryParam(r.URL.RawQuery, "acct"), osn.PublicID(id))
 	if err != nil {
-		apiFail(w, err)
+		apiFail(w, r, err)
 		return
 	}
 	e := getEnc()
@@ -534,12 +544,12 @@ func (s *Server) apiFriends(w http.ResponseWriter, r *http.Request, id string) {
 	raw := r.URL.RawQuery
 	page, ok := queryInt(raw, "page")
 	if !ok || page < 0 {
-		apiError(w, http.StatusBadRequest, "bad_request", "page must be a non-negative integer")
+		apiError(w, r, http.StatusBadRequest, "bad_request", "page must be a non-negative integer")
 		return
 	}
 	friends, more, epoch, err := s.platform.FriendPageEpoch(queryParam(raw, "acct"), osn.PublicID(id), page)
 	if err != nil {
-		apiFail(w, err)
+		apiFail(w, r, err)
 		return
 	}
 	writeResultPage(w, "friends", friends, more, epoch)

@@ -10,8 +10,10 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"hsprofiler/internal/osn"
+	"hsprofiler/internal/osn/telemetry"
 	"hsprofiler/internal/sim"
 	"hsprofiler/internal/worldgen"
 )
@@ -214,6 +216,11 @@ func TestAPIZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := osn.NewPlatform(w, osn.Facebook(), osn.Config{})
+	// Telemetry accumulators on: the watchtower's record path (shard lock,
+	// window rotation, Bloom inserts, interarrival moments) must hold the
+	// same zero-allocation bar as the handlers it instruments. The warmup
+	// pass absorbs the one-time per-account state allocation.
+	p.WithTelemetry(telemetry.NewTable(time.Hour))
 	s, reqs := apiSteadyRequests(t, p)
 	// WithLimits on: the limiter path must stay allocation-free too.
 	s.WithLimits(64, 64, 64)

@@ -1,6 +1,7 @@
 package osnhttp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/sim"
 )
@@ -39,6 +41,8 @@ type Client struct {
 	hc     *http.Client
 	pacer  Pacer
 	tokens []string
+	seed   uint64
+	lg     *evlog.Logger
 }
 
 // NewClient returns a client for the server at base (e.g. an httptest URL).
@@ -50,7 +54,24 @@ func NewClient(base string, hc *http.Client, pacer Pacer) *Client {
 	if pacer == nil {
 		pacer = NoPace{}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc, pacer: pacer}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, pacer: pacer, seed: 1}
+}
+
+// WithSeed sets the request-id seed (default 1). Two clients with the
+// same seed mint identical ids for identical paths, which is what makes
+// id sequences reproducible across runs. Returns c for chaining.
+func (c *Client) WithSeed(seed uint64) *Client {
+	c.seed = seed
+	return c
+}
+
+// WithLog attaches an event logger: every request emits one "wire" event
+// carrying the request id, path, status and latency — the attacker-side
+// half of the cross-process join runreport performs against the server's
+// access log. Returns c for chaining.
+func (c *Client) WithLog(lg *evlog.Logger) *Client {
+	c.lg = lg
+	return c
 }
 
 // RegisterAccounts creates n fake adult accounts for crawling, as the study
@@ -102,15 +123,32 @@ func statusErr(code int, body string) error {
 	}
 }
 
-// get fetches a page, applying pacing and error mapping.
+// get fetches a page, applying pacing, request-id stamping and error
+// mapping.
 func (c *Client) get(path string) (string, error) {
 	c.pacer.Pause()
-	resp, err := c.hc.Get(c.base + path)
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
 	if err != nil {
+		return "", err
+	}
+	id := requestID(c.seed, path)
+	req.Header[RequestIDHeader] = []string{id}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if c.lg.On(evlog.Warn) {
+			c.lg.Warn(context.Background(), "wire", "request failed",
+				evlog.Str("id", id), evlog.Str("path", path), evlog.Err("err", err))
+		}
 		return "", err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
+	if c.lg.On(evlog.Info) {
+		c.lg.Info(context.Background(), "wire", "request",
+			evlog.Str("id", id), evlog.Str("path", path),
+			evlog.Int("code", resp.StatusCode), evlog.Dur("ms", time.Since(start)))
+	}
 	if err != nil {
 		return "", err
 	}

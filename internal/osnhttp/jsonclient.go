@@ -1,13 +1,16 @@
 package osnhttp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
+	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/sim"
 )
@@ -26,6 +29,8 @@ type JSONClient struct {
 	hc     *http.Client
 	pacer  Pacer
 	tokens []string
+	seed   uint64
+	lg     *evlog.Logger
 }
 
 // NewJSONClient returns a client for the JSON API at base. hc may be nil
@@ -37,7 +42,24 @@ func NewJSONClient(base string, hc *http.Client, pacer Pacer) *JSONClient {
 	if pacer == nil {
 		pacer = NoPace{}
 	}
-	return &JSONClient{base: strings.TrimRight(base, "/"), hc: hc, pacer: pacer}
+	return &JSONClient{base: strings.TrimRight(base, "/"), hc: hc, pacer: pacer, seed: 1}
+}
+
+// WithSeed sets the request-id seed (default 1). Two clients with the
+// same seed mint identical ids for identical paths, which is what makes
+// id sequences reproducible across runs. Returns c for chaining.
+func (c *JSONClient) WithSeed(seed uint64) *JSONClient {
+	c.seed = seed
+	return c
+}
+
+// WithLog attaches an event logger: every request emits one "wire" event
+// carrying the request id, path, status and latency — the attacker-side
+// half of the cross-process join runreport performs against the server's
+// access log. Returns c for chaining.
+func (c *JSONClient) WithLog(lg *evlog.Logger) *JSONClient {
+	c.lg = lg
+	return c
 }
 
 // wire shapes. Container members stay json.RawMessage so an absent
@@ -120,16 +142,33 @@ func apiStatusErr(code int, body []byte) error {
 	return statusErr(code, string(body))
 }
 
-// get fetches an API page. The body is always read in full — even on
-// error statuses — so the connection returns to the keep-alive pool.
+// get fetches an API page, stamped with its deterministic request id.
+// The body is always read in full — even on error statuses — so the
+// connection returns to the keep-alive pool.
 func (c *JSONClient) get(path string) ([]byte, error) {
 	c.pacer.Pause()
-	resp, err := c.hc.Get(c.base + path)
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
 	if err != nil {
+		return nil, err
+	}
+	id := requestID(c.seed, path)
+	req.Header[RequestIDHeader] = []string{id}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if c.lg.On(evlog.Warn) {
+			c.lg.Warn(context.Background(), "wire", "request failed",
+				evlog.Str("id", id), evlog.Str("path", path), evlog.Err("err", err))
+		}
 		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
+	if c.lg.On(evlog.Info) {
+		c.lg.Info(context.Background(), "wire", "request",
+			evlog.Str("id", id), evlog.Str("path", path),
+			evlog.Int("code", resp.StatusCode), evlog.Dur("ms", time.Since(start)))
+	}
 	if err != nil {
 		return nil, err
 	}

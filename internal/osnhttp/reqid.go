@@ -1,0 +1,27 @@
+package osnhttp
+
+import "strconv"
+
+// RequestIDHeader carries the client-minted request id; the server echoes
+// it into the access-log event and the JSON error envelope so runreport
+// can join attacker-side wire events to defender-side access events into
+// one cross-process timeline. The constant is already in canonical MIME
+// form, so header reads and writes take the fast, allocation-free path.
+const RequestIDHeader = "X-Osn-Request-Id"
+
+// requestID derives the deterministic id for one logical request: a pure
+// 64-bit FNV-1a hash of the client's seed and the request path, rendered
+// as hex. A pure function — rather than a counter — is what keeps runs
+// reproducible under parallel workers: ids don't depend on which
+// goroutine reaches the wire first, and a retried attempt re-fetches the
+// same path so it keeps its id with no bookkeeping. Distinct logical
+// requests always differ in path (account token, target id, page), so ids
+// collide only by hash accident (~1e-10 at a hundred thousand requests).
+func requestID(seed uint64, path string) string {
+	h := uint64(14695981039346656037) ^ seed
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= 1099511628211
+	}
+	return strconv.FormatUint(h, 16)
+}

@@ -23,6 +23,7 @@ import (
 
 	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/osn"
+	"hsprofiler/internal/osn/telemetry"
 	"hsprofiler/internal/sim"
 )
 
@@ -41,6 +42,7 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *serverMetrics
 	lg       *evlog.Logger
+	tel      *telemetry.Table
 	inflight atomic.Int64
 	limits   limiters
 }
@@ -142,10 +144,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	endpoint := endpointName(r.URL.Path)
 	s.metrics.observe(endpoint, rec.code, elapsed)
+	// req_id echoes the client's correlation header (empty for unstamped
+	// callers like curl) so runreport can join this access event to the
+	// attacker-side wire event for the same logical request.
 	s.lg.Info(r.Context(), "http", "request",
 		evlog.Str("endpoint", endpoint),
 		evlog.Str("method", r.Method),
 		evlog.Str("path", r.URL.RequestURI()),
+		evlog.Str("req_id", r.Header.Get(RequestIDHeader)),
 		evlog.Int("code", rec.code),
 		evlog.I64("epoch", int64(s.platform.EpochSeq())),
 		evlog.Dur("ms", elapsed))
@@ -160,7 +166,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 		case lim <- struct{}{}:
 		default:
 			s.metrics.shedded()
-			apiError(w, http.StatusServiceUnavailable, "overload", "server overloaded, retry shortly")
+			apiError(w, r, http.StatusServiceUnavailable, "overload", "server overloaded, retry shortly")
 			return
 		}
 		defer releaseSlot(lim)
