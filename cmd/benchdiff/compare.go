@@ -9,10 +9,11 @@ import (
 // the diff needs; unknown fields in the JSON are ignored, so the commands
 // can evolve their schemas independently as long as these survive.
 type report struct {
-	Scenario string   `json:"scenario"`
-	Seed     uint64   `json:"seed"`
-	Workers  int      `json:"workers"`
-	Results  []result `json:"results"`
+	Scenario string         `json:"scenario"`
+	Seed     uint64         `json:"seed"`
+	Workers  int            `json:"workers"`
+	Results  []result       `json:"results"`
+	Epoch    *epochRotation `json:"epoch_rotation"`
 }
 
 type result struct {
@@ -23,6 +24,21 @@ type result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
+
+// epochRotation is the subset of platformbench's epoch_rotation block the
+// diff gates on. Reports from before the build/swap split carried a single
+// swap_p50_ms that covered the whole AdvanceEpoch; with build_p50_ms absent
+// (zero) the sum still equals that legacy total, so old and new schemas
+// compare on build+swap without special-casing.
+type epochRotation struct {
+	Rotations  int     `json:"rotations"`
+	BuildP50MS float64 `json:"build_p50_ms"`
+	SwapP50MS  float64 `json:"swap_p50_ms"`
+}
+
+// totalP50 is the comparable rotation cost: build+swap under the new
+// schema, the undivided swap under the legacy one.
+func (e *epochRotation) totalP50() float64 { return e.BuildP50MS + e.SwapP50MS }
 
 // point is the sweep coordinate results are matched on: GOMAXPROCS for
 // platform reports, worker-pool width for attack reports.
@@ -42,22 +58,35 @@ type row struct {
 	oldAllocs int64
 	newAllocs int64
 	// verdict flags
-	slower    bool // past the throughput threshold
+	slower    bool // past the throughput threshold (timing: soft under -timing-warn)
 	newAllocd bool // allocation appeared on a previously allocation-free path
 	missing   bool // present in old, absent in new
 }
 
+// epochRow is the rotation-cost comparison when both reports carry an
+// epoch_rotation block.
+type epochRow struct {
+	oldMS  float64
+	newMS  float64
+	delta  float64 // fractional change in rotation p50 cost; positive = slower
+	slower bool    // past threshold (timing: soft under -timing-warn)
+}
+
 // diff is the full comparison.
 type diff struct {
-	rows     []row
-	mismatch string // non-empty when the runs are not comparable
+	rows         []row
+	epoch        *epochRow
+	epochMissing bool // baseline rotated, candidate did not — always hard
+	mismatch     string
 }
 
 // compare matches results by sweep point (GOMAXPROCS or worker count) and
 // flags regressions: a throughput drop beyond threshold, or any allocation
 // on a path that was allocation-free in the baseline. Extra points in the
 // candidate are ignored; points missing from it are themselves a failure
-// (the sweep shrank).
+// (the sweep shrank). When both reports carry an epoch_rotation block the
+// p50 rotation cost is compared on the same threshold; a baseline with
+// rotations whose candidate has none is treated like a missing sweep point.
 func compare(oldRep, newRep *report, threshold float64) *diff {
 	d := &diff{}
 	if oldRep.Scenario != newRep.Scenario || oldRep.Seed != newRep.Seed || oldRep.Workers != newRep.Workers {
@@ -88,22 +117,52 @@ func compare(oldRep, newRep *report, threshold float64) *diff {
 		r.newAllocd = o.AllocsPerOp == 0 && n.AllocsPerOp > 0
 		d.rows = append(d.rows, r)
 	}
+	if oldRep.Epoch != nil && oldRep.Epoch.Rotations > 0 {
+		if newRep.Epoch == nil || newRep.Epoch.Rotations == 0 {
+			d.epochMissing = true
+		} else {
+			e := &epochRow{oldMS: oldRep.Epoch.totalP50(), newMS: newRep.Epoch.totalP50()}
+			if e.oldMS > 0 {
+				e.delta = (e.newMS - e.oldMS) / e.oldMS
+			}
+			e.slower = e.delta > threshold
+			d.epoch = e
+		}
+	}
 	return d
 }
 
-func (d *diff) regressed() bool {
+// regressed reports whether the diff should gate. With timingWarn, timing
+// movements (throughput, rotation cost) only warn; structural regressions —
+// a vanished sweep point, a lost rotation block, or an allocation appearing
+// on a previously allocation-free path — fail regardless, since those are
+// deterministic properties no noisy CI machine can excuse.
+func (d *diff) regressed(timingWarn bool) bool {
 	for _, r := range d.rows {
-		if r.slower || r.newAllocd || r.missing {
+		if r.newAllocd || r.missing {
 			return true
 		}
+		if r.slower && !timingWarn {
+			return true
+		}
+	}
+	if d.epochMissing {
+		return true
+	}
+	if d.epoch != nil && d.epoch.slower && !timingWarn {
+		return true
 	}
 	return false
 }
 
-func (d *diff) print(w io.Writer, oldPath, newPath string, threshold float64) {
+func (d *diff) print(w io.Writer, oldPath, newPath string, threshold float64, timingWarn bool) {
 	fmt.Fprintf(w, "benchdiff: %s vs %s (threshold %.0f%%)\n", oldPath, newPath, threshold*100)
 	if d.mismatch != "" {
 		fmt.Fprintf(w, "  warning: %s\n", d.mismatch)
+	}
+	timingMark := "  REGRESSION: past threshold"
+	if timingWarn {
+		timingMark = "  warning: past threshold (timing, warn-only)"
 	}
 	fmt.Fprintf(w, "  %5s %14s %14s %8s %12s\n", "point", "old ops/s", "new ops/s", "delta", "allocs/op")
 	for _, r := range d.rows {
@@ -114,17 +173,25 @@ func (d *diff) print(w io.Writer, oldPath, newPath string, threshold float64) {
 		}
 		mark := ""
 		switch {
-		case r.slower && r.newAllocd:
-			mark = "  REGRESSION: slower and newly allocating"
-		case r.slower:
-			mark = "  REGRESSION: past threshold"
 		case r.newAllocd:
 			mark = "  REGRESSION: allocation-free path now allocates"
+		case r.slower:
+			mark = timingMark
 		}
 		fmt.Fprintf(w, "  %5d %14.0f %14.0f %+7.1f%% %7d->%-4d%s\n",
 			r.point, r.oldOps, r.newOps, r.delta*100, r.oldAllocs, r.newAllocs, mark)
 	}
-	if d.regressed() {
+	if d.epochMissing {
+		fmt.Fprintln(w, "  epoch: REGRESSION: baseline rotated epochs, candidate did not")
+	} else if d.epoch != nil {
+		mark := ""
+		if d.epoch.slower {
+			mark = timingMark
+		}
+		fmt.Fprintf(w, "  epoch: rotation p50 %.2fms -> %.2fms %+.1f%%%s\n",
+			d.epoch.oldMS, d.epoch.newMS, d.epoch.delta*100, mark)
+	}
+	if d.regressed(timingWarn) {
 		fmt.Fprintln(w, "  verdict: REGRESSED")
 	} else {
 		fmt.Fprintln(w, "  verdict: ok")

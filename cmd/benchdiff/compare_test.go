@@ -23,11 +23,11 @@ func TestCompareOK(t *testing.T) {
 	newRep.Results[0].OpsPerSec = 950_000
 	newRep.Results[2].AllocsPerOp = 1
 	d := compare(oldRep, newRep, 0.15)
-	if d.regressed() {
+	if d.regressed(false) {
 		t.Fatalf("within-threshold wobble flagged as regression: %+v", d.rows)
 	}
 	var buf bytes.Buffer
-	d.print(&buf, "old.json", "new.json", 0.15)
+	d.print(&buf, "old.json", "new.json", 0.15, false)
 	if !strings.Contains(buf.String(), "verdict: ok") {
 		t.Fatalf("verdict line missing:\n%s", buf.String())
 	}
@@ -37,11 +37,11 @@ func TestCompareThroughputRegression(t *testing.T) {
 	oldRep, newRep := baseline(), baseline()
 	newRep.Results[1].OpsPerSec = 2_000_000 // -43% at 4 procs
 	d := compare(oldRep, newRep, 0.15)
-	if !d.regressed() {
+	if !d.regressed(false) {
 		t.Fatal("43% throughput loss not flagged")
 	}
 	var buf bytes.Buffer
-	d.print(&buf, "old.json", "new.json", 0.15)
+	d.print(&buf, "old.json", "new.json", 0.15, false)
 	out := buf.String()
 	if !strings.Contains(out, "REGRESSION: past threshold") || !strings.Contains(out, "verdict: REGRESSED") {
 		t.Fatalf("regression not reported:\n%s", out)
@@ -52,13 +52,13 @@ func TestCompareNewAllocation(t *testing.T) {
 	oldRep, newRep := baseline(), baseline()
 	newRep.Results[0].AllocsPerOp = 1 // 0 -> 1 on procs=1
 	d := compare(oldRep, newRep, 0.15)
-	if !d.regressed() {
+	if !d.regressed(false) {
 		t.Fatal("new allocation on allocation-free path not flagged")
 	}
 	// But allocations growing on an already-allocating path is tolerated.
 	oldRep2, newRep2 := baseline(), baseline()
 	newRep2.Results[2].AllocsPerOp = 5 // 2 -> 5 on procs=8
-	if compare(oldRep2, newRep2, 0.15).regressed() {
+	if compare(oldRep2, newRep2, 0.15).regressed(false) {
 		t.Fatal("alloc growth on already-allocating path should not gate")
 	}
 }
@@ -67,11 +67,11 @@ func TestCompareMissingPoint(t *testing.T) {
 	oldRep, newRep := baseline(), baseline()
 	newRep.Results = newRep.Results[:2] // procs=8 vanished
 	d := compare(oldRep, newRep, 0.15)
-	if !d.regressed() {
+	if !d.regressed(false) {
 		t.Fatal("missing sweep point not flagged")
 	}
 	var buf bytes.Buffer
-	d.print(&buf, "old.json", "new.json", 0.15)
+	d.print(&buf, "old.json", "new.json", 0.15, false)
 	if !strings.Contains(buf.String(), "point missing from candidate") {
 		t.Fatalf("missing point not reported:\n%s", buf.String())
 	}
@@ -91,17 +91,17 @@ func TestCompareWorkersPoints(t *testing.T) {
 			},
 		}
 	}
-	if d := compare(attack(), attack(), 0.15); d.regressed() {
+	if d := compare(attack(), attack(), 0.15); d.regressed(false) {
 		t.Fatalf("identical attack reports flagged: %+v", d.rows)
 	}
 	oldRep, newRep := attack(), attack()
 	newRep.Results[2].OpsPerSec = 10_000 // -55% at workers=8
 	d := compare(oldRep, newRep, 0.15)
-	if !d.regressed() {
+	if !d.regressed(false) {
 		t.Fatal("throughput loss on a workers-keyed point not flagged")
 	}
 	var buf bytes.Buffer
-	d.print(&buf, "old.json", "new.json", 0.15)
+	d.print(&buf, "old.json", "new.json", 0.15, false)
 	if !strings.Contains(buf.String(), "REGRESSION: past threshold") {
 		t.Fatalf("regression not reported:\n%s", buf.String())
 	}
@@ -114,7 +114,91 @@ func TestCompareConfigMismatchWarns(t *testing.T) {
 	if d.mismatch == "" {
 		t.Fatal("scenario mismatch should produce a warning")
 	}
-	if d.regressed() {
+	if d.regressed(false) {
 		t.Fatal("mismatch alone is a warning, not a regression")
+	}
+}
+
+// TestCompareTimingWarn: the CI mode — timing movements warn, the
+// deterministic properties still gate.
+func TestCompareTimingWarn(t *testing.T) {
+	oldRep, newRep := baseline(), baseline()
+	newRep.Results[1].OpsPerSec = 2_000_000 // -43% at 4 procs
+	d := compare(oldRep, newRep, 0.15)
+	if d.regressed(true) {
+		t.Fatal("throughput loss gated despite -timing-warn")
+	}
+	if !d.regressed(false) {
+		t.Fatal("throughput loss not gated in strict mode")
+	}
+	var buf bytes.Buffer
+	d.print(&buf, "old.json", "new.json", 0.15, true)
+	out := buf.String()
+	if !strings.Contains(out, "warning: past threshold (timing, warn-only)") {
+		t.Fatalf("timing warning not printed:\n%s", out)
+	}
+	if !strings.Contains(out, "verdict: ok") {
+		t.Fatalf("warn-only timing loss should verdict ok:\n%s", out)
+	}
+
+	// Allocations and missing points gate even in timing-warn mode.
+	oldRep2, newRep2 := baseline(), baseline()
+	newRep2.Results[0].AllocsPerOp = 1
+	if !compare(oldRep2, newRep2, 0.15).regressed(true) {
+		t.Fatal("new allocation not gated under -timing-warn")
+	}
+	oldRep3, newRep3 := baseline(), baseline()
+	newRep3.Results = newRep3.Results[:2]
+	if !compare(oldRep3, newRep3, 0.15).regressed(true) {
+		t.Fatal("missing sweep point not gated under -timing-warn")
+	}
+}
+
+// TestCompareEpochRotation: reports carrying an epoch_rotation block gate
+// on the p50 rotation cost, warn-only under -timing-warn; a candidate that
+// stopped rotating is a hard failure either way.
+func TestCompareEpochRotation(t *testing.T) {
+	withEpoch := func(build, swap float64) *report {
+		r := baseline()
+		r.Epoch = &epochRotation{Rotations: 40, BuildP50MS: build, SwapP50MS: swap}
+		return r
+	}
+	// Same cost: ok.
+	if d := compare(withEpoch(10, 0.01), withEpoch(10, 0.01), 0.15); d.regressed(false) {
+		t.Fatal("identical epoch blocks flagged")
+	}
+	// Rotation cost doubled: strict gates, timing-warn does not.
+	d := compare(withEpoch(10, 0.01), withEpoch(20, 0.01), 0.15)
+	if !d.regressed(false) || d.regressed(true) {
+		t.Fatalf("doubled rotation cost: strict=%v warn=%v", d.regressed(false), d.regressed(true))
+	}
+	var buf bytes.Buffer
+	d.print(&buf, "old.json", "new.json", 0.15, false)
+	if !strings.Contains(buf.String(), "epoch: rotation p50") {
+		t.Fatalf("epoch row not printed:\n%s", buf.String())
+	}
+	// Legacy baseline (pre-split: only swap_p50_ms, meaning build+swap)
+	// compares against the new schema's build+swap total.
+	if d := compare(withEpoch(0, 10), withEpoch(9.8, 0.05), 0.15); d.regressed(false) {
+		t.Fatal("legacy-schema baseline mis-compared against split build/swap")
+	}
+	// Candidate without rotations when the baseline had them: hard.
+	noRot := baseline()
+	zeroRot := baseline()
+	zeroRot.Epoch = &epochRotation{Rotations: 0}
+	for _, cand := range []*report{noRot, zeroRot} {
+		d := compare(withEpoch(10, 0.01), cand, 0.15)
+		if !d.regressed(true) {
+			t.Fatal("lost rotation block not gated")
+		}
+		buf.Reset()
+		d.print(&buf, "old.json", "new.json", 0.15, true)
+		if !strings.Contains(buf.String(), "candidate did not") {
+			t.Fatalf("lost rotation block not reported:\n%s", buf.String())
+		}
+	}
+	// A candidate growing an epoch block the baseline lacks is fine.
+	if d := compare(baseline(), withEpoch(10, 0.01), 0.15); d.regressed(false) {
+		t.Fatal("new epoch block in candidate flagged")
 	}
 }

@@ -6,6 +6,12 @@
 // committed baseline, and a slowdown larger than -threshold (or any new
 // allocation on a previously allocation-free path) blocks the change.
 // Results are matched by sweep point: "procs" when present, else "workers".
+// Reports carrying an epoch_rotation block (BENCH_epoch.json) additionally
+// compare the p50 rotation cost on the same threshold.
+//
+// With -timing-warn the timing comparisons only warn — the mode for noisy
+// CI machines — while the deterministic properties (no new allocations, no
+// vanished sweep points, rotation block still present) fail hard.
 //
 // Usage:
 //
@@ -13,6 +19,7 @@
 //	benchdiff -old BENCH_baseline.json -new BENCH_platform.json
 //	attackbench -out BENCH_attack_ci.json
 //	benchdiff -old BENCH_attack.json -new BENCH_attack_ci.json -threshold 0.3
+//	benchdiff -old BENCH_epoch.json -new BENCH_epoch_ci.json -timing-warn
 package main
 
 import (
@@ -26,6 +33,7 @@ func main() {
 	oldPath := flag.String("old", "", "baseline report JSON (required)")
 	newPath := flag.String("new", "", "candidate report JSON (required)")
 	threshold := flag.Float64("threshold", 0.15, "max tolerated throughput loss as a fraction (0.15 = 15%)")
+	timingWarn := flag.Bool("timing-warn", false, "timing movements (throughput, rotation cost) only warn; new allocations, missing sweep points, and lost rotation blocks still fail")
 	flag.Parse()
 
 	if *oldPath == "" || *newPath == "" {
@@ -41,8 +49,8 @@ func main() {
 		fatal(err)
 	}
 	d := compare(oldRep, newRep, *threshold)
-	d.print(os.Stdout, *oldPath, *newPath, *threshold)
-	if d.regressed() {
+	d.print(os.Stdout, *oldPath, *newPath, *threshold, *timingWarn)
+	if d.regressed(*timingWarn) {
 		os.Exit(1)
 	}
 }

@@ -100,14 +100,11 @@ func (f servingFlags) validate() error {
 
 // validateWorld rejects flag/world combinations that could otherwise only
 // fail (or worse, panic) mid-serve. It runs after the world loads, in the
-// same loud-failure spirit as validate: evolution needs the mutable
-// adjacency graph, and worlds from binary snapshots or parallel generation
-// are frozen-only.
+// same loud-failure spirit as validate. Since the evolution step learned to
+// patch the CSR snapshot directly, frozen-only worlds (binary snapshots,
+// parallel generation) evolve like any other — there is currently nothing
+// to reject, but the hook stays so future world-shape constraints have a
+// home.
 func (f servingFlags) validateWorld(w *worldgen.World) error {
-	if f.Evolve.Enabled && w.Graph == nil {
-		return fmt.Errorf("-evolve requires a mutable world, but this one is frozen-only " +
-			"(binary snapshots and parallel generation carry no mutable graph); " +
-			"serve a JSON snapshot or generate with -scenario instead")
-	}
 	return nil
 }

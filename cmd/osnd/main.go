@@ -56,7 +56,7 @@ func main() {
 	inflightSearch := flag.Int("inflight-search", 0, "max concurrent search requests; excess shed with 503 (0 = unlimited)")
 	inflightProfile := flag.Int("inflight-profile", 0, "max concurrent profile requests; excess shed with 503 (0 = unlimited)")
 	inflightFriends := flag.Int("inflight-friends", 0, "max concurrent friend-list requests; excess shed with 503 (0 = unlimited)")
-	evolve := flag.Bool("evolve", false, "advance the world one simulated year per -evolve-interval and rotate the serving epoch (requires a mutable world: -scenario or a JSON snapshot)")
+	evolve := flag.Bool("evolve", false, "advance the world one simulated year per -evolve-interval and rotate the serving epoch incrementally (works on any world, including frozen-only binary snapshots)")
 	evolveInterval := flag.Duration("evolve-interval", 30*time.Second, "wall-clock time per simulated year under -evolve")
 	evolveEpochs := flag.Int("evolve-epochs", 0, "stop evolving after this many epochs (0 = until shutdown)")
 	evolveWorkers := flag.Int("evolve-workers", 4, "worker goroutines for the evolution step (any count yields bit-identical worlds)")
@@ -242,13 +242,13 @@ func main() {
 		fmt.Printf("osnd: evolving every %v (epochs: %s, workers: %d)\n",
 			sf.Evolve.Interval, epochBound(sf.Evolve.Epochs), sf.Evolve.Workers)
 		go func() {
-			evCfg := worldgen.DefaultEvolveConfig()
+			ev := worldgen.NewEvolver(worldgen.DefaultEvolveConfig(), sf.Evolve.Workers)
 			cur := pol
 			ticker := time.NewTicker(sf.Evolve.Interval)
 			defer ticker.Stop()
 			for epoch := 1; sf.Evolve.Epochs == 0 || epoch <= sf.Evolve.Epochs; epoch++ {
 				<-ticker.C
-				d, err := worldgen.Evolve(w, evCfg, epoch, sf.Evolve.Workers)
+				d, err := ev.Step(w, epoch)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "osnd: evolve: %v\n", err)
 					return
@@ -261,10 +261,14 @@ func main() {
 					platform.SetPolicy(cur)
 					fmt.Printf("osnd: year %d: policy flip, minors now searchable\n", w.Now.Year)
 				}
-				st := platform.AdvanceEpoch(ctx)
-				fmt.Printf("osnd: epoch %d (year %d): +%d/-%d edges, graduated %d, built in %s\n",
+				st := platform.AdvanceEpochDelta(ctx, d)
+				mode := "full"
+				if st.Incremental {
+					mode = "incremental"
+				}
+				fmt.Printf("osnd: epoch %d (year %d): +%d/-%d edges, graduated %d, built in %s (%s, swap %s)\n",
 					st.Seq, st.Year, len(d.Added), len(d.Removed), d.Graduated,
-					st.Build.Round(time.Millisecond))
+					st.Build.Round(time.Millisecond), mode, st.Swap.Round(10*time.Microsecond))
 			}
 		}()
 	}

@@ -6,13 +6,21 @@
 //
 // With -rotate the same sweep runs while a background driver evolves the
 // world and rotates the serving epoch on an interval — the artefact that
-// tracks what epoch rotation costs the read path (BENCH_epoch.json).
+// tracks what epoch rotation costs the read path (BENCH_epoch.json). Each
+// rotation takes the incremental path: the evolve delta patches the CSR
+// snapshot in place of a rebuild, profile views re-render only for the
+// dirty users, and friend lists need no build at all (they are served
+// straight from the patched CSR rows). The report separates build (off the
+// read path) from swap (the atomic publish); after the sweep a best-of-3
+// paired comparison times the incremental advance against the retained
+// full-rebuild path on an otherwise idle machine for the speedup claim.
 //
 // Usage:
 //
 //	platformbench -out BENCH_platform.json
 //	platformbench -procs 1,4,8 -scenario tiny
-//	platformbench -rotate 50ms -out BENCH_epoch.json
+//	platformbench -scenario metro -schools 40 -rotate 2s -out BENCH_epoch.json
+//	platformbench -world metro.world -rotate 2s
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 
 	"hsprofiler/internal/osn"
 	"hsprofiler/internal/sim"
+	"hsprofiler/internal/socialgraph"
 	"hsprofiler/internal/worldgen"
 )
 
@@ -45,23 +54,54 @@ type Result struct {
 }
 
 // EpochRotation summarizes the background rotations that ran under the
-// sweep in -rotate mode: how often the epoch swapped and what each swap
-// cost wall-clock (world evolution excluded — only the AdvanceEpoch
-// build+swap the serving plane pays for). benchdiff decodes reports with
-// encoding/json and ignores fields it does not know, so this block rides
-// along without a schema change there.
+// sweep in -rotate mode. Build is the off-read-path epoch construction
+// (the incremental dirty-set patch); swap is only the atomic publish plus
+// retire accounting — the part readers can even notice. The *_avg build
+// breakdown and the dirty-set sizes say where incremental build time goes
+// and how big the deltas were; full_build_ms / csr_rebuild_ms are a
+// one-shot O(world) baseline measured after the sweep on the same world,
+// and speedup_vs_full compares the two uncontended paths. benchdiff decodes
+// reports with encoding/json and ignores fields it does not know, so older
+// reports without the breakdown still parse.
 type EpochRotation struct {
-	Rotations  int     `json:"rotations"`
-	IntervalMS float64 `json:"interval_ms"`
-	SwapP50MS  float64 `json:"swap_p50_ms"`
-	SwapP99MS  float64 `json:"swap_p99_ms"`
-	SwapMaxMS  float64 `json:"swap_max_ms"`
+	Rotations   int     `json:"rotations"`
+	Incremental int     `json:"incremental"`
+	IntervalMS  float64 `json:"interval_ms"`
+	BuildP50MS  float64 `json:"build_p50_ms"`
+	BuildP99MS  float64 `json:"build_p99_ms"`
+	BuildMaxMS  float64 `json:"build_max_ms"`
+	SwapP50MS   float64 `json:"swap_p50_ms"`
+	SwapP99MS   float64 `json:"swap_p99_ms"`
+	SwapMaxMS   float64 `json:"swap_max_ms"`
+	// Delta sizes, averaged over incremental rotations.
+	DirtyRowsAvg     float64 `json:"dirty_rows_avg"`
+	DirtyProfilesAvg float64 `json:"dirty_profiles_avg"`
+	// Incremental build breakdown (ms, averaged): CSR row patching,
+	// profile re-render, index patching. Friend lists have no build
+	// phase — they are served from the patched CSR directly.
+	CSRPatchMSAvg float64 `json:"csr_patch_ms_avg"`
+	ProfilesMSAvg float64 `json:"profiles_ms_avg"`
+	IndexesMSAvg  float64 `json:"indexes_ms_avg"`
+	// Paired uncontended comparison on adjacent one-year deltas, measured
+	// after the sweep with no read load (the sweep percentiles above are
+	// contended by design — they answer "what does rotation cost while
+	// serving"; this pair answers "how much cheaper is the incremental
+	// path"). inc_* is the incremental epoch advance (CSR patch + dirty-set
+	// view build); full/rebuild is the full-rebuild path (ApplyDeltaRebuild
+	// + O(world) view build) on the next year's delta.
+	IncCSRPatchMS float64 `json:"inc_csr_patch_ms"`
+	IncBuildMS    float64 `json:"inc_build_ms"`
+	CSRRebuildMS  float64 `json:"csr_rebuild_ms"`
+	FullBuildMS   float64 `json:"full_build_ms"`
+	SpeedupVsFull float64 `json:"speedup_vs_full"`
 }
 
 // Report is the full BENCH_platform.json document.
 type Report struct {
 	Scenario   string         `json:"scenario"`
 	Seed       uint64         `json:"seed"`
+	Users      int            `json:"users"`
+	Edges      int            `json:"edges"`
 	Workers    int            `json:"workers"`
 	NumCPU     int            `json:"num_cpu"`
 	GoVersion  string         `json:"go_version"`
@@ -74,26 +114,16 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "BENCH_platform.json", "output JSON path (- for stdout)")
-	scenario := flag.String("scenario", "tiny", "world scenario: tiny, hs1, hs2, hs3")
+	scenario := flag.String("scenario", "tiny", "world scenario: tiny, hs1, hs2, hs3, city, metro")
+	schools := flag.Int("schools", 40, "number of schools (city and metro scenarios)")
+	worldFile := flag.String("world", "", "load a world snapshot instead of generating (overrides -scenario/-seed)")
 	seed := flag.Uint64("seed", 11, "world seed")
 	procsFlag := flag.String("procs", "1,4,8", "comma-separated GOMAXPROCS settings to sweep")
 	workers := flag.Int("workers", 64, "accounts hammering the platform")
 	rotate := flag.Duration("rotate", 0, "evolve the world and rotate the serving epoch on this interval during each sweep point (0 = static world)")
+	evolveWorkers := flag.Int("evolve-workers", 4, "workers for the evolve step and CSR patch in -rotate mode")
 	flag.Parse()
 
-	var cfg worldgen.Config
-	switch *scenario {
-	case "tiny":
-		cfg = worldgen.TinyConfig()
-	case "hs1":
-		cfg = worldgen.HS1Config()
-	case "hs2":
-		cfg = worldgen.HS2Config()
-	case "hs3":
-		cfg = worldgen.HS3Config()
-	default:
-		fatal(fmt.Errorf("unknown scenario %q", *scenario))
-	}
 	var procs []int
 	for _, s := range strings.Split(*procsFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -102,8 +132,43 @@ func main() {
 		}
 		procs = append(procs, n)
 	}
+	if *evolveWorkers < 1 {
+		fatal(fmt.Errorf("-evolve-workers must be at least 1, got %d", *evolveWorkers))
+	}
 
-	w, err := worldgen.Generate(cfg, *seed)
+	var w *worldgen.World
+	var err error
+	if *worldFile != "" {
+		*scenario = *worldFile
+		w, err = worldgen.ReadSnapshotFile(*worldFile)
+	} else {
+		var cfg worldgen.Config
+		switch *scenario {
+		case "tiny":
+			cfg = worldgen.TinyConfig()
+		case "hs1":
+			cfg = worldgen.HS1Config()
+		case "hs2":
+			cfg = worldgen.HS2Config()
+		case "hs3":
+			cfg = worldgen.HS3Config()
+		case "city":
+			cfg = worldgen.CityConfig(*schools)
+		case "metro":
+			cfg = worldgen.MetroConfig(*schools)
+		default:
+			fatal(fmt.Errorf("unknown scenario %q", *scenario))
+		}
+		if *scenario == "city" || *scenario == "metro" {
+			// The large scenarios stream straight to CSR: no mutable
+			// graph, which is exactly the frozen-only world the
+			// incremental rotation path exists for.
+			*scenario = fmt.Sprintf("%s-%d", *scenario, *schools)
+			w, err = worldgen.GenerateParallel(cfg, *seed, runtime.NumCPU())
+		} else {
+			w, err = worldgen.Generate(cfg, *seed)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -134,9 +199,12 @@ func main() {
 		fatal(fmt.Errorf("no visible friend lists in %s world", *scenario))
 	}
 
+	frozen := w.Frozen()
 	rep := Report{
 		Scenario:  *scenario,
-		Seed:      *seed,
+		Seed:      w.Seed,
+		Users:     frozen.NumUsers(),
+		Edges:     frozen.NumEdges(),
 		Workers:   *workers,
 		NumCPU:    runtime.NumCPU(),
 		GoVersion: runtime.Version(),
@@ -145,17 +213,18 @@ func main() {
 	}
 	// In -rotate mode a background driver keeps evolving the world and
 	// swapping epochs underneath the sweep; the reported throughput is the
-	// read path's cost WHILE rotation happens, and the swap latencies feed
-	// the epoch_rotation block. The simulated year keeps advancing across
-	// sweep points — one continuous timeline, like a live deployment.
-	// Note: testing.Benchmark charges the rotator's allocations to the
-	// process, so allocs_per_op is only meaningful in static mode.
+	// read path's cost WHILE rotation happens, and the per-rotation
+	// EpochStats feed the epoch_rotation block. The simulated year keeps
+	// advancing across sweep points — one continuous timeline, like a live
+	// deployment. Note: testing.Benchmark charges the rotator's allocations
+	// to the process, so allocs_per_op is only meaningful in static mode.
 	var (
-		swapMu sync.Mutex
-		swaps  []time.Duration
-		year   int
+		statsMu sync.Mutex
+		stats   []osn.EpochStats
+		patches []socialgraph.PatchStats
+		year    int
 	)
-	evCfg := worldgen.DefaultEvolveConfig()
+	ev := worldgen.NewEvolver(worldgen.DefaultEvolveConfig(), *evolveWorkers)
 	startRotator := func() (stop func()) {
 		done := make(chan struct{})
 		var wg sync.WaitGroup
@@ -170,14 +239,15 @@ func main() {
 					return
 				case <-tick.C:
 					year++
-					if _, err := worldgen.Evolve(w, evCfg, year, 4); err != nil {
+					d, err := ev.Step(w, year)
+					if err != nil {
 						fatal(fmt.Errorf("evolve year %d: %w", year, err))
 					}
-					start := time.Now()
-					p.AdvanceEpoch(context.Background())
-					swapMu.Lock()
-					swaps = append(swaps, time.Since(start))
-					swapMu.Unlock()
+					st := p.AdvanceEpochDelta(context.Background(), d)
+					statsMu.Lock()
+					stats = append(stats, st)
+					patches = append(patches, d.Patch)
+					statsMu.Unlock()
 				}
 			}
 		}()
@@ -197,6 +267,10 @@ func main() {
 			b.ReportAllocs()
 			b.RunParallel(func(pb *testing.PB) {
 				tok := toks[int(next.Add(1)-1)%len(toks)]
+				// Friend pages render into a per-worker buffer fed back
+				// on every call — the platform's zero-allocation read
+				// path (FriendPageInto).
+				var fbuf []osn.FriendRef
 				i := 0
 				for pb.Next() {
 					id := targets[i%len(targets)]
@@ -204,7 +278,7 @@ func main() {
 					case 0:
 						p.Profile(tok, id)
 					case 1:
-						p.FriendPage(tok, id, 0)
+						fbuf, _, _ = p.FriendPageInto(fbuf, tok, id, 0)
 					default:
 						p.SchoolSearch(tok, 0, i%4)
 					}
@@ -235,18 +309,66 @@ func main() {
 		}
 	}
 	if *rotate > 0 {
-		if len(swaps) == 0 {
-			fatal(fmt.Errorf("-rotate %v produced no epoch swaps; lengthen the run or shorten the interval", *rotate))
+		if len(stats) == 0 {
+			// Still useful: the paired comparison below rotates on its own.
+			fmt.Fprintf(os.Stderr, "platformbench: warning: -rotate %v produced no epoch swaps during the sweep; contended percentiles will be empty\n", *rotate)
 		}
-		rep.Epoch = &EpochRotation{
-			Rotations:  len(swaps),
-			IntervalMS: float64(rotate.Nanoseconds()) / 1e6,
-			SwapP50MS:  ms(percentile(swaps, 0.50)),
-			SwapP99MS:  ms(percentile(swaps, 0.99)),
-			SwapMaxMS:  ms(percentile(swaps, 1)),
+		rep.Epoch = rotationSummary(*rotate, stats, patches)
+		// Paired uncontended comparison: one year advanced incrementally,
+		// the next through the full-rebuild path (ApplyDeltaRebuild on the
+		// pre-step snapshot + O(world) view build — what every rotation
+		// used to cost), both with the read load stopped so the two sides
+		// see the same machine. Three pairs run back to back and each side
+		// keeps its fastest pair — minimum-of-N is how wall-clock benchmarks
+		// are read on a box where GC and page-fault timing move between
+		// runs; both sides get the same treatment.
+		const pairs = 3
+		for pair := 1; pair <= pairs; pair++ {
+			year++
+			d, err := ev.Step(w, year)
+			if err != nil {
+				fatal(fmt.Errorf("evolve year %d: %w", year, err))
+			}
+			inc := p.AdvanceEpochDelta(context.Background(), d)
+			if !inc.Incremental {
+				fatal(fmt.Errorf("paired comparison: advance did not take the incremental path"))
+			}
+			incCSR := ms(d.Patch.Prep + d.Patch.Copy + d.Patch.Merge)
+			incBuild := ms(inc.Build)
+			fmt.Fprintf(os.Stderr, "platformbench: pair %d/%d inc: patch prep %.0f copy %.0f merge %.0f; views profiles %.0f indexes %.0f (ms)\n",
+				pair, pairs, ms(d.Patch.Prep), ms(d.Patch.Copy), ms(d.Patch.Merge),
+				ms(inc.Profiles), ms(inc.Indexes))
+			if rep.Epoch.IncCSRPatchMS == 0 || incCSR+incBuild < rep.Epoch.IncCSRPatchMS+rep.Epoch.IncBuildMS {
+				rep.Epoch.IncCSRPatchMS, rep.Epoch.IncBuildMS = incCSR, incBuild
+			}
+			year++
+			base := w.Frozen()
+			d2, err := ev.Step(w, year)
+			if err != nil {
+				fatal(fmt.Errorf("evolve year %d: %w", year, err))
+			}
+			csrStart := time.Now()
+			if _, err := socialgraph.ApplyDeltaRebuild(base, d2.Added, d2.Removed, *evolveWorkers); err != nil {
+				fatal(fmt.Errorf("full CSR rebuild: %w", err))
+			}
+			csrMS := ms(time.Since(csrStart))
+			full := p.AdvanceEpoch(context.Background())
+			fullMS := ms(full.Build)
+			fmt.Fprintf(os.Stderr, "platformbench: pair %d/%d full: csr rebuild %.0f, views %.0f (ms)\n",
+				pair, pairs, csrMS, fullMS)
+			if rep.Epoch.CSRRebuildMS == 0 || csrMS+fullMS < rep.Epoch.CSRRebuildMS+rep.Epoch.FullBuildMS {
+				rep.Epoch.CSRRebuildMS, rep.Epoch.FullBuildMS = csrMS, fullMS
+			}
 		}
-		fmt.Fprintf(os.Stderr, "platformbench: %d epoch rotations, swap p50 %.2fms p99 %.2fms max %.2fms\n",
-			rep.Epoch.Rotations, rep.Epoch.SwapP50MS, rep.Epoch.SwapP99MS, rep.Epoch.SwapMaxMS)
+		if incTotal := rep.Epoch.IncCSRPatchMS + rep.Epoch.IncBuildMS; incTotal > 0 {
+			rep.Epoch.SpeedupVsFull = (rep.Epoch.CSRRebuildMS + rep.Epoch.FullBuildMS) / incTotal
+		}
+		fmt.Fprintf(os.Stderr, "platformbench: %d rotations (%d incremental), contended build p50 %.2fms p99 %.2fms, swap p50 %.3fms\n",
+			rep.Epoch.Rotations, rep.Epoch.Incremental, rep.Epoch.BuildP50MS, rep.Epoch.BuildP99MS, rep.Epoch.SwapP50MS)
+		fmt.Fprintf(os.Stderr, "platformbench: paired advance: incremental %.0fms (csr %.0f + views %.0f) vs full %.0fms (csr %.0f + views %.0f) = %.1fx\n",
+			rep.Epoch.IncCSRPatchMS+rep.Epoch.IncBuildMS, rep.Epoch.IncCSRPatchMS, rep.Epoch.IncBuildMS,
+			rep.Epoch.CSRRebuildMS+rep.Epoch.FullBuildMS, rep.Epoch.CSRRebuildMS, rep.Epoch.FullBuildMS,
+			rep.Epoch.SpeedupVsFull)
 	}
 
 	f := os.Stdout
@@ -268,9 +390,52 @@ func main() {
 	}
 }
 
-// percentile returns the q-th quantile of the swap latencies (q in (0,1];
+// rotationSummary folds the per-rotation stats into the report block.
+func rotationSummary(interval time.Duration, stats []osn.EpochStats, patches []socialgraph.PatchStats) *EpochRotation {
+	builds := make([]time.Duration, 0, len(stats))
+	swaps := make([]time.Duration, 0, len(stats))
+	er := &EpochRotation{
+		Rotations:  len(stats),
+		IntervalMS: ms(interval),
+	}
+	var dirtyRows, dirtyProfiles int
+	var csrPatch, profiles, indexes time.Duration
+	for i, st := range stats {
+		builds = append(builds, st.Build)
+		swaps = append(swaps, st.Swap)
+		if !st.Incremental {
+			continue
+		}
+		er.Incremental++
+		dirtyRows += st.DirtyRows
+		dirtyProfiles += st.DirtyProfiles
+		profiles += st.Profiles
+		indexes += st.Indexes
+		pt := patches[i]
+		csrPatch += pt.Prep + pt.Copy + pt.Merge
+	}
+	if n := float64(er.Incremental); n > 0 {
+		er.DirtyRowsAvg = float64(dirtyRows) / n
+		er.DirtyProfilesAvg = float64(dirtyProfiles) / n
+		er.CSRPatchMSAvg = ms(csrPatch) / n
+		er.ProfilesMSAvg = ms(profiles) / n
+		er.IndexesMSAvg = ms(indexes) / n
+	}
+	er.BuildP50MS = ms(percentile(builds, 0.50))
+	er.BuildP99MS = ms(percentile(builds, 0.99))
+	er.BuildMaxMS = ms(percentile(builds, 1))
+	er.SwapP50MS = ms(percentile(swaps, 0.50))
+	er.SwapP99MS = ms(percentile(swaps, 0.99))
+	er.SwapMaxMS = ms(percentile(swaps, 1))
+	return er
+}
+
+// percentile returns the q-th quantile of the latencies (q in (0,1];
 // q=1 is the max). The slice is sorted in place.
 func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	idx := int(q*float64(len(ds))) - 1
 	if idx < 0 {

@@ -229,6 +229,11 @@ func epochs(w io.Writer, m *obs.Manifest, events []event) {
 	type advance struct {
 		epoch, year, users, edges int
 		buildMS                   float64
+		swapMS                    float64
+		hasSwap                   bool
+		incremental               bool
+		dirtyProfiles, dirtyRows  int
+		profMS, idxMS             float64
 	}
 	var advances []advance
 	retired := 0
@@ -251,6 +256,16 @@ func epochs(w io.Writer, m *obs.Manifest, events []event) {
 					a.edges = int(v)
 				}
 				a.buildMS, _ = e.f("build")
+				a.swapMS, a.hasSwap = e.f("swap")
+				a.incremental, _ = e.Fields["incremental"].(bool)
+				if v, ok := e.f("dirty_profiles"); ok {
+					a.dirtyProfiles = int(v)
+				}
+				if v, ok := e.f("dirty_rows"); ok {
+					a.dirtyRows = int(v)
+				}
+				a.profMS, _ = e.f("profiles")
+				a.idxMS, _ = e.f("indexes")
 				advances = append(advances, a)
 			case "epoch retired":
 				retired++
@@ -276,8 +291,18 @@ func epochs(w io.Writer, m *obs.Manifest, events []event) {
 		fmt.Fprintf(w, "  advances: %.0f (%d retired after drain)\n", n, retired)
 	}
 	for _, a := range advances {
-		fmt.Fprintf(w, "    epoch %d: year %d, %d users / %d edges, built in %.1f ms\n",
+		fmt.Fprintf(w, "    epoch %d: year %d, %d users / %d edges, built in %.1f ms",
 			a.epoch, a.year, a.users, a.edges, a.buildMS)
+		// Logs from before the build/swap split carry no swap field; the
+		// base line alone keeps old artefacts readable.
+		if a.hasSwap {
+			fmt.Fprintf(w, ", swapped in %.2f ms", a.swapMS)
+		}
+		fmt.Fprintln(w)
+		if a.incremental {
+			fmt.Fprintf(w, "      incremental: %d dirty profiles, %d dirty CSR rows (profiles %.1f ms, indexes %.1f ms)\n",
+				a.dirtyProfiles, a.dirtyRows, a.profMS, a.idxMS)
+		}
 	}
 	if len(perEpoch) == 0 {
 		return

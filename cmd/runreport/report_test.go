@@ -97,6 +97,8 @@ const temporalLog = `{"t":"2026-01-01T00:00:00Z","lvl":"info","cat":"http","msg"
 {"t":"2026-01-01T00:00:01Z","lvl":"info","cat":"osn.epoch","msg":"epoch retired","epoch":0}
 {"t":"2026-01-01T00:00:02Z","lvl":"info","cat":"http","msg":"served","path":"/api/v1/search","ms":0.5,"epoch":1}
 {"t":"2026-01-01T00:00:02Z","lvl":"info","cat":"http","msg":"served","path":"/api/v1/friends","ms":0.6,"epoch":1}
+{"t":"2026-01-01T00:00:03Z","lvl":"info","cat":"osn.epoch","msg":"epoch advanced","epoch":2,"year":2014,"build":0.31,"swap":0.02,"users":905,"edges":4300,"incremental":true,"dirty_profiles":84,"dirty_rows":150,"profiles":0.08,"indexes":0.05}
+{"t":"2026-01-01T00:00:03Z","lvl":"info","cat":"osn.epoch","msg":"epoch retired","epoch":1}
 `
 
 func TestReportEpochSection(t *testing.T) {
@@ -105,7 +107,7 @@ func TestReportEpochSection(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := obs.NewManifest("osnd")
-	m.Counters = map[string]float64{"osn_epoch_advances_total": 1}
+	m.Counters = map[string]float64{"osn_epoch_advances_total": 2}
 
 	var buf bytes.Buffer
 	if err := report(&buf, m, events, 0); err != nil {
@@ -114,8 +116,12 @@ func TestReportEpochSection(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"epochs:",
-		"advances: 1 (1 retired after drain)",
-		"epoch 1: year 2013, 900 users / 4200 edges, built in 1.2 ms",
+		"advances: 2 (2 retired after drain)",
+		// Legacy advance event (no swap/incremental fields): base line only.
+		"epoch 1: year 2013, 900 users / 4200 edges, built in 1.2 ms\n",
+		// Incremental advance: split swap plus the dirty-set breakdown.
+		"epoch 2: year 2014, 905 users / 4300 edges, built in 0.3 ms, swapped in 0.02 ms",
+		"incremental: 84 dirty profiles, 150 dirty CSR rows (profiles 0.1 ms, indexes 0.1 ms)",
 		"epoch 0: 1 events (http 1)",
 		"epoch 1: 2 events (http 2)",
 	} {

@@ -24,9 +24,13 @@ type LongitudinalYear struct {
 	FoundFrac        float64
 	CorrectYearFrac  float64
 	FPRate           float64
-	// SwapLatency is the wall-clock cost of AdvanceEpoch (build + swap) —
-	// zero for the baseline year, which serves epoch 0 as built.
-	SwapLatency time.Duration
+	// BuildLatency is the off-read-path epoch view build; SwapLatency is
+	// only the atomic publish + retire accounting. Both are zero for the
+	// baseline year, which serves epoch 0 as built. Incremental reports
+	// whether the build took the dirty-set patch path.
+	BuildLatency time.Duration
+	SwapLatency  time.Duration
+	Incremental  bool
 }
 
 // Longitudinal crawls the same school once per simulated year while the
@@ -48,13 +52,18 @@ func Longitudinal(sc Scenario, years, flipYear, threshold int) ([]LongitudinalYe
 	}
 	pol := osn.Facebook()
 	platform := osn.NewPlatform(world, pol, osn.Config{SearchPerAccount: sc.SearchPerAccount})
-	evCfg := worldgen.DefaultEvolveConfig()
+	ev := worldgen.NewEvolver(worldgen.DefaultEvolveConfig(), 4)
 
 	var rows []LongitudinalYear
 	for y := 0; y <= years; y++ {
-		var swap time.Duration
+		var st osn.EpochStats
 		if y > 0 {
-			if _, err := worldgen.Evolve(world, evCfg, y, 4); err != nil {
+			// The panel years ride the incremental path: the evolve delta's
+			// dirty sets drive a patch of the previous epoch instead of a
+			// full re-freeze (flip years fall back to the full build on
+			// their own).
+			d, err := ev.Step(world, y)
+			if err != nil {
 				return nil, nil, fmt.Errorf("evolve year %d: %w", y, err)
 			}
 			if flipYear != 0 && world.Now.Year >= flipYear && !pol.MinorsSearchable {
@@ -64,9 +73,7 @@ func Longitudinal(sc Scenario, years, flipYear, threshold int) ([]LongitudinalYe
 				pol = &flipped
 				platform.SetPolicy(pol)
 			}
-			start := time.Now()
-			platform.AdvanceEpoch(context.Background())
-			swap = time.Since(start)
+			st = platform.AdvanceEpochDelta(context.Background(), d)
 		}
 
 		// A fresh crawl with fresh accounts each year: the attacker of year
@@ -95,19 +102,21 @@ func Longitudinal(sc Scenario, years, flipYear, threshold int) ([]LongitudinalYe
 			FoundFrac:        o.FoundFrac(),
 			CorrectYearFrac:  o.CorrectYearFrac(),
 			FPRate:           o.FPRate(),
-			SwapLatency:      swap,
+			BuildLatency:     st.Build,
+			SwapLatency:      st.Swap,
+			Incremental:      st.Incremental,
 		})
 	}
 
 	tbl := &report.Table{
 		Title: fmt.Sprintf("Longitudinal: %s re-crawled over %d years (t=%d, minor search opens %s)",
 			sc.Label, years, threshold, flipLabel(flipYear)),
-		Headers: []string{"epoch", "year", "minors searchable", "on OSN", "found", "correct year", "false pos", "epoch swap"},
+		Headers: []string{"epoch", "year", "minors searchable", "on OSN", "found", "correct year", "false pos", "epoch build", "swap"},
 	}
 	for _, r := range rows {
 		tbl.AddRow(r.Epoch, r.Year, yesNo(r.MinorsSearchable), r.StudentsOnOSN,
 			report.Pct(r.FoundFrac), report.Pct(r.CorrectYearFrac), report.Pct(r.FPRate),
-			swapLabel(r.SwapLatency))
+			swapLabel(r.BuildLatency), swapLabel(r.SwapLatency))
 	}
 	return rows, tbl, nil
 }

@@ -35,6 +35,14 @@ func TestLongitudinalTiny(t *testing.T) {
 		if i > 0 && r.SwapLatency <= 0 {
 			t.Errorf("row %d: no epoch-swap latency recorded", i)
 		}
+		if i > 0 && r.BuildLatency <= 0 {
+			t.Errorf("row %d: no epoch-build latency recorded", i)
+		}
+		// The flip year changes the policy, which forces a full rebuild;
+		// every other evolved year rides the incremental patch path.
+		if want := i > 0 && r.Year != flip; r.Incremental != want {
+			t.Errorf("row %d (year %d): incremental %v, want %v", i, r.Year, r.Incremental, want)
+		}
 	}
 	if rows[0].FoundFrac <= 0 {
 		t.Error("baseline year found nothing")

@@ -256,6 +256,8 @@ func someVisibleProfile(t testing.TB, p *Platform) PublicID {
 // TestReadPlaneZeroAlloc guards the satellite fix for the allocating
 // Graph.Friends hot path: profile renders and friend pages are served
 // entirely from the frozen read plane — zero allocations per request.
+// Friend pages render into a caller-reused buffer (FriendPageInto); after
+// the buffer's one-time warm-up, the steady-state pair allocates nothing.
 func TestReadPlaneZeroAlloc(t *testing.T) {
 	p := testPlatform(t, Config{})
 	tok := attacker(t, p)
@@ -263,11 +265,17 @@ func TestReadPlaneZeroAlloc(t *testing.T) {
 	if _, err := p.Profile(tok, id); err != nil {
 		t.Fatal(err)
 	}
+	fbuf, _, err := p.FriendPageInto(nil, tok, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	allocs := testing.AllocsPerRun(200, func() {
 		if _, err := p.Profile(tok, id); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := p.FriendPage(tok, id, 0); err != nil {
+		var err error
+		fbuf, _, err = p.FriendPageInto(fbuf, tok, id, 0)
+		if err != nil {
 			t.Fatal(err)
 		}
 	})

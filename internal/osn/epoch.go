@@ -12,6 +12,7 @@ import (
 	"hsprofiler/internal/obs/evlog"
 	"hsprofiler/internal/sim"
 	"hsprofiler/internal/socialgraph"
+	"hsprofiler/internal/worldgen"
 )
 
 // epoch is one generation of the immutable serving state: the frozen CSR
@@ -158,34 +159,75 @@ func (p *Platform) EpochNow() sim.Date { return p.cur.Load().now }
 // race AdvanceEpoch.
 func (p *Platform) SetPolicy(pol *Policy) { p.policy = pol }
 
-// EpochStats summarizes one epoch advance.
+// EpochStats summarizes one epoch advance. Build is the off-read-path view
+// construction; Swap is only the atomic publish plus retire accounting —
+// the part concurrent readers can actually observe. The phase durations
+// and dirty counts are populated on incremental advances.
 type EpochStats struct {
 	Seq   uint64
 	Year  int
 	Build time.Duration
+	Swap  time.Duration
 	Users int
 	Edges int
+	// Incremental reports whether the build patched the previous epoch
+	// (dirty sets) instead of rebuilding O(world).
+	Incremental bool
+	// DirtyProfiles counts profiles re-rendered; DirtyRows counts CSR
+	// adjacency rows the evolve step's patch re-emitted (friend lists are
+	// served straight from those rows, so this is also the number of
+	// friend lists that changed).
+	DirtyProfiles int
+	DirtyRows     int
+	// Build phase breakdown: profile/flag patching and search/city index
+	// patching. Friend lists have no build phase — FriendPage renders
+	// from the patched CSR at serve time.
+	Profiles time.Duration
+	Indexes  time.Duration
 }
 
-// AdvanceEpoch rebuilds the serving state from the platform's (typically
-// just-evolved) world and current policy, atomically swaps it in, and
-// marks the previous epoch for drain-before-retire. Serving never blocks:
-// in-flight requests finish on the epoch they pinned; new requests land on
-// the new one. The caller drives mutation strictly before calling this
-// (worldgen.Evolve, SetPolicy); AdvanceEpoch itself must not be called
-// concurrently with another AdvanceEpoch.
+// AdvanceEpoch rebuilds the serving state O(world) from the platform's
+// (typically just-evolved) world and current policy, atomically swaps it
+// in, and marks the previous epoch for drain-before-retire. Serving never
+// blocks: in-flight requests finish on the epoch they pinned; new requests
+// land on the new one. The caller drives mutation strictly before calling
+// this (worldgen.Evolve, SetPolicy); AdvanceEpoch itself must not be
+// called concurrently with another AdvanceEpoch.
 func (p *Platform) AdvanceEpoch(ctx context.Context) EpochStats {
+	return p.AdvanceEpochDelta(ctx, nil)
+}
+
+// AdvanceEpochDelta is AdvanceEpoch fed with the evolution step's Delta:
+// when the policy is unchanged and the delta's bookkeeping matches the
+// world, the next epoch is built incrementally — views, indexes and friend
+// lists re-resolved only for the delta's dirty sets, everything else
+// structurally shared with the previous epoch — making advance cost
+// proportional to the delta, not the world. A nil delta, a policy flip, or
+// inconsistent bookkeeping falls back to the full O(world) build. The
+// result is indistinguishable from a full build either way.
+func (p *Platform) AdvanceEpochDelta(ctx context.Context, d *worldgen.Delta) EpochStats {
 	_, span := obs.StartSpan(ctx, "osn.epoch")
 	defer span.End()
 	start := time.Now()
 	old := p.cur.Load()
-	next := p.buildEpoch(old.seq+1, p.policy)
+	pol := p.policy
+	var next *epoch
+	var bd buildBreakdown
+	if d != nil && pol == old.policy && deltaConsistent(old, p.world, d) {
+		next, bd = p.buildEpochDelta(old.seq+1, pol, old, d)
+	}
+	if next == nil {
+		next = p.buildEpoch(old.seq+1, pol)
+		bd = buildBreakdown{}
+	}
 	build := time.Since(start)
+	swapStart := time.Now()
 	p.cur.Store(next)
 	old.retiring.Store(true)
 	if old.pins.Load() == 0 {
 		p.release(old)
 	}
+	swap := time.Since(swapStart)
 	p.epochsLiveG.Inc()
 	p.epochSeqG.Set(float64(next.seq))
 	p.epochBuildG.Set(build.Seconds())
@@ -193,17 +235,29 @@ func (p *Platform) AdvanceEpoch(ctx context.Context) EpochStats {
 	p.frozenUsersG.Set(float64(next.read.frozen.NumUsers()))
 	p.frozenEdgesG.Set(float64(next.read.frozen.NumEdges()))
 	st := EpochStats{
-		Seq:   next.seq,
-		Year:  next.now.Year,
-		Build: build,
-		Users: next.read.frozen.NumUsers(),
-		Edges: next.read.frozen.NumEdges(),
+		Seq:           next.seq,
+		Year:          next.now.Year,
+		Build:         build,
+		Swap:          swap,
+		Users:         next.read.frozen.NumUsers(),
+		Edges:         next.read.frozen.NumEdges(),
+		Incremental:   bd.incremental,
+		DirtyProfiles: bd.dirtyProfiles,
+		DirtyRows:     bd.dirtyRows,
+		Profiles:      bd.profiles,
+		Indexes:       bd.indexes,
 	}
 	p.lg.Info(ctx, "osn.epoch", "epoch advanced",
 		evlog.I64("epoch", int64(st.Seq)),
 		evlog.Int("year", st.Year),
 		evlog.Dur("build", st.Build),
+		evlog.Dur("swap", st.Swap),
 		evlog.Int("users", st.Users),
-		evlog.Int("edges", st.Edges))
+		evlog.Int("edges", st.Edges),
+		evlog.Bool("incremental", st.Incremental),
+		evlog.Int("dirty_profiles", st.DirtyProfiles),
+		evlog.Int("dirty_rows", st.DirtyRows),
+		evlog.Dur("profiles", st.Profiles),
+		evlog.Dur("indexes", st.Indexes))
 	return st
 }

@@ -126,16 +126,29 @@ func TestConcurrentEpochRotation(t *testing.T) {
 
 	// Rotate epochs while the readers hammer. Each advance evolves the
 	// world one simulated year first, so consecutive epochs genuinely
-	// differ (graduations, churn, new ties).
+	// differ (graduations, churn, new ties). Odd epochs advance through
+	// the incremental dirty-set build, even ones through the full rebuild,
+	// so both paths are exercised under -race against concurrent readers
+	// — including the structural sharing between a retiring epoch and its
+	// incremental successor.
 	const epochs = 4
-	cfg := worldgen.DefaultEvolveConfig()
+	ev := worldgen.NewEvolver(worldgen.DefaultEvolveConfig(), 2)
 	var retired []*epoch
 	for e := 1; e <= epochs; e++ {
-		if _, err := worldgen.Evolve(w, cfg, e, 2); err != nil {
+		d, err := ev.Step(w, e)
+		if err != nil {
 			t.Fatalf("evolve %d: %v", e, err)
 		}
 		old := p.cur.Load()
-		st := p.AdvanceEpoch(context.Background())
+		var st EpochStats
+		if e%2 == 1 {
+			st = p.AdvanceEpochDelta(context.Background(), d)
+			if !st.Incremental {
+				t.Fatalf("epoch %d: advance did not take the incremental path", e)
+			}
+		} else {
+			st = p.AdvanceEpoch(context.Background())
+		}
 		if st.Seq != old.seq+1 {
 			t.Fatalf("epoch seq %d after %d", st.Seq, old.seq)
 		}

@@ -664,24 +664,47 @@ func (p *Platform) profile(e *epoch, token string, id PublicID) (*PublicProfile,
 // list, or ErrHidden if the list is not stranger-visible. When the policy's
 // HiddenListsInReverseLookup is false (the §8 countermeasure), entries whose
 // own friend lists are hidden are omitted — they become undiscoverable by
-// reverse lookup. The page is a subslice of the epoch's pre-paginated
-// view: zero-copy, and not to be modified by the caller.
+// reverse lookup. The page is rendered on the fly from the epoch's CSR row
+// into a fresh slice; hot loops that need a zero-allocation read path use
+// FriendPageInto with a reused buffer.
 func (p *Platform) FriendPage(token string, id PublicID, page int) (friends []FriendRef, more bool, err error) {
 	friends, more, _, err = p.FriendPageEpoch(token, id, page)
 	return friends, more, err
+}
+
+// FriendPageInto is FriendPage appending into buf[:0]. After the first call
+// the buffer's capacity covers a full page, so a caller that feeds each
+// returned slice back in allocates nothing on the steady-state read path.
+func (p *Platform) FriendPageInto(buf []FriendRef, token string, id PublicID, page int) (friends []FriendRef, more bool, err error) {
+	e := p.pin()
+	defer p.unpin(e)
+	return p.friendPage(e, buf, token, id, page)
 }
 
 // FriendPageEpoch is FriendPage plus the serving epoch's id. A crawler that
 // walks a friend list across pages can detect an epoch boundary by the id
 // changing between pages.
 func (p *Platform) FriendPageEpoch(token string, id PublicID, page int) (friends []FriendRef, more bool, epochID uint64, err error) {
+	return p.FriendPageEpochInto(nil, token, id, page)
+}
+
+// FriendPageEpochInto is FriendPageEpoch appending into buf[:0] — the
+// zero-allocation variant for callers that reuse the returned slice's
+// backing array (see FriendPageInto).
+func (p *Platform) FriendPageEpochInto(buf []FriendRef, token string, id PublicID, page int) (friends []FriendRef, more bool, epochID uint64, err error) {
 	e := p.pin()
 	defer p.unpin(e)
-	friends, more, err = p.friendPage(e, token, id, page)
+	friends, more, err = p.friendPage(e, buf, token, id, page)
 	return friends, more, e.seq, err
 }
 
-func (p *Platform) friendPage(e *epoch, token string, id PublicID, page int) (friends []FriendRef, more bool, err error) {
+// friendPage renders one page of u's friend list straight from the frozen
+// CSR row — friend lists are a view over the graph plus the epoch's
+// visibility bitmap and the immutable pub/name arrays, never materialized.
+// That keeps an epoch's footprint at two deltas instead of a
+// refs-per-edge array, and makes epoch advance independent of friend-list
+// state entirely: patching the CSR row IS the friend-list update.
+func (p *Platform) friendPage(e *epoch, buf []FriendRef, token string, id PublicID, page int) (friends []FriendRef, more bool, err error) {
 	if err := p.charge(token); err != nil {
 		return nil, false, err
 	}
@@ -699,14 +722,39 @@ func (p *Platform) friendPage(e *epoch, token string, id PublicID, page int) (fr
 		return nil, false, ErrHidden
 	}
 	p.tel.RecordFriendPage(token, string(id), page)
-	all := e.read.friendRefs[u]
+	row := e.read.frozen.Friends(u)
 	start := page * p.cfg.FriendPageSize
-	if start >= len(all) {
-		return nil, false, nil
-	}
 	end := start + p.cfg.FriendPageSize
-	if end > len(all) {
-		end = len(all)
+	out := buf[:0]
+	if e.policy.HiddenListsInReverseLookup {
+		// No entry filtering: the page is direct index math over the row.
+		if start >= len(row) {
+			return out, false, nil
+		}
+		if end > len(row) {
+			end = len(row)
+		}
+		for _, f := range row[start:end] {
+			out = append(out, FriendRef{ID: p.pub[f], Name: e.read.names[f]})
+		}
+		return out, end < len(row), nil
 	}
-	return all[start:end], end < len(all), nil
+	// §8 countermeasure: skip-scan the row counting only entries whose own
+	// lists are visible; stop as soon as one entry past the page proves
+	// there is more.
+	vis := e.read.friendVisible
+	n := 0
+	for _, f := range row {
+		if !vis[f] {
+			continue
+		}
+		if n >= end {
+			return out, true, nil
+		}
+		if n >= start {
+			out = append(out, FriendRef{ID: p.pub[f], Name: e.read.names[f]})
+		}
+		n++
+	}
+	return out, false, nil
 }

@@ -30,12 +30,12 @@ type readPlane struct {
 	// for people without accounts). Served by pointer; callers must treat
 	// it as read-only.
 	profiles []*PublicProfile
-	// friendRefs[u] is u's stranger-visible friend list, pre-resolved and
-	// pre-paginated: FriendPage serves subslices of it without copying.
-	// When the policy disables reverse lookup (§8), entries whose own
-	// lists are hidden are already filtered out. nil when u's list is
-	// hidden; empty non-nil when visible but empty.
-	friendRefs [][]FriendRef
+
+	// Friend lists are deliberately NOT materialized: FriendPage renders
+	// pages on the fly from the frozen CSR row, friendVisible and names.
+	// A metro-scale refs-per-edge array costs ~GBs of pointer-dense heap
+	// per epoch (and the GC mark time that comes with it); the CSR row it
+	// would be derived from is already resident and pointer-free.
 }
 
 // buildReadPlane runs the freeze step: it resolves the policy matrix once
@@ -50,7 +50,6 @@ func buildReadPlane(w *worldgen.World, pol *Policy, pub []PublicID) *readPlane {
 		searchEligible: make([]bool, n),
 		friendVisible:  make([]bool, n),
 		profiles:       make([]*PublicProfile, n),
-		friendRefs:     make([][]FriendRef, n),
 	}
 	for _, person := range w.People {
 		if !person.HasAccount {
@@ -62,24 +61,6 @@ func buildReadPlane(w *worldgen.World, pol *Policy, pub []PublicID) *readPlane {
 		rp.searchEligible[u] = pol.MinorsSearchable || !rp.regMinor[u]
 		rp.friendVisible[u] = visibleToStranger(pol, person, rp.regMinor[u], AttrFriendList)
 		rp.profiles[u] = renderProfile(w, pol, pub, u, rp.regMinor[u])
-	}
-	// Second pass: friend lists reference other users' visibility, which
-	// the first pass has now fully resolved.
-	for _, person := range w.People {
-		if !person.HasAccount || !rp.friendVisible[person.ID] {
-			continue
-		}
-		u := person.ID
-		refs := make([]FriendRef, 0, rp.frozen.Degree(u))
-		rp.frozen.ForEachFriend(u, func(f socialgraph.UserID) {
-			if !pol.HiddenListsInReverseLookup && !rp.friendVisible[f] {
-				// §8 countermeasure: hidden-list users never appear
-				// inside other users' visible lists.
-				return
-			}
-			refs = append(refs, FriendRef{ID: pub[f], Name: rp.names[f]})
-		})
-		rp.friendRefs[u] = refs
 	}
 	return rp
 }

@@ -540,6 +540,11 @@ func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request, id string) {
 	putEnc(e)
 }
 
+// friendBufPool recycles page-render buffers across requests: the platform
+// renders friend pages on the fly from the CSR row, and appending into a
+// pooled buffer keeps the handler allocation-free.
+var friendBufPool = sync.Pool{New: func() any { return new([]osn.FriendRef) }}
+
 func (s *Server) apiFriends(w http.ResponseWriter, r *http.Request, id string) {
 	raw := r.URL.RawQuery
 	page, ok := queryInt(raw, "page")
@@ -547,12 +552,18 @@ func (s *Server) apiFriends(w http.ResponseWriter, r *http.Request, id string) {
 		apiError(w, r, http.StatusBadRequest, "bad_request", "page must be a non-negative integer")
 		return
 	}
-	friends, more, epoch, err := s.platform.FriendPageEpoch(queryParam(raw, "acct"), osn.PublicID(id), page)
+	bufp := friendBufPool.Get().(*[]osn.FriendRef)
+	friends, more, epoch, err := s.platform.FriendPageEpochInto(*bufp, queryParam(raw, "acct"), osn.PublicID(id), page)
+	if friends != nil {
+		*bufp = friends[:0] // keep the grown backing array
+	}
 	if err != nil {
+		friendBufPool.Put(bufp)
 		apiFail(w, r, err)
 		return
 	}
 	writeResultPage(w, "friends", friends, more, epoch)
+	friendBufPool.Put(bufp)
 }
 
 // handleHealthz serves the load-balancer probe on the main listener: a

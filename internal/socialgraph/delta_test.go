@@ -1,6 +1,7 @@
 package socialgraph
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 )
@@ -85,5 +86,97 @@ func TestApplyDeltaRejectsBadDeltas(t *testing.T) {
 	}
 	if !same.Equal(f) {
 		t.Fatal("empty delta changed the snapshot")
+	}
+
+	// Unnormalized patch lists violate the contract and must fail loudly —
+	// the incremental merge depends on sorted inputs.
+	if _, err := ApplyDelta(f, []Edge{{2, 0}}, nil, 1); err == nil {
+		t.Fatal("reversed add edge did not fail")
+	}
+	if _, err := ApplyDelta(f, []Edge{{2, 3}, {0, 2}}, nil, 1); err == nil {
+		t.Fatal("unsorted adds did not fail")
+	}
+}
+
+// TestApplyDeltaChainByteIdentical: a chain of incremental patches must stay
+// byte-identical — binary encoding included — to both the retained
+// full-rebuild path and a mutate-and-freeze of the same graph, at every step
+// and at multiple worker counts. This is the determinism property epoch
+// rotation leans on: a patched CSR is indistinguishable from a from-scratch
+// freeze, so snapshots, fingerprints and served pages cannot diverge no
+// matter how many deltas were applied incrementally.
+func TestApplyDeltaChainByteIdentical(t *testing.T) {
+	const n = 300
+	for _, workers := range []int{1, 4} {
+		g := randomGraph(t, n, 1500, 23)
+		cur := g.Freeze()
+		rng := rand.New(rand.NewSource(int64(workers)))
+
+		for step := 0; step < 6; step++ {
+			var removes []Edge
+			for u := 0; u < n; u++ {
+				for _, v := range cur.row(UserID(u)) {
+					if v > UserID(u) && rng.Float64() < 0.15 {
+						removes = append(removes, Edge{UserID(u), v})
+					}
+				}
+			}
+			var adds []Edge
+			for len(adds) < 60 {
+				a, b := UserID(rng.Intn(n)), UserID(rng.Intn(n))
+				if a == b || cur.AreFriends(a, b) {
+					continue
+				}
+				adds = append(adds, Edge{a, b})
+			}
+			adds = NormalizeEdges(adds)
+			removes = NormalizeEdges(removes)
+			// NormalizeEdges dedups but two draws can still collide with an
+			// earlier add of the same pair after AreFriends was checked; the
+			// dedup above handles it. Removes come from distinct row slots.
+
+			next, st, err := ApplyDeltaStats(cur, adds, removes, workers)
+			if err != nil {
+				t.Fatalf("workers=%d step=%d: %v", workers, step, err)
+			}
+			if err := next.CheckInvariants(); err != nil {
+				t.Fatalf("workers=%d step=%d: %v", workers, step, err)
+			}
+			if st.DirtyRows == 0 {
+				t.Fatalf("workers=%d step=%d: no dirty rows for a non-empty delta", workers, step)
+			}
+
+			full, err := ApplyDeltaRebuild(cur, adds, removes, workers)
+			if err != nil {
+				t.Fatalf("workers=%d step=%d: rebuild: %v", workers, step, err)
+			}
+			for _, e := range removes {
+				g.RemoveFriendship(e.A, e.B)
+			}
+			for _, e := range adds {
+				if err := g.AddFriendship(e.A, e.B); err != nil {
+					t.Fatal(err)
+				}
+			}
+			frozen := g.Freeze()
+
+			var bNext, bFull, bFrozen bytes.Buffer
+			if err := next.WriteBinary(&bNext); err != nil {
+				t.Fatal(err)
+			}
+			if err := full.WriteBinary(&bFull); err != nil {
+				t.Fatal(err)
+			}
+			if err := frozen.WriteBinary(&bFrozen); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bNext.Bytes(), bFull.Bytes()) {
+				t.Fatalf("workers=%d step=%d: incremental patch binary diverges from full rebuild", workers, step)
+			}
+			if !bytes.Equal(bNext.Bytes(), bFrozen.Bytes()) {
+				t.Fatalf("workers=%d step=%d: incremental patch binary diverges from mutate-and-freeze", workers, step)
+			}
+			cur = next
+		}
 	}
 }

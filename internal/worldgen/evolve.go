@@ -2,6 +2,7 @@ package worldgen
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -63,14 +64,34 @@ func DefaultEvolveConfig() EvolveConfig {
 }
 
 // Delta records what one evolution step changed: the edge delta feeds the
-// incremental CSR rebuild (socialgraph.ApplyDelta) and the epoch-advance
-// event log; the counters feed metrics and reports.
+// incremental CSR patch (socialgraph.ApplyDelta) and the epoch-advance
+// event log; the dirty sets feed the incremental epoch build in osn, which
+// rebuilds views only for what the step touched; the counters feed metrics
+// and reports.
+//
+// A Delta returned by an Evolver references the Evolver's reusable scratch
+// and is valid only until the next Step call.
 type Delta struct {
 	Epoch int
 	Now   sim.Date
 	// Added and Removed are the normalized edge delta against the
 	// snapshot the step started from.
 	Added, Removed []socialgraph.Edge
+	// DirtyUsers lists, sorted ascending, every person whose person record
+	// changed this step (role, school, grad year, city, privacy) or whose
+	// registered age class crossed the 18-year boundary as the clock
+	// ticked. Users whose friend rows changed are NOT repeated here — they
+	// are derivable from Added/Removed endpoints.
+	DirtyUsers []socialgraph.UserID
+	// DirtySchools lists, sorted ascending, school IDs whose search-index
+	// membership may have changed (a member's PublicSearch or ListsSchool
+	// flipped, or an intake joined).
+	DirtySchools []int
+	// DirtyCities lists, sorted, city names (as stored on person records)
+	// whose city-index membership may have changed.
+	DirtyCities []string
+	// Patch is the CSR patch phase breakdown from ApplyDeltaStats.
+	Patch socialgraph.PatchStats
 	// Role and profile transitions.
 	Graduated      int
 	TransferredOut int
@@ -79,43 +100,84 @@ type Delta struct {
 	MovedAway      int
 }
 
-// Evolve advances the world by one simulated year: the clock ticks, cohorts
-// shift (seniors graduate to alumni, a new class year opens), students
-// transfer out and in, privacy settings drift, and friendships form and
-// dissolve. The mutable graph is updated through Mutate and the next CSR
-// snapshot is built incrementally with ApplyDelta — the epoch-rotation
-// rebuild path — so after Evolve returns, w.Frozen() is the new epoch's
-// snapshot without a full map re-freeze.
+// Evolver advances a world year by year, reusing its edge buffers, dirty
+// bitsets and formation-pool scratch across steps so long temporal runs
+// (longitudinal panels, rotation benchmarks, osnd -evolve) do not pay a
+// fresh allocation storm per epoch. A fresh Evolver and a reused one
+// produce bit-identical worlds — all randomness is identity-keyed, none of
+// the scratch leaks into decisions.
+//
+// Not safe for concurrent use; the Delta returned by Step aliases the
+// scratch and is valid until the next Step.
+type Evolver struct {
+	Cfg     EvolveConfig
+	Workers int
+
+	delta     Delta
+	removed   []socialgraph.Edge
+	added     []socialgraph.Edge
+	dirtyBit  []bool
+	dirty     []socialgraph.UserID
+	schoolBit []bool
+	schools   []int
+	citySet   map[string]bool
+	cities    []string
+	targets   []int
+	outs      [][]socialgraph.Edge
+	pools     formationPools
+	patch     socialgraph.PatchScratch
+}
+
+// NewEvolver returns an Evolver with the given per-year config. workers
+// shards the per-person phases (dissolution, formation) and the CSR patch.
+func NewEvolver(cfg EvolveConfig, workers int) *Evolver {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Evolver{Cfg: cfg, Workers: workers, citySet: make(map[string]bool)}
+}
+
+// Evolve advances the world by one simulated year with a throwaway Evolver:
+// the clock ticks, cohorts shift (seniors graduate to alumni, a new class
+// year opens), students transfer out and in, privacy settings drift, and
+// friendships form and dissolve. Prefer an Evolver for multi-year runs.
+func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
+	return NewEvolver(cfg, workers).Step(w, epoch)
+}
+
+// Step advances the world by one simulated year. The next CSR snapshot is
+// built incrementally with socialgraph.ApplyDelta — cost proportional to
+// the edge delta, not the world — so after Step returns, w.Frozen() is the
+// new epoch's snapshot without a full re-freeze. Worlds with a mutable
+// graph keep it in sync through Mutate; frozen-only worlds (GenerateParallel
+// output, binary snapshots) evolve on the CSR alone.
 //
 // Determinism: every decision draws from a stream keyed by
 // (seed, "evolve/<epoch>/<phase>", personID) via sim.StreamN, never from a
 // shared sequential stream, so the result is a pure function of
-// (world, config, epoch) — bit-identical at any worker count. workers
-// shards the per-person phases (dissolution, formation) and the row sort.
-//
-// Evolve requires a world with a mutable graph; frozen-only worlds
-// (GenerateParallel output, binary snapshots) are rejected — which is why
-// osnd refuses -evolve for them at flag-validation time.
-func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
-	if w.Graph == nil {
-		return nil, fmt.Errorf("worldgen: cannot evolve a frozen-only world (no mutable graph)")
-	}
+// (world, config, epoch) — bit-identical at any worker count, frozen-only
+// or not, fresh Evolver or reused.
+func (ev *Evolver) Step(w *World, epoch int) (*Delta, error) {
+	cfg := ev.Cfg
+	workers := ev.Workers
 	if epoch < 1 {
 		return nil, fmt.Errorf("worldgen: evolve epoch must be >= 1, got %d", epoch)
 	}
-	if workers < 1 {
-		workers = 1
-	}
+	ev.reset(w)
 	prev := w.Frozen()
 	root := sim.New(w.Seed)
 	label := func(phase string) string {
 		return "evolve/" + strconv.Itoa(epoch) + "/" + phase
 	}
-	d := &Delta{Epoch: epoch}
+	ev.delta = Delta{Epoch: epoch}
+	d := &ev.delta
 
 	// 1. The clock: one simulated year. Cohorts shift with it — last
 	// year's seniors are no longer a current class, a new class year opens
-	// at the bottom.
+	// at the bottom. Accounts whose registered age crosses the 18-year
+	// boundary change policy class without any record mutation, so the
+	// boundary crossers go into the dirty set here.
+	before := w.Now
 	w.Now = w.Now.AddYears(1)
 	d.Now = w.Now
 	for _, s := range w.Schools {
@@ -123,9 +185,13 @@ func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
 			s.GradYears[i]++
 		}
 	}
+	for _, p := range w.People {
+		if p.HasAccount && p.RegisteredMinorAt(before) != p.RegisteredMinorAt(w.Now) {
+			ev.markUser(p.ID)
+		}
+	}
 
 	cities := distinctCities(w)
-	var removed, added []socialgraph.Edge
 
 	// 2. Graduation: students whose class is no longer current become
 	// alumni. Some move away — the city scatter that ages city-scoped
@@ -139,9 +205,12 @@ func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
 		}
 		rng := root.StreamN(label("grad"), int(p.ID))
 		p.Role = RoleAlumnus
+		ev.markUser(p.ID)
 		d.Graduated++
 		if rng.Bool(cfg.GradMoveAway) && len(cities) > 1 {
 			if c := cities[rng.Intn(len(cities))]; c != p.CurrentCity {
+				ev.markCity(p.CurrentCity)
+				ev.markCity(c)
 				p.CurrentCity = c
 				d.MovedAway++
 			}
@@ -159,13 +228,14 @@ func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
 			continue
 		}
 		p.Role = RoleFormer
+		ev.markUser(p.ID)
 		d.TransferredOut++
 		if !p.HasAccount {
 			continue
 		}
 		for _, q := range prev.Friends(p.ID) {
 			if w.People[q].SchoolID == p.SchoolID && !rng.Bool(cfg.FormerRetainFrac) {
-				removed = append(removed, normEdge(p.ID, q))
+				ev.removed = append(ev.removed, normEdge(p.ID, q))
 			}
 		}
 	}
@@ -173,11 +243,12 @@ func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
 	// 4. Transfer churn, in: outside-pool teens young enough for a current
 	// class convert to students. Population is fixed; the pool shrinks as
 	// schools refill.
-	d.TransferredIn = evolveIntake(w, cfg, root, label("intake"))
+	d.TransferredIn = ev.evolveIntake(w, root, label("intake"))
 
 	// 5. Privacy drift: accounts toggle one switch a year with small
 	// probability. PublicSearch and ListsSchool flips move people in and
-	// out of the search indexes — re-resolved at the next epoch build.
+	// out of the search indexes — their school and city go into the dirty
+	// sets so the next epoch build re-resolves exactly those indexes.
 	for _, p := range w.People {
 		if !p.HasAccount {
 			continue
@@ -186,13 +257,21 @@ func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
 		if !rng.Bool(cfg.PrivacyDrift) {
 			continue
 		}
-		togglePrivacy(p, rng.Intn(11))
+		which := rng.Intn(11)
+		togglePrivacy(p, which)
+		ev.markUser(p.ID)
+		if which == 1 || which == 10 { // PublicSearch or ListsSchool
+			ev.markSchool(p.SchoolID)
+		}
+		if which == 1 { // PublicSearch also gates the city index
+			ev.markCity(p.CurrentCity)
+		}
 		d.PrivacyChanged++
 	}
 
 	// 6. Dissolution (sharded): each person decides the fate of the edges
 	// they own (u < v) in the pre-step snapshot, from their own stream.
-	dissolved := shardEdges(w, prev, workers, func(u socialgraph.UserID, out *[]socialgraph.Edge) {
+	ev.removed = ev.shard(w, ev.removed, func(u socialgraph.UserID, out *[]socialgraph.Edge) {
 		rng := root.StreamN(label("dissolve"), int(u))
 		for _, v := range prev.Friends(u) {
 			if v > u && rng.Bool(cfg.Dissolve) {
@@ -200,14 +279,13 @@ func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
 			}
 		}
 	})
-	removed = append(removed, dissolved...)
 
 	// 7. Formation (sharded): students initiate new ties into their
 	// cohort, the rest of the school, and the outside pool. Partners come
 	// from pools built in ID order; picks that duplicate an existing
 	// pre-step edge are skipped, so adds never collide with kept edges.
-	pools := buildFormationPools(w)
-	formed := shardEdges(w, prev, workers, func(u socialgraph.UserID, out *[]socialgraph.Edge) {
+	pools := ev.buildFormationPools(w)
+	ev.added = ev.shard(w, ev.added, func(u socialgraph.UserID, out *[]socialgraph.Edge) {
 		p := w.People[u]
 		if p.Role != RoleStudent || !p.HasAccount || p.SchoolID < 0 {
 			return
@@ -218,30 +296,86 @@ func Evolve(w *World, cfg EvolveConfig, epoch, workers int) (*Delta, error) {
 		formTies(rng, prev, u, pools.school[p.SchoolID], rng.Poisson(cfg.FormCrossCohort*p.Sociality), out)
 		formTies(rng, prev, u, pools.outside, rng.Poisson(cfg.FormOutside*p.Sociality), out)
 	})
-	added = append(added, formed...)
 
-	d.Removed = socialgraph.NormalizeEdges(removed)
-	d.Added = socialgraph.NormalizeEdges(added)
+	d.Removed = socialgraph.NormalizeEdges(ev.removed)
+	d.Added = socialgraph.NormalizeEdges(ev.added)
+	sort.Slice(ev.dirty, func(i, j int) bool { return ev.dirty[i] < ev.dirty[j] })
+	sort.Ints(ev.schools)
+	sort.Strings(ev.cities)
+	d.DirtyUsers = ev.dirty
+	d.DirtySchools = ev.schools
+	d.DirtyCities = ev.cities
 
-	// Apply to the mutable control plane (through Mutate, so the stale
-	// memoized snapshot is invalidated) …
-	if err := w.Mutate(func(g *socialgraph.Graph) error {
-		for _, e := range d.Removed {
-			g.RemoveFriendship(e.A, e.B)
+	// Keep the mutable control plane in sync when one exists (through
+	// Mutate, so the stale memoized snapshot is invalidated). Frozen-only
+	// worlds skip this: the CSR patch below is the whole apply.
+	if w.Graph != nil {
+		if err := w.Mutate(func(g *socialgraph.Graph) error {
+			for _, e := range d.Removed {
+				g.RemoveFriendship(e.A, e.B)
+			}
+			return addAll(g, d.Added)
+		}); err != nil {
+			return nil, err
 		}
-		return addAll(g, d.Added)
-	}); err != nil {
-		return nil, err
 	}
-	// … then build the next snapshot incrementally off the pre-step CSR:
-	// the rebuild path epoch rotation uses, two linear passes instead of a
-	// full map freeze.
-	next, err := socialgraph.ApplyDelta(prev, d.Added, d.Removed, workers)
+	// Patch the pre-step CSR into the next snapshot — dirty rows merged,
+	// clean spans copied wholesale, nothing re-sorted, and the patch's
+	// working memory reused from the previous step.
+	next, st, err := socialgraph.ApplyDeltaScratch(prev, d.Added, d.Removed, workers, &ev.patch)
 	if err != nil {
 		return nil, fmt.Errorf("worldgen: evolve epoch %d: %w", epoch, err)
 	}
+	d.Patch = st
 	w.SetFrozen(next)
 	return d, nil
+}
+
+// reset re-arms the scratch for a new step, keeping backing arrays.
+func (ev *Evolver) reset(w *World) {
+	ev.removed = ev.removed[:0]
+	ev.added = ev.added[:0]
+	if len(ev.dirtyBit) != len(w.People) {
+		ev.dirtyBit = make([]bool, len(w.People))
+	} else {
+		for _, u := range ev.dirty {
+			ev.dirtyBit[u] = false
+		}
+	}
+	ev.dirty = ev.dirty[:0]
+	if len(ev.schoolBit) != len(w.Schools) {
+		ev.schoolBit = make([]bool, len(w.Schools))
+	} else {
+		for _, s := range ev.schools {
+			ev.schoolBit[s] = false
+		}
+	}
+	ev.schools = ev.schools[:0]
+	for c := range ev.citySet {
+		delete(ev.citySet, c)
+	}
+	ev.cities = ev.cities[:0]
+}
+
+func (ev *Evolver) markUser(u socialgraph.UserID) {
+	if !ev.dirtyBit[u] {
+		ev.dirtyBit[u] = true
+		ev.dirty = append(ev.dirty, u)
+	}
+}
+
+func (ev *Evolver) markSchool(s int) {
+	if s >= 0 && s < len(ev.schoolBit) && !ev.schoolBit[s] {
+		ev.schoolBit[s] = true
+		ev.schools = append(ev.schools, s)
+	}
+}
+
+func (ev *Evolver) markCity(c string) {
+	if c != "" && !ev.citySet[c] {
+		ev.citySet[c] = true
+		ev.cities = append(ev.cities, c)
+	}
 }
 
 func addAll(g *socialgraph.Graph, edges []socialgraph.Edge) error {
@@ -278,8 +412,15 @@ func distinctCities(w *World) []string {
 // students, refilling each school toward its target. Candidates and
 // assignments are drawn in ID order from one labelled stream, so the
 // outcome is independent of everything else in the step.
-func evolveIntake(w *World, cfg EvolveConfig, root *sim.Rand, lbl string) int {
-	targets := make([]int, len(w.Schools))
+func (ev *Evolver) evolveIntake(w *World, root *sim.Rand, lbl string) int {
+	cfg := ev.Cfg
+	if cap(ev.targets) < len(w.Schools) {
+		ev.targets = make([]int, len(w.Schools))
+	}
+	targets := ev.targets[:len(w.Schools)]
+	for i := range targets {
+		targets[i] = 0
+	}
 	for _, p := range w.People {
 		if p.Role == RoleStudent {
 			targets[p.SchoolID]++
@@ -316,6 +457,9 @@ func evolveIntake(w *World, cfg EvolveConfig, root *sim.Rand, lbl string) int {
 		}
 		targets[school]--
 		s := w.Schools[school]
+		ev.markUser(p.ID)
+		ev.markSchool(p.SchoolID)
+		ev.markSchool(school)
 		p.Role = RoleStudent
 		p.SchoolID = school
 		// Ages 13-16 map inside the current four-class window; clamp for
@@ -329,7 +473,9 @@ func evolveIntake(w *World, cfg EvolveConfig, root *sim.Rand, lbl string) int {
 		}
 		p.GradYear = gy
 		p.ListsSchool = rng.Bool(cfg.IntakeListsSchool)
-		if rng.Bool(0.8) {
+		if rng.Bool(0.8) && p.CurrentCity != s.City {
+			ev.markCity(p.CurrentCity)
+			ev.markCity(s.City)
 			p.CurrentCity = s.City
 		}
 		in++
@@ -374,11 +520,21 @@ type formationPools struct {
 	outside []socialgraph.UserID
 }
 
-func buildFormationPools(w *World) *formationPools {
-	pools := &formationPools{
-		cohort: make([][4][]socialgraph.UserID, len(w.Schools)),
-		school: make([][]socialgraph.UserID, len(w.Schools)),
+// buildFormationPools fills the Evolver's pool scratch, reusing the inner
+// slices' backing arrays across steps.
+func (ev *Evolver) buildFormationPools(w *World) *formationPools {
+	pools := &ev.pools
+	if len(pools.cohort) != len(w.Schools) {
+		pools.cohort = make([][4][]socialgraph.UserID, len(w.Schools))
+		pools.school = make([][]socialgraph.UserID, len(w.Schools))
 	}
+	for s := range pools.cohort {
+		for ci := range pools.cohort[s] {
+			pools.cohort[s][ci] = pools.cohort[s][ci][:0]
+		}
+		pools.school[s] = pools.school[s][:0]
+	}
+	pools.outside = pools.outside[:0]
 	for _, p := range w.People {
 		if !p.HasAccount {
 			continue
@@ -423,23 +579,29 @@ func containsEdge(edges []socialgraph.Edge, e socialgraph.Edge) bool {
 	return false
 }
 
-// shardEdges runs fn for every user ID across workers goroutines and
-// concatenates the per-worker edge lists in shard order. fn must derive all
-// randomness from identity-keyed streams, so the concatenation order never
-// matters once NormalizeEdges sorts the result.
-func shardEdges(w *World, prev *socialgraph.Frozen, workers int, fn func(socialgraph.UserID, *[]socialgraph.Edge)) []socialgraph.Edge {
+// shard runs fn for every user ID across the Evolver's workers and appends
+// the per-worker edge lists to dst in shard order, reusing the per-worker
+// buffers across steps. fn must derive all randomness from identity-keyed
+// streams, so the concatenation order never matters once NormalizeEdges
+// sorts the result.
+func (ev *Evolver) shard(w *World, dst []socialgraph.Edge, fn func(socialgraph.UserID, *[]socialgraph.Edge)) []socialgraph.Edge {
 	n := len(w.People)
+	workers := ev.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		var out []socialgraph.Edge
 		for u := 0; u < n; u++ {
-			fn(socialgraph.UserID(u), &out)
+			fn(socialgraph.UserID(u), &dst)
 		}
-		return out
+		return dst
 	}
-	outs := make([][]socialgraph.Edge, workers)
+	if len(ev.outs) != workers {
+		ev.outs = make([][]socialgraph.Edge, workers)
+	}
+	for i := range ev.outs {
+		ev.outs[i] = ev.outs[i][:0]
+	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -451,14 +613,13 @@ func shardEdges(w *World, prev *socialgraph.Frozen, workers int, fn func(socialg
 		go func(i, lo, hi int) {
 			defer wg.Done()
 			for u := lo; u < hi; u++ {
-				fn(socialgraph.UserID(u), &outs[i])
+				fn(socialgraph.UserID(u), &ev.outs[i])
 			}
 		}(i, lo, hi)
 	}
 	wg.Wait()
-	var out []socialgraph.Edge
-	for _, o := range outs {
-		out = append(out, o...)
+	for _, o := range ev.outs {
+		dst = append(dst, o...)
 	}
-	return out
+	return dst
 }

@@ -54,8 +54,8 @@ outer:
 }
 
 // TestMutateRejectsFrozenOnly: frozen-only worlds (binary snapshots,
-// parallel generation) have no mutable graph; Mutate and Evolve must fail
-// loudly instead of panicking.
+// parallel generation) have no mutable graph; Mutate must fail loudly
+// instead of panicking. Evolve, by contrast, works on the CSR alone.
 func TestMutateRejectsFrozenOnly(t *testing.T) {
 	w, err := Generate(TinyConfig(), 1)
 	if err != nil {
@@ -66,13 +66,181 @@ func TestMutateRejectsFrozenOnly(t *testing.T) {
 	if err := fw.Mutate(func(*socialgraph.Graph) error { return nil }); err == nil {
 		t.Fatal("Mutate on frozen-only world did not fail")
 	}
-	if _, err := Evolve(fw, DefaultEvolveConfig(), 1, 1); err == nil {
-		t.Fatal("Evolve on frozen-only world did not fail")
-	}
 	// Invalidate must be a no-op rather than bricking the only snapshot.
 	fw.Invalidate()
 	if fw.Frozen() == nil {
 		t.Fatal("Invalidate dropped a frozen-only world's snapshot")
+	}
+}
+
+// frozenClone deep-copies people and schools but drops the mutable graph,
+// producing the frozen-only shape GenerateParallel and binary snapshots
+// yield.
+func frozenClone(w *World) *World {
+	fw := &World{Seed: w.Seed, Now: w.Now}
+	fw.Schools = make([]*School, len(w.Schools))
+	for i, s := range w.Schools {
+		cs := *s
+		fw.Schools[i] = &cs
+	}
+	fw.People = make([]*Person, len(w.People))
+	for i, p := range w.People {
+		cp := *p
+		fw.People[i] = &cp
+	}
+	fw.SetFrozen(w.Frozen())
+	return fw
+}
+
+// TestEvolveFrozenOnlyMatchesMutable: evolution must be bit-identical with
+// and without a mutable graph — frozen-only worlds (metro scale, binary
+// snapshots) evolve purely on the incremental CSR patch.
+func TestEvolveFrozenOnlyMatchesMutable(t *testing.T) {
+	w, err := Generate(TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := frozenClone(w)
+	for e := 1; e <= 3; e++ {
+		dm, err := Evolve(w, DefaultEvolveConfig(), e, 2)
+		if err != nil {
+			t.Fatalf("mutable epoch %d: %v", e, err)
+		}
+		df, err := Evolve(fw, DefaultEvolveConfig(), e, 2)
+		if err != nil {
+			t.Fatalf("frozen-only epoch %d: %v", e, err)
+		}
+		if len(dm.Added) != len(df.Added) || len(dm.Removed) != len(df.Removed) {
+			t.Fatalf("epoch %d: delta sizes diverge", e)
+		}
+		if !reflect.DeepEqual(dm.DirtyUsers, df.DirtyUsers) ||
+			!reflect.DeepEqual(dm.DirtySchools, df.DirtySchools) ||
+			!reflect.DeepEqual(dm.DirtyCities, df.DirtyCities) {
+			t.Fatalf("epoch %d: dirty sets diverge", e)
+		}
+		if !reflect.DeepEqual(w.People, fw.People) {
+			t.Fatalf("epoch %d: people diverge", e)
+		}
+		if !reflect.DeepEqual(w.Schools, fw.Schools) {
+			t.Fatalf("epoch %d: schools diverge", e)
+		}
+		if !w.Frozen().Equal(fw.Frozen()) {
+			t.Fatalf("epoch %d: snapshots diverge", e)
+		}
+	}
+	if err := fw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvolverReuseMatchesFresh: a single Evolver reused across steps (the
+// scratch-recycling fast path) must match throwaway per-step Evolve calls
+// bit for bit.
+func TestEvolverReuseMatchesFresh(t *testing.T) {
+	w1, err := Generate(TinyConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(TinyConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvolver(DefaultEvolveConfig(), 3)
+	for e := 1; e <= 4; e++ {
+		dr, err := ev.Step(w1, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		df, err := Evolve(w2, DefaultEvolveConfig(), e, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dr.Added, df.Added) || !reflect.DeepEqual(dr.Removed, df.Removed) {
+			t.Fatalf("epoch %d: edge deltas diverge between reused and fresh evolver", e)
+		}
+		if !reflect.DeepEqual(dr.DirtyUsers, df.DirtyUsers) {
+			t.Fatalf("epoch %d: dirty users diverge between reused and fresh evolver", e)
+		}
+		if !reflect.DeepEqual(w1.People, w2.People) || !w1.Frozen().Equal(w2.Frozen()) {
+			t.Fatalf("epoch %d: worlds diverge between reused and fresh evolver", e)
+		}
+	}
+}
+
+// TestEvolveDirtySetsCoverChanges: every person whose record (or registered
+// age class) changed must appear in DirtyUsers, every search-index
+// membership flip must dirty its school, and every city-list membership
+// flip must dirty the old and new city. The incremental epoch build shares
+// everything not in the dirty sets, so an omission here would serve stale
+// views.
+func TestEvolveDirtySetsCoverChanges(t *testing.T) {
+	w, err := Generate(TinyConfig(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSchoolIdx := func(p *Person) (int, bool) {
+		if p.HasAccount && p.Privacy.PublicSearch && p.SchoolID >= 0 && p.ListsSchool {
+			return p.SchoolID, true
+		}
+		return -1, false
+	}
+	inCityIdx := func(p *Person) (string, bool) {
+		if p.HasAccount && p.Privacy.PublicSearch && p.ListsCity && p.CurrentCity != "" {
+			return p.CurrentCity, true
+		}
+		return "", false
+	}
+	for e := 1; e <= 3; e++ {
+		before := make([]Person, len(w.People))
+		for i, p := range w.People {
+			before[i] = *p
+		}
+		beforeNow := w.Now
+		d, err := Evolve(w, DefaultEvolveConfig(), e, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirtyUser := make(map[socialgraph.UserID]bool, len(d.DirtyUsers))
+		for _, u := range d.DirtyUsers {
+			dirtyUser[u] = true
+		}
+		dirtySchool := make(map[int]bool, len(d.DirtySchools))
+		for _, s := range d.DirtySchools {
+			dirtySchool[s] = true
+		}
+		dirtyCity := make(map[string]bool, len(d.DirtyCities))
+		for _, c := range d.DirtyCities {
+			dirtyCity[c] = true
+		}
+		for i, p := range w.People {
+			old := &before[i]
+			if !reflect.DeepEqual(*old, *p) && !dirtyUser[p.ID] {
+				t.Fatalf("epoch %d: person %d changed but is not in DirtyUsers", e, p.ID)
+			}
+			if p.HasAccount && p.RegisteredMinorAt(beforeNow) != p.RegisteredMinorAt(w.Now) && !dirtyUser[p.ID] {
+				t.Fatalf("epoch %d: person %d crossed the 18-year boundary but is not in DirtyUsers", e, p.ID)
+			}
+			oldS, oldIn := inSchoolIdx(old)
+			newS, newIn := inSchoolIdx(p)
+			if (oldIn != newIn || oldS != newS) {
+				if oldIn && !dirtySchool[oldS] {
+					t.Fatalf("epoch %d: person %d left school index %d but school not dirty", e, p.ID, oldS)
+				}
+				if newIn && !dirtySchool[newS] {
+					t.Fatalf("epoch %d: person %d joined school index %d but school not dirty", e, p.ID, newS)
+				}
+			}
+			oldC, oldInC := inCityIdx(old)
+			newC, newInC := inCityIdx(p)
+			if (oldInC != newInC || oldC != newC) {
+				if oldInC && !dirtyCity[oldC] {
+					t.Fatalf("epoch %d: person %d left city list %q but city not dirty", e, p.ID, oldC)
+				}
+				if newInC && !dirtyCity[newC] {
+					t.Fatalf("epoch %d: person %d joined city list %q but city not dirty", e, p.ID, newC)
+				}
+			}
+		}
 	}
 }
 
